@@ -1,0 +1,357 @@
+package ca3dmm
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section IV), plus ablation benches for the design choices called
+// out in DESIGN.md. The paper-scale experiments (BenchmarkFig3 ...
+// BenchmarkTable3) run the cost model over the real planners; the
+// BenchmarkReal* twins execute the actual distributed algorithms on
+// goroutine ranks at laptop scale. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same rows are printed by cmd/pgemm-bench.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/gca"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/sim"
+)
+
+// --- Paper-scale experiment regeneration (modeled clock) -----------
+
+func BenchmarkFig3StrongScaling(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig3(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4HybridModes(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig4(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Breakdown(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig5(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Memory(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ForcedGrids(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3GPU(b *testing.B) {
+	mach := sim.Phoenix()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3(io.Discard, mach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.LSweep(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Real-execution twins (goroutine ranks, measured clock) --------
+
+// benchReal times one full distributed multiplication per iteration.
+func benchReal(b *testing.B, alg Algorithm, m, n, k, p int) {
+	a := Random(m, k, 1)
+	bb := Random(k, n, 2)
+	cfg := Config{Algorithm: alg, DualBuffer: true}
+	plan, err := NewPlan(m, n, k, p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aL := ColBlocks(m, k, p)
+	bL := ColBlocks(k, n, p)
+	cL := ColBlocks(m, n, p)
+	aLocs := dist.Scatter(a, aL)
+	bLocs := dist.Scatter(bb, bL)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, func(c *Comm) {
+			plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealSquareCA3DMM(b *testing.B) { benchReal(b, CA3DMM, 320, 320, 320, 8) }
+func BenchmarkRealSquareCOSMA(b *testing.B)  { benchReal(b, COSMA, 320, 320, 320, 8) }
+func BenchmarkRealSquareCTF(b *testing.B)    { benchReal(b, C25D, 320, 320, 320, 8) }
+func BenchmarkRealSquareSUMMA(b *testing.B)  { benchReal(b, SUMMA, 320, 320, 320, 8) }
+func BenchmarkRealSquareCARMA(b *testing.B)  { benchReal(b, CARMA, 320, 320, 320, 8) }
+func BenchmarkRealLargeKCA3DMM(b *testing.B) { benchReal(b, CA3DMM, 48, 48, 4800, 8) }
+func BenchmarkRealLargeKCOSMA(b *testing.B)  { benchReal(b, COSMA, 48, 48, 4800, 8) }
+func BenchmarkRealLargeMCA3DMM(b *testing.B) { benchReal(b, CA3DMM, 4800, 48, 48, 8) }
+func BenchmarkRealLargeMCOSMA(b *testing.B)  { benchReal(b, COSMA, 4800, 48, 48, 8) }
+func BenchmarkRealFlatCA3DMM(b *testing.B)   { benchReal(b, CA3DMM, 480, 480, 32, 8) }
+func BenchmarkRealFlatCOSMA(b *testing.B)    { benchReal(b, COSMA, 480, 480, 32, 8) }
+
+// --- Ablations (DESIGN.md section 4) --------------------------------
+
+// BenchmarkAblationCannonVsSUMMA compares the CA3DMM inner kernels
+// (Section III-E: Cannon's latency advantage).
+func BenchmarkAblationCannonVsSUMMA(b *testing.B) {
+	b.Run("cannon", func(b *testing.B) { benchReal(b, CA3DMM, 384, 384, 384, 16) })
+	b.Run("summa", func(b *testing.B) { benchReal(b, CA3DMMSumma, 384, 384, 384, 16) })
+}
+
+// BenchmarkAblationDualBuffer measures the communication/computation
+// overlap in the Cannon stage.
+func BenchmarkAblationDualBuffer(b *testing.B) {
+	run := func(b *testing.B, dual bool) {
+		const m, n, k, p = 384, 384, 384, 16
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		plan, err := NewPlan(m, n, k, p, Config{DualBuffer: dual})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aL, bL, cL := plan.NativeLayouts()
+		aLocs := dist.Scatter(a, aL)
+		bLocs := dist.Scatter(bb, bL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(p, func(c *Comm) {
+				plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	b.Run("off", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationGridConstraint prices constraint (7): the CA3DMM
+// grid vs the unconstrained (COSMA) grid under the cost model.
+func BenchmarkAblationGridConstraint(b *testing.B) {
+	mach := sim.Phoenix()
+	for _, cl := range experiments.PaperClasses() {
+		cl := cl
+		b.Run(cl.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ca, err := sim.Predict(mach, sim.Spec{M: cl.M, N: cl.N, K: cl.K, Ranks: 2048, ThreadsPerRank: 1, Alg: sim.AlgCA3DMM})
+				if err != nil {
+					b.Fatal(err)
+				}
+				co, err := sim.Predict(mach, sim.Spec{M: cl.M, N: cl.N, K: cl.K, Ranks: 2048, ThreadsPerRank: 1, Alg: sim.AlgCOSMA})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(ca.Total/co.Total, "ca3dmm/cosma-time")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiShift measures Cannon's thin-k shift
+// aggregation on a large-K problem.
+func BenchmarkAblationMultiShift(b *testing.B) {
+	run := func(b *testing.B, ms int) {
+		const m, n, k, p = 64, 64, 4096, 16
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		plan, err := NewPlan(m, n, k, p, Config{MultiShift: ms})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aL, bL, cL := plan.NativeLayouts()
+		aLocs := dist.Scatter(a, aL)
+		bLocs := dist.Scatter(bb, bL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(p, func(c *Comm) {
+				plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("x4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkAblationLParam sweeps the utilization bound l of grid
+// constraint (5), reporting the chosen grid's per-process surface
+// (communication volume) relative to the eq. (9) lower bound.
+func BenchmarkAblationLParam(b *testing.B) {
+	for _, lc := range []struct {
+		name string
+		l    float64
+	}{{"l085", 0.85}, {"l095", 0.95}, {"l099", 0.99}} {
+		lc := lc
+		b.Run(lc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := grid.Optimize(50000, 50000, 50000, 3072, grid.Options{LowerUtil: lc.l})
+				if err != nil {
+					b.Fatal(err)
+				}
+				act := g.Procs()
+				ratio := float64(grid.SurfaceCost(50000, 50000, 50000, g)) /
+					(2 * float64(act) * grid.CommLowerBound(50000, 50000, 50000, act))
+				b.ReportMetric(ratio, "Q-ratio")
+				b.ReportMetric(float64(act), "active-procs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGCA measures the road not taken: GCA on the
+// rectangular k-task-group grid vs CA3DMM's allgather + square-Cannon
+// construction (Section III-B's "intermediate layer"), reporting each
+// side's total communication volume.
+func BenchmarkAblationGCA(b *testing.B) {
+	const m, n, k = 64, 64, 64
+	b.Run("gca-2x4", func(b *testing.B) {
+		cfg := gca.Config{Pr: 2, Pc: 4, M: m, K: k, N: n}
+		L := cfg.LCM()
+		mb, kb, nb := m/cfg.Pr, k/L, n/cfg.Pc
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(8, func(c *Comm) {
+				gi, gj := c.Rank()/cfg.Pc, c.Rank()%cfg.Pc
+				aBlocks := map[int]*Matrix{}
+				for _, l := range cfg.AHolding(gi, gj) {
+					aBlocks[l] = a.View(gi*mb, l*kb, mb, kb).Clone()
+				}
+				bBlocks := map[int]*Matrix{}
+				for _, l := range cfg.BHolding(gi, gj) {
+					bBlocks[l] = bb.View(l*kb, gj*nb, kb, nb).Clone()
+				}
+				gca.Multiply(c, aBlocks, bBlocks, cfg)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.TotalBytesSent()), "bytes-moved")
+		}
+	})
+	b.Run("cannon-groups", func(b *testing.B) {
+		plan, err := NewPlan(m, n, k, 8, Config{Grid: Grid{Pm: 2, Pn: 4, Pk: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aL, bL, cL := plan.NativeLayouts()
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		aLocs := dist.Scatter(a, aL)
+		bLocs := dist.Scatter(bb, bL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(8, func(c *Comm) {
+				plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.TotalBytesSent()), "bytes-moved")
+		}
+	})
+}
+
+// BenchmarkAblationReplication measures the paper's Section III-C
+// point: the original 3D algorithm replicates inputs with broadcasts
+// (2βn under the butterfly model) where COSMA uses allgathers (βn).
+// Both run from native layouts; the metric is total bytes moved.
+func BenchmarkAblationReplication(b *testing.B) {
+	const m, n, k, p = 96, 96, 96, 8
+	run := func(b *testing.B, alg Algorithm) {
+		plan, err := NewPlan(m, n, k, p, Config{Algorithm: alg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aL, bL, cL := plan.NativeLayouts()
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		aLocs := dist.Scatter(a, aL)
+		bLocs := dist.Scatter(bb, bL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(p, func(c *Comm) {
+				plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.TotalBytesSent()), "bytes-moved")
+		}
+	}
+	b.Run("3d-broadcast", func(b *testing.B) { run(b, Algo3D) })
+	b.Run("cosma-allgather", func(b *testing.B) { run(b, COSMA) })
+}
+
+// BenchmarkAblationCollectives compares the runtime's allgather
+// algorithms (recursive doubling vs ring) at the message sizes the
+// CA3DMM replication step uses.
+func BenchmarkAblationCollectives(b *testing.B) {
+	const n = 1 << 14
+	run := func(b *testing.B, p int) {
+		payload := make([]float64, n)
+		b.SetBytes(int64(8 * n * p))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(p, func(c *Comm) {
+				c.Allgather(payload)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pow2-recdouble", func(b *testing.B) { run(b, 8) })
+	b.Run("odd-ring", func(b *testing.B) { run(b, 7) })
+}
+
+// BenchmarkLocalGemm is the single-rank compute baseline.
+func BenchmarkLocalGemm(b *testing.B) {
+	a := mat.Random(384, 384, 1)
+	bb := mat.Random(384, 384, 2)
+	c := mat.New(384, 384)
+	b.SetBytes(int64(8 * 3 * 384 * 384))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Gemm(mat.NoTrans, mat.NoTrans, 1, a, bb, 0, c)
+	}
+}

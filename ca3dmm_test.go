@@ -1,0 +1,208 @@
+package ca3dmm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestMultiplyAllAlgorithms(t *testing.T) {
+	a := Random(33, 27, 1)
+	b := Random(27, 21, 2)
+	want := GemmRef(a, b, false, false)
+	for _, alg := range Algorithms() {
+		p := 6
+		if alg == CARMA {
+			p = 8 // power-of-two restriction
+		}
+		got, rep, st, err := Multiply(a, b, p, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%s: diff %v", alg, d)
+		}
+		if rep == nil || len(rep.Ranks) != p {
+			t.Fatalf("%s: bad report", alg)
+		}
+		if st.Total <= 0 {
+			t.Fatalf("%s: no stage times", alg)
+		}
+	}
+}
+
+func TestMultiplyTransposes(t *testing.T) {
+	a := Random(20, 30, 3) // stored k x m for TransA
+	b := Random(25, 20, 4) // stored n x k for TransB
+	got, _, _, err := Multiply(a, b, 5, Config{TransA: true, TransB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GemmRef(a, b, true, true)
+	if d := MaxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	if _, _, _, err := Multiply(Random(4, 5, 1), Random(6, 4, 2), 2, Config{}); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := NewPlan(4, 4, 4, 2, Config{Algorithm: "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPlanMetadata(t *testing.T) {
+	pl, err := NewPlan(32, 64, 16, 8, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, pn, pk := pl.GridDims()
+	if pm != 2 || pn != 4 || pk != 1 {
+		t.Fatalf("grid %dx%dx%d, want 2x4x1 (paper Example 1)", pm, pn, pk)
+	}
+	if pl.ActiveProcs() != 8 {
+		t.Fatalf("active %d", pl.ActiveProcs())
+	}
+	aL, bL, cL := pl.NativeLayouts()
+	for name, l := range map[string]Layout{"A": aL, "B": bL, "C": cL} {
+		if err := dist.Validate(l); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNativeLayoutsSkipRedistribution(t *testing.T) {
+	// Feeding Execute the native layouts is the "matmul only" mode;
+	// the result must still be correct.
+	const m, n, k, p = 24, 24, 24, 8
+	pl, err := NewPlan(m, n, k, p, Config{DualBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Random(m, k, 7)
+	b := Random(k, n, 8)
+	aL, bL, cL := pl.NativeLayouts()
+	aLocs := dist.Scatter(a, aL)
+	bLocs := dist.Scatter(b, bL)
+	outs := make([]*Matrix, p)
+	var mu sync.Mutex
+	_, err = Run(p, func(c *Comm) {
+		out, _ := pl.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+		mu.Lock()
+		outs[c.Rank()] = out
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dist.Assemble(outs, cL)
+	if d := MaxAbsDiff(got, GemmRef(a, b, false, false)); d > 1e-10 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestLayoutConstructors(t *testing.T) {
+	for name, l := range map[string]Layout{
+		"row":    RowBlocks(10, 8, 3),
+		"col":    ColBlocks(10, 8, 3),
+		"2d":     Blocks2D(10, 8, 2, 2, 4),
+		"cyclic": BlockCyclic(10, 8, 2, 2, 3, 3),
+	} {
+		if err := dist.Validate(l); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSUMMAWithIdleRanks(t *testing.T) {
+	// SUMMA on a prime rank count uses pr*pc < p and leaves idle ranks.
+	a := Random(18, 12, 9)
+	b := Random(12, 14, 10)
+	got, _, _, err := Multiply(a, b, 7, Config{Algorithm: SUMMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, GemmRef(a, b, false, false)); d > 1e-10 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestForcedGridThroughConfig(t *testing.T) {
+	a := Random(24, 24, 11)
+	b := Random(24, 24, 12)
+	got, _, _, err := Multiply(a, b, 12, Config{Grid: Grid{Pm: 2, Pn: 2, Pk: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, GemmRef(a, b, false, false)); d > 1e-10 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestPlanMetadataAllAlgorithms(t *testing.T) {
+	// Grid dims, active counts, and native layouts must be coherent
+	// for every algorithm.
+	for _, alg := range Algorithms() {
+		p := 8
+		pl, err := NewPlan(24, 24, 24, p, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		pm, pn, pk := pl.GridDims()
+		if pm < 1 || pn < 1 || pk < 1 {
+			t.Fatalf("%s: bad grid %d,%d,%d", alg, pm, pn, pk)
+		}
+		if act := pl.ActiveProcs(); act < 1 || act > p {
+			t.Fatalf("%s: active %d", alg, act)
+		}
+		aL, bL, cL := pl.NativeLayouts()
+		for name, l := range map[string]Layout{"A": aL, "B": bL, "C": cL} {
+			if err := dist.Validate(l); err != nil {
+				t.Fatalf("%s %s layout: %v", alg, name, err)
+			}
+		}
+	}
+}
+
+func TestFreivaldsFacade(t *testing.T) {
+	a := Random(20, 30, 1)
+	b := Random(30, 25, 2)
+	c, _, _, err := Multiply(a, b, 5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Freivalds(a, b, c, false, false, 15, 7) {
+		t.Fatal("rejected a correct distributed product")
+	}
+	c.Set(3, 4, c.At(3, 4)+1)
+	if Freivalds(a, b, c, false, false, 20, 7) {
+		t.Fatal("accepted a corrupted product")
+	}
+	// Transposed path through the facade.
+	at := Random(30, 20, 3)
+	ct, _, _, err := Multiply(at, b, 5, Config{TransA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Freivalds(at, b, ct, true, false, 15, 9) {
+		t.Fatal("rejected a correct transposed product")
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	rec := NewTraceRecorder()
+	a := Random(24, 24, 5)
+	b := Random(24, 24, 6)
+	if _, _, _, err := Multiply(a, b, 6, Config{Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("no spans recorded through the facade")
+	}
+}

@@ -1,0 +1,104 @@
+// gridplan prints the process grid each algorithm would choose for a
+// problem, with the analytic communication and memory figures of the
+// paper's Section III-D: the per-process volume lower bound Q (eq. 9),
+// the achieved volume ratio, the latency model L (eq. 10), and the
+// memory model S (eq. 11).
+//
+// Usage: gridplan -m 50000 -n 50000 -k 50000 -p 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	ca3dmm "repro"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dist"
+	"repro/internal/grid"
+)
+
+func main() {
+	m := flag.Int("m", 50000, "rows of C")
+	n := flag.Int("n", 50000, "columns of C")
+	k := flag.Int("k", 50000, "inner dimension")
+	p := flag.Int("p", 2048, "number of processes")
+	sweep := flag.Bool("sweep", false, "also print a strong-scaling sweep of grids and analytics")
+	showLayout := flag.Bool("layout", false, "render the CA3DMM native layouts (small problems only)")
+	flag.Parse()
+
+	fmt.Printf("Problem: C(%dx%d) = A(%dx%d) * B(%dx%d) on P = %d\n\n",
+		*m, *n, *m, *k, *k, *n, *p)
+
+	q := costmodel.QLowerBound(*m, *n, *k, *p)
+	fmt.Printf("Per-process comm volume lower bound Q = %.4g elements (eq. 9)\n\n", q)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tgrid (pm,pn,pk)\tactive\tQ ratio\tlatency L\tmem/proc MB")
+	for _, alg := range ca3dmm.Algorithms() {
+		if alg == ca3dmm.CARMA && *p&(*p-1) != 0 {
+			fmt.Fprintf(w, "%s\t(needs power-of-two P)\t-\t-\t-\t-\n", alg)
+			continue
+		}
+		plan, err := ca3dmm.NewPlan(*m, *n, *k, *p, ca3dmm.Config{Algorithm: alg})
+		if err != nil {
+			fmt.Fprintf(w, "%s\t(%v)\t-\t-\t-\t-\n", alg, err)
+			continue
+		}
+		pm, pn, pk := plan.GridDims()
+		g := grid.Grid{Pm: pm, Pn: pn, Pk: pk}
+		act := plan.ActiveProcs()
+		ratio := float64(grid.SurfaceCost(*m, *n, *k, g)) /
+			(2 * float64(act) * costmodel.QLowerBound(*m, *n, *k, act))
+		lat := "-"
+		mem := "-"
+		if alg == ca3dmm.CA3DMM {
+			cpl, err := core.NewPlan(*m, *n, *k, *p, false, false, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat = fmt.Sprintf("%.0f", costmodel.CA3DMMLatency(cpl.Crep, cpl.S, pk))
+			mem = fmt.Sprintf("%.0f", cpl.MemoryModel()*8/1e6)
+		}
+		fmt.Fprintf(w, "%s\t%d,%d,%d\t%d/%d\t%.3f\t%s\t%s\n", alg, pm, pn, pk, act, *p, ratio, lat, mem)
+	}
+	w.Flush()
+
+	fmt.Println("\nQ ratio = total surface (eq. 4) / (2 * active * Q); 1.000 is the lower bound.")
+
+	if *sweep {
+		fmt.Println("\nStrong-scaling sweep (CA3DMM):")
+		fmt.Printf("%8s %16s %10s %10s %12s\n", "P", "grid", "active", "Q ratio", "mem MB/proc")
+		for pp := *p / 16; pp <= *p; pp *= 2 {
+			if pp < 1 {
+				continue
+			}
+			cpl, err := core.NewPlan(*m, *n, *k, pp, false, false, core.Options{})
+			if err != nil {
+				fmt.Printf("%8d (%v)\n", pp, err)
+				continue
+			}
+			act := cpl.ActiveProcs()
+			ratio := float64(grid.SurfaceCost(*m, *n, *k, cpl.G)) /
+				(2 * float64(act) * costmodel.QLowerBound(*m, *n, *k, act))
+			fmt.Printf("%8d %16s %10d %10.3f %12.0f\n",
+				pp, fmt.Sprintf("%d,%d,%d", cpl.G.Pm, cpl.G.Pn, cpl.G.Pk), act, ratio, cpl.MemoryModel()*8/1e6)
+		}
+	}
+
+	if *showLayout {
+		cpl, err := core.NewPlan(*m, *n, *k, *p, false, false, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nNative op(A) layout:")
+		fmt.Print(dist.Render(cpl.ALayout, 48))
+		fmt.Println("\nNative op(B) layout:")
+		fmt.Print(dist.Render(cpl.BLayout, 48))
+		fmt.Println("\nNative C layout (before user redistribution):")
+		fmt.Print(dist.Render(cpl.CLayout, 48))
+	}
+}

@@ -1,0 +1,59 @@
+// pgemm-bench regenerates the tables and figures of the CA3DMM
+// paper's evaluation. Paper-scale rows come from the cluster cost
+// model driving the real planners; the -real experiments execute the
+// actual algorithms on goroutine ranks at laptop scale.
+//
+// Usage:
+//
+//	pgemm-bench -exp fig3|fig4|fig5|table1|table2|table3|lsweep|all
+//	pgemm-bench -exp real|realmem|realgrid [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid")
+	procs := flag.Int("procs", 16, "rank count for -exp real")
+	flag.Parse()
+
+	mach := sim.Phoenix()
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("fig3", func() error { return experiments.Fig3(w, mach) })
+	run("fig4", func() error { return experiments.Fig4(w, mach) })
+	run("fig5", func() error { return experiments.Fig5(w, mach) })
+	run("table1", func() error { return experiments.Table1(w, mach) })
+	run("table2", func() error { return experiments.Table2(w, mach) })
+	run("table3", func() error { return experiments.Table3(w, mach) })
+	run("lsweep", func() error { return experiments.LSweep(w) })
+	run("sensitivity", func() error { return experiments.Sensitivity(w) })
+	run("weak", func() error { return experiments.WeakScaling(w, mach) })
+	// Real executions are opt-in (not part of "all") since they take
+	// longer than the modeled tables.
+	if *exp == "real" {
+		run("real", func() error { return experiments.RealScaled(w, *procs) })
+	}
+	if *exp == "realmem" {
+		run("realmem", func() error { return experiments.RealMemoryTable(w) })
+	}
+	if *exp == "realgrid" {
+		run("realgrid", func() error { return experiments.RealGridSweep(w) })
+	}
+}

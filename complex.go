@@ -1,0 +1,163 @@
+package ca3dmm
+
+// Complex matrix multiplication composed from real PGEMMs. The paper
+// notes its conclusions "can be applied to complex matrix
+// multiplication"; this file realizes that: a complex product is three
+// real distributed products via Karatsuba's 3M scheme, each executed
+// by any of the library's algorithms, so every communication-cost
+// property carries over with a constant-factor flop change.
+
+import "fmt"
+
+// ComplexMatrix is a dense row-major complex128 matrix stored as
+// separate real and imaginary parts (the layout that lets the real
+// PGEMM stack run unchanged).
+type ComplexMatrix struct {
+	Re, Im *Matrix
+}
+
+// NewComplexMatrix returns a zeroed r x c complex matrix.
+func NewComplexMatrix(r, c int) *ComplexMatrix {
+	return &ComplexMatrix{Re: NewMatrix(r, c), Im: NewMatrix(r, c)}
+}
+
+// RandomComplex returns an r x c complex matrix with real and
+// imaginary parts uniform in [-1, 1).
+func RandomComplex(r, c int, seed uint64) *ComplexMatrix {
+	return &ComplexMatrix{Re: Random(r, c, seed), Im: Random(r, c, seed+0x9e3779b97f4a7c15)}
+}
+
+// Rows returns the row count.
+func (m *ComplexMatrix) Rows() int { return m.Re.Rows }
+
+// Cols returns the column count.
+func (m *ComplexMatrix) Cols() int { return m.Re.Cols }
+
+// At returns element (i, j).
+func (m *ComplexMatrix) At(i, j int) complex128 {
+	return complex(m.Re.At(i, j), m.Im.At(i, j))
+}
+
+// Set assigns element (i, j).
+func (m *ComplexMatrix) Set(i, j int, v complex128) {
+	m.Re.Set(i, j, real(v))
+	m.Im.Set(i, j, imag(v))
+}
+
+// MultiplyComplex computes C = A·B for complex matrices on p simulated
+// ranks using Karatsuba's 3M scheme:
+//
+//	T1 = Ar·Br, T2 = Ai·Bi, T3 = (Ar+Ai)·(Br+Bi)
+//	Cr = T1 − T2, Ci = T3 − T1 − T2
+//
+// Three real distributed multiplications instead of four; each runs
+// under cfg (algorithm, grid, kernel options). Transpose flags request
+// op(X) = X^T (not the conjugate transpose; conjugate explicitly if
+// needed).
+func MultiplyComplex(a, b *ComplexMatrix, p int, cfg Config) (*ComplexMatrix, error) {
+	if a.Re.Rows != a.Im.Rows || a.Re.Cols != a.Im.Cols ||
+		b.Re.Rows != b.Im.Rows || b.Re.Cols != b.Im.Cols {
+		return nil, fmt.Errorf("ca3dmm: complex operand parts have mismatched shapes")
+	}
+
+	sumA := a.Re.Clone()
+	sumA.Add(a.Im)
+	sumB := b.Re.Clone()
+	sumB.Add(b.Im)
+
+	t1, _, _, err := Multiply(a.Re, b.Re, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, _, _, err := Multiply(a.Im, b.Im, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t3, _, _, err := Multiply(sumA, sumB, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ComplexMatrix{Re: t1.Clone(), Im: t3}
+	for i := range out.Re.Data {
+		out.Re.Data[i] = t1.Data[i] - t2.Data[i]
+		out.Im.Data[i] = t3.Data[i] - t1.Data[i] - t2.Data[i]
+	}
+	return out, nil
+}
+
+// GemmRefComplex is the serial complex reference for validation.
+func GemmRefComplex(a, b *ComplexMatrix, transA, transB bool) *ComplexMatrix {
+	ar, ac := a.Rows(), a.Cols()
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows(), b.Cols()
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic(fmt.Sprintf("ca3dmm: complex ref inner dims %d vs %d", ac, br))
+	}
+	at := func(i, l int) complex128 {
+		if transA {
+			return a.At(l, i)
+		}
+		return a.At(i, l)
+	}
+	bt := func(l, j int) complex128 {
+		if transB {
+			return b.At(j, l)
+		}
+		return b.At(l, j)
+	}
+	out := NewComplexMatrix(ar, bc)
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s complex128
+			for l := 0; l < ac; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// MaxAbsDiffComplex returns the largest |a(i,j) - b(i,j)| (complex
+// modulus) between equally-shaped complex matrices.
+func MaxAbsDiffComplex(a, b *ComplexMatrix) float64 {
+	dr := MaxAbsDiff(a.Re, b.Re)
+	di := MaxAbsDiff(a.Im, b.Im)
+	if di > dr {
+		return di
+	}
+	return dr
+}
+
+// MultiplyInto is the BLAS-complete form C = alpha·op(A)·op(B) +
+// beta·Cin on p simulated ranks: the distributed product is computed
+// under cfg and the scaling/accumulation applied to the gathered
+// result. Cin may be nil when beta is zero.
+func MultiplyInto(alpha float64, a, b *Matrix, beta float64, cin *Matrix, p int, cfg Config) (*Matrix, error) {
+	prod, _, _, err := Multiply(a, b, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if beta == 0 {
+		if alpha != 1 {
+			prod.Scale(alpha)
+		}
+		return prod, nil
+	}
+	if cin == nil || cin.Rows != prod.Rows || cin.Cols != prod.Cols {
+		return nil, fmt.Errorf("ca3dmm: MultiplyInto needs a %dx%d Cin for beta != 0", prod.Rows, prod.Cols)
+	}
+	out := cin.Clone()
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			out.Set(i, j, alpha*prod.At(i, j)+beta*out.At(i, j))
+		}
+	}
+	return out, nil
+}

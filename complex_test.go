@@ -1,0 +1,123 @@
+package ca3dmm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplyComplexSmall(t *testing.T) {
+	a := RandomComplex(20, 30, 1)
+	b := RandomComplex(30, 25, 2)
+	got, err := MultiplyComplex(a, b, 6, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GemmRefComplex(a, b, false, false)
+	if d := MaxAbsDiffComplex(got, want); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestMultiplyComplexKnownValues(t *testing.T) {
+	// (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i, as a 1x1x1 product.
+	a := NewComplexMatrix(1, 1)
+	a.Set(0, 0, complex(1, 2))
+	b := NewComplexMatrix(1, 1)
+	b.Set(0, 0, complex(3, 4))
+	got, err := MultiplyComplex(a, b, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.At(0, 0); v != complex(-5, 10) {
+		t.Fatalf("got %v, want (-5+10i)", v)
+	}
+}
+
+func TestMultiplyComplexAlgorithms(t *testing.T) {
+	a := RandomComplex(16, 24, 3)
+	b := RandomComplex(24, 12, 4)
+	want := GemmRefComplex(a, b, false, false)
+	for _, alg := range []Algorithm{CA3DMM, COSMA, SUMMA} {
+		got, err := MultiplyComplex(a, b, 4, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d := MaxAbsDiffComplex(got, want); d > 1e-9 {
+			t.Fatalf("%s: diff %v", alg, d)
+		}
+	}
+}
+
+func TestMultiplyComplexShapeError(t *testing.T) {
+	a := &ComplexMatrix{Re: NewMatrix(2, 2), Im: NewMatrix(2, 3)}
+	if _, err := MultiplyComplex(a, RandomComplex(2, 2, 1), 2, Config{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMultiplyComplexProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			return 1 + int(r>>33)%n
+		}
+		m, k, n := next(20), next(20), next(20)
+		p := next(8)
+		a := RandomComplex(m, k, seed+1)
+		b := RandomComplex(k, n, seed+2)
+		got, err := MultiplyComplex(a, b, p, Config{})
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiffComplex(got, GemmRefComplex(a, b, false, false)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyInto(t *testing.T) {
+	a := Random(12, 15, 1)
+	b := Random(15, 10, 2)
+	cin := Random(12, 10, 3)
+	got, err := MultiplyInto(2.5, a, b, -0.5, cin, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := GemmRef(a, b, false, false)
+	want := NewMatrix(12, 10)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			want.Set(i, j, 2.5*prod.At(i, j)-0.5*cin.At(i, j))
+		}
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestMultiplyIntoBetaZero(t *testing.T) {
+	a := Random(8, 8, 4)
+	b := Random(8, 8, 5)
+	got, err := MultiplyInto(3, a, b, 0, nil, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GemmRef(a, b, false, false)
+	want.Scale(3)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestMultiplyIntoMissingCin(t *testing.T) {
+	a := Random(4, 4, 6)
+	b := Random(4, 4, 7)
+	if _, err := MultiplyInto(1, a, b, 1, nil, 2, Config{}); err == nil {
+		t.Fatal("expected error for beta != 0 with nil Cin")
+	}
+	if _, err := MultiplyInto(1, a, b, 1, NewMatrix(3, 4), 2, Config{}); err == nil {
+		t.Fatal("expected error for mismatched Cin")
+	}
+}

@@ -1,0 +1,249 @@
+package ca3dmm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algo1d"
+	"repro/internal/algo3d"
+	"repro/internal/c25d"
+	"repro/internal/carma"
+	"repro/internal/core"
+	"repro/internal/cosma"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/summa"
+)
+
+// This file adapts each internal planner to the executor interface of
+// the public Plan type, mapping per-algorithm stage timings into the
+// common StageTimes vocabulary.
+
+type coreExec struct{ p *core.Plan }
+
+func (e coreExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Allgather + tm.CannonComm,
+		LocalCompute: tm.CannonComp,
+		ReduceC:      tm.ReduceScatter,
+		Total:        tm.Total,
+		MatmulOnly:   tm.MatmulOnly(),
+	}
+}
+
+func (e coreExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e coreExec) gridDims() (int, int, int) { return e.p.G.Pm, e.p.G.Pn, e.p.G.Pk }
+func (e coreExec) activeProcs() int          { return e.p.ActiveProcs() }
+
+type cosmaExec struct{ p *cosma.Plan }
+
+func (e cosmaExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Replicate,
+		LocalCompute: tm.Compute,
+		ReduceC:      tm.Reduce,
+		Total:        tm.Total,
+		MatmulOnly:   tm.Total - tm.Redistribute,
+	}
+}
+
+func (e cosmaExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e cosmaExec) gridDims() (int, int, int) { return e.p.G.Pm, e.p.G.Pn, e.p.G.Pk }
+func (e cosmaExec) activeProcs() int          { return e.p.ActiveProcs() }
+
+type carmaExec struct{ p *carma.Plan }
+
+func (e carmaExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Replicate,
+		LocalCompute: tm.Compute,
+		ReduceC:      tm.Reduce,
+		Total:        tm.Total,
+		MatmulOnly:   tm.Total - tm.Redistribute,
+	}
+}
+
+func (e carmaExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e carmaExec) gridDims() (int, int, int) {
+	pm, pn, pk := 1, 1, 1
+	for _, d := range e.p.Splits {
+		switch d {
+		case carma.DimM:
+			pm *= 2
+		case carma.DimN:
+			pn *= 2
+		case carma.DimK:
+			pk *= 2
+		}
+	}
+	return pm, pn, pk
+}
+
+func (e carmaExec) activeProcs() int { return e.p.P }
+
+type c25dExec struct{ p *c25d.Plan }
+
+func (e c25dExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Spread + tm.SummaComm,
+		LocalCompute: tm.Compute,
+		ReduceC:      tm.Reduce,
+		Total:        tm.Total,
+		MatmulOnly:   tm.Total - tm.Redistribute,
+	}
+}
+
+func (e c25dExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e c25dExec) gridDims() (int, int, int) { return e.p.Side, e.p.Side, e.p.Layers }
+func (e c25dExec) activeProcs() int          { return e.p.ActiveProcs() }
+
+type algo1dExec struct{ p *algo1d.Plan }
+
+func (e algo1dExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Replicate,
+		LocalCompute: tm.Compute,
+		ReduceC:      tm.Reduce,
+		Total:        tm.Total,
+		MatmulOnly:   tm.Total - tm.Redistribute,
+	}
+}
+
+func (e algo1dExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e algo1dExec) gridDims() (int, int, int) {
+	switch e.p.V {
+	case algo1d.SplitM:
+		return e.p.P, 1, 1
+	case algo1d.SplitN:
+		return 1, e.p.P, 1
+	default:
+		return 1, 1, e.p.P
+	}
+}
+
+func (e algo1dExec) activeProcs() int { return e.p.P }
+
+type algo3dExec struct{ p *algo3d.Plan }
+
+func (e algo3dExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	out, tm := e.p.Execute(c, aLocal, aL, bLocal, bL, cL)
+	return out, StageTimes{
+		Redistribute: tm.Redistribute,
+		ReplicateAB:  tm.Broadcast,
+		LocalCompute: tm.Compute,
+		ReduceC:      tm.Reduce,
+		Total:        tm.Total,
+		MatmulOnly:   tm.Total - tm.Redistribute,
+	}
+}
+
+func (e algo3dExec) native() (Layout, Layout, Layout) {
+	return e.p.ALayout, e.p.BLayout, e.p.CLayout
+}
+
+func (e algo3dExec) gridDims() (int, int, int) { return e.p.G.Pm, e.p.G.Pn, e.p.G.Pk }
+func (e algo3dExec) activeProcs() int          { return e.p.G.Procs() }
+
+// summaExec runs the plain 2D SUMMA baseline over the full world:
+// redistribute into 2D blocks, SUMMA, redistribute out.
+type summaExec struct {
+	cfg                       summa.Config
+	p                         int
+	transA, transB            bool
+	aLayout, bLayout, cLayout *dist.Explicit
+}
+
+func newSummaExec(m, n, k, p int, cfg Config) (summaExec, error) {
+	pr, pc, err := grid.Optimize2D(m, n, k, p)
+	if err != nil {
+		return summaExec{}, err
+	}
+	sc := summa.Config{Pr: pr, Pc: pc, M: m, K: k, N: n, Panel: cfg.SUMMAPanel}
+	e := summaExec{cfg: sc, p: p, transA: cfg.TransA, transB: cfg.TransB}
+	e.aLayout = dist.NewExplicit(m, k, p)
+	e.bLayout = dist.NewExplicit(k, n, p)
+	e.cLayout = dist.NewExplicit(m, n, p)
+	for r := 0; r < pr*pc; r++ {
+		row, col := r/pc, r%pc
+		ar0, ac0, arows, acols := sc.ABlock(row, col)
+		e.aLayout.SetBlock(r, ar0, ac0, arows, acols)
+		br0, bc0, brows, bcols := sc.BBlock(row, col)
+		e.bLayout.SetBlock(r, br0, bc0, brows, bcols)
+		cr0, cc0, crows, ccols := sc.CBlock(row, col)
+		e.cLayout.SetBlock(r, cr0, cc0, crows, ccols)
+	}
+	return e, nil
+}
+
+func (e summaExec) execute(c *Comm, aLocal *Matrix, aL Layout, bLocal *Matrix, bL Layout, cL Layout) (*Matrix, StageTimes) {
+	if c.Size() != e.p {
+		panic(fmt.Sprintf("summa: communicator size %d != plan size %d", c.Size(), e.p))
+	}
+	var st StageTimes
+	t0 := time.Now()
+	tr := time.Now()
+	aNat := dist.RedistributeOp(c, aL, aLocal, e.aLayout, e.transA)
+	bNat := dist.RedistributeOp(c, bL, bLocal, e.bLayout, e.transB)
+	st.Redistribute += time.Since(tr)
+
+	active := c.Rank() < e.cfg.Pr*e.cfg.Pc
+	color := mpi.Undefined
+	if active {
+		color = 0
+	}
+	gridComm := c.Split(color, c.Rank())
+	var cNat *Matrix
+	if active {
+		var tm summa.Timings
+		cNat, tm = summaMultiply(gridComm, aNat, bNat, e.cfg)
+		st.ReplicateAB += tm.Comm
+		st.LocalCompute += tm.Compute
+	} else {
+		cr, cc := e.cLayout.LocalShape(c.Rank())
+		cNat = mat.New(cr, cc)
+	}
+
+	tr = time.Now()
+	out := dist.Redistribute(c, e.cLayout, cNat, cL)
+	st.Redistribute += time.Since(tr)
+	st.Total = time.Since(t0)
+	st.MatmulOnly = st.Total - st.Redistribute
+	return out, st
+}
+
+// summaMultiply is split out for clarity (and to keep the adapter
+// symmetric with the other executors).
+func summaMultiply(c *Comm, a, b *Matrix, cfg summa.Config) (*Matrix, summa.Timings) {
+	return summa.Multiply(c, a, b, cfg)
+}
+
+func (e summaExec) native() (Layout, Layout, Layout) { return e.aLayout, e.bLayout, e.cLayout }
+func (e summaExec) gridDims() (int, int, int)        { return e.cfg.Pr, e.cfg.Pc, 1 }
+func (e summaExec) activeProcs() int                 { return e.cfg.Pr * e.cfg.Pc }

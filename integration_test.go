@@ -1,0 +1,155 @@
+package ca3dmm
+
+// Cross-algorithm integration tests: every implemented PGEMM algorithm
+// must produce the identical matrix on the same inputs, and the
+// communication statistics must respect the orderings the paper's
+// analysis predicts.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// multiplyWith runs one algorithm end to end and returns C plus the
+// run report.
+func multiplyWith(t testing.TB, alg Algorithm, a, b *Matrix, p int, cfg Config) (*Matrix, int64) {
+	t.Helper()
+	cfg.Algorithm = alg
+	got, rep, _, err := Multiply(a, b, p, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	return got, rep.TotalBytesSent()
+}
+
+func TestAllAlgorithmsAgreePairwise(t *testing.T) {
+	shapes := []struct{ m, n, k, p int }{
+		{40, 40, 40, 8},
+		{12, 12, 160, 8},
+		{160, 12, 12, 8},
+		{64, 64, 8, 8},
+		{23, 31, 17, 8},
+	}
+	for _, sh := range shapes {
+		a := Random(sh.m, sh.k, uint64(sh.m))
+		b := Random(sh.k, sh.n, uint64(sh.n))
+		results := map[Algorithm]*Matrix{}
+		for _, alg := range Algorithms() {
+			got, _ := multiplyWith(t, alg, a, b, sh.p, Config{})
+			results[alg] = got
+		}
+		base := results[CA3DMM]
+		for alg, got := range results {
+			if d := MaxAbsDiff(base, got); d > 1e-9 {
+				t.Fatalf("shape %+v: %s differs from ca3dmm by %v", sh, alg, d)
+			}
+		}
+	}
+}
+
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			return int(r>>33) % n
+		}
+		m := 1 + next(30)
+		n := 1 + next(30)
+		k := 1 + next(30)
+		p := 1 << next(4) // power of two so CARMA participates
+		a := Random(m, k, seed+1)
+		b := Random(k, n, seed+2)
+		base, _ := multiplyWith(t, CA3DMM, a, b, p, Config{})
+		for _, alg := range []Algorithm{COSMA, CARMA, C25D, SUMMA, Algo1D} {
+			got, _ := multiplyWith(t, alg, a, b, p, Config{})
+			if MaxAbsDiff(base, got) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommVolumeOrderings(t *testing.T) {
+	// Use native layouts so redistribution traffic does not blur the
+	// algorithmic volumes.
+	run := func(alg Algorithm, m, n, k, p int) int64 {
+		plan, err := NewPlan(m, n, k, p, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		aL, bL, cL := plan.NativeLayouts()
+		a := Random(m, k, 1)
+		b := Random(k, n, 2)
+		aLocs := dist.Scatter(a, aL)
+		bLocs := dist.Scatter(b, bL)
+		rep, err := Run(p, func(c *Comm) {
+			plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		return rep.TotalBytesSent()
+	}
+
+	// Square problem: the 3D algorithms (CA3DMM, COSMA) must move less
+	// data than the 2D algorithm (SUMMA broadcasts every panel to the
+	// whole row/column). The O(N^2/P^{2/3}) vs O(N^2/P^{1/2}) gap
+	// needs a reasonably large P to dominate Cannon's skew constant.
+	const m, n, k, p = 256, 256, 256, 64
+	ca := run(CA3DMM, m, n, k, p)
+	co := run(COSMA, m, n, k, p)
+	su := run(SUMMA, m, n, k, p)
+	if ca > su || co > su {
+		t.Fatalf("3D volume should not exceed 2D: ca3dmm %d, cosma %d, summa %d", ca, co, su)
+	}
+
+	// Tall-and-skinny: CA3DMM (which degenerates to the 1D algorithm)
+	// must move no more than a small multiple of the dedicated 1D
+	// algorithm's volume.
+	caK := run(CA3DMM, 16, 16, 2048, 8)
+	d1K := run(Algo1D, 16, 16, 2048, 8)
+	if caK > 3*d1K {
+		t.Fatalf("large-K: CA3DMM volume %d vs 1D %d", caK, d1K)
+	}
+}
+
+func TestMemoryControlThroughFacade(t *testing.T) {
+	base, err := NewPlan(64, 64, 2048, 16, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, basePk := base.GridDims()
+	capped, err := NewPlan(64, 64, 2048, 16, Config{MaxPk: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cappedPk := capped.GridDims()
+	if basePk <= 2 || cappedPk > 2 {
+		t.Fatalf("MaxPk not honored: base pk %d, capped pk %d", basePk, cappedPk)
+	}
+	a := Random(64, 2048, 1)
+	b := Random(2048, 64, 2)
+	got, _ := multiplyWith(t, CA3DMM, a, b, 16, Config{MaxPk: 2})
+	if d := MaxAbsDiff(got, GemmRef(a, b, false, false)); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestRepeatedExecutionsDeterministic(t *testing.T) {
+	a := Random(30, 30, 1)
+	b := Random(30, 30, 2)
+	first, _ := multiplyWith(t, CA3DMM, a, b, 6, Config{DualBuffer: true})
+	for i := 0; i < 3; i++ {
+		again, _ := multiplyWith(t, CA3DMM, a, b, 6, Config{DualBuffer: true})
+		if MaxAbsDiff(first, again) != 0 {
+			t.Fatal("same inputs must give bitwise-identical results")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package algo1d implements the classical 1D parallel matrix
+// multiplication algorithms of the paper's Section II: partition only
+// the m-, n-, or k-dimension.
+//
+//   - SplitM: A and C are row-partitioned; B is replicated (allgather).
+//   - SplitN: B and C are column-partitioned; A is replicated.
+//   - SplitK: A is column- and B is row-partitioned; every rank
+//     computes a full partial C and a reduce-scatter sums them.
+//
+// "Matrix multiplications involving tall-and-skinny matrices usually
+// use 1D algorithms" — these are the optimal algorithms CA3DMM's
+// unified view degenerates to, and the package exists so tests and
+// benchmarks can verify that claim (CA3DMM's communication volume and
+// pattern match the best 1D variant on degenerate shapes).
+package algo1d
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Variant selects the partitioned dimension.
+type Variant int
+
+// Variants.
+const (
+	// Auto picks the variant with the least replicated/reduced data.
+	Auto Variant = iota
+	// SplitM partitions rows of A and C; B is replicated.
+	SplitM
+	// SplitN partitions columns of B and C; A is replicated.
+	SplitN
+	// SplitK partitions the inner dimension; C is reduced.
+	SplitK
+)
+
+func (v Variant) String() string {
+	return [...]string{"auto", "1d-m", "1d-n", "1d-k"}[v]
+}
+
+// Choose returns the cheapest variant for the given shape: the
+// replicated matrix (or reduced C) is the communication volume, so
+// pick the smallest of kn (SplitM), mk (SplitN), and mn (SplitK).
+func Choose(m, n, k int) Variant {
+	kn := int64(k) * int64(n)
+	mk := int64(m) * int64(k)
+	mn := int64(m) * int64(n)
+	switch {
+	case kn <= mk && kn <= mn:
+		return SplitM
+	case mk <= mn:
+		return SplitN
+	default:
+		return SplitK
+	}
+}
+
+// Plan is a 1D multiplication plan.
+type Plan struct {
+	M, N, K        int
+	TransA, TransB bool
+	P              int
+	V              Variant
+
+	ALayout, BLayout, CLayout *dist.Explicit
+}
+
+// Timings is the per-rank stage breakdown.
+type Timings struct {
+	Redistribute time.Duration
+	Replicate    time.Duration
+	Compute      time.Duration
+	Reduce       time.Duration
+	Total        time.Duration
+}
+
+// NewPlan builds a 1D plan. v = Auto selects the cheapest variant.
+func NewPlan(m, n, k, p int, transA, transB bool, v Variant) (*Plan, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("algo1d: invalid dimensions %dx%dx%d", m, k, n)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("algo1d: invalid process count %d", p)
+	}
+	if v == Auto {
+		v = Choose(m, n, k)
+	}
+	pl := &Plan{M: m, N: n, K: k, P: p, V: v, TransA: transA, TransB: transB}
+	pl.buildLayouts()
+	return pl, nil
+}
+
+// buildLayouts: exactly one copy of each input initially; the
+// replicated matrix starts partitioned along the k dimension so the
+// allgather is balanced.
+func (p *Plan) buildLayouts() {
+	p.ALayout = dist.NewExplicit(p.M, p.K, p.P)
+	p.BLayout = dist.NewExplicit(p.K, p.N, p.P)
+	p.CLayout = dist.NewExplicit(p.M, p.N, p.P)
+	for r := 0; r < p.P; r++ {
+		switch p.V {
+		case SplitM:
+			m0, m1 := dist.BlockRange(p.M, p.P, r)
+			p.ALayout.SetBlock(r, m0, 0, m1-m0, widthIf(p.K, m1-m0))
+			k0, k1 := dist.BlockRange(p.K, p.P, r)
+			p.BLayout.SetBlock(r, k0, 0, k1-k0, widthIf(p.N, k1-k0))
+			p.CLayout.SetBlock(r, m0, 0, m1-m0, widthIf(p.N, m1-m0))
+		case SplitN:
+			k0, k1 := dist.BlockRange(p.K, p.P, r)
+			p.ALayout.SetBlock(r, 0, k0, heightIf(p.M, k1-k0), k1-k0)
+			n0, n1 := dist.BlockRange(p.N, p.P, r)
+			p.BLayout.SetBlock(r, 0, n0, heightIf(p.K, n1-n0), n1-n0)
+			p.CLayout.SetBlock(r, 0, n0, heightIf(p.M, n1-n0), n1-n0)
+		case SplitK:
+			k0, k1 := dist.BlockRange(p.K, p.P, r)
+			p.ALayout.SetBlock(r, 0, k0, heightIf(p.M, k1-k0), k1-k0)
+			p.BLayout.SetBlock(r, k0, 0, k1-k0, widthIf(p.N, k1-k0))
+			// Final C: column-partitioned by the reduce-scatter.
+			n0, n1 := dist.BlockRange(p.N, p.P, r)
+			p.CLayout.SetBlock(r, 0, n0, heightIf(p.M, n1-n0), n1-n0)
+		}
+	}
+}
+
+func widthIf(w, rows int) int {
+	if rows == 0 {
+		return 0
+	}
+	return w
+}
+
+func heightIf(h, cols int) int {
+	if cols == 0 {
+		return 0
+	}
+	return h
+}
+
+// Execute runs the 1D algorithm on the calling rank.
+func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
+	bLocal *mat.Dense, bLayout dist.Layout, cLayout dist.Layout) (*mat.Dense, *Timings) {
+
+	if c.Size() != p.P {
+		panic(fmt.Sprintf("algo1d: communicator size %d != plan size %d", c.Size(), p.P))
+	}
+	tm := &Timings{}
+	t0 := time.Now()
+
+	tr := time.Now()
+	aNat := dist.RedistributeOp(c, aLayout, aLocal, p.ALayout, p.TransA)
+	bNat := dist.RedistributeOp(c, bLayout, bLocal, p.BLayout, p.TransB)
+	tm.Redistribute += time.Since(tr)
+	c.RecordAlloc(int64(8 * (len(aNat.Data) + len(bNat.Data))))
+
+	var cMine *mat.Dense
+	switch p.V {
+	case SplitM:
+		// Allgather B (k-partitioned rows) then multiply my A rows.
+		ta := time.Now()
+		counts := make([]int, p.P)
+		for q := 0; q < p.P; q++ {
+			k0, k1 := dist.BlockRange(p.K, p.P, q)
+			counts[q] = (k1 - k0) * widthIf(p.N, k1-k0)
+		}
+		bAll := c.Allgatherv(bNat.Pack(), counts)
+		bFull := mat.New(p.K, p.N)
+		bFull.Unpack(bAll)
+		tm.Replicate += time.Since(ta)
+		c.RecordAlloc(int64(8 * len(bFull.Data)))
+		tg := time.Now()
+		cMine = mat.New(aNat.Rows, widthIf(p.N, aNat.Rows))
+		if aNat.Rows > 0 {
+			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aNat, bFull, 0, cMine)
+		}
+		tm.Compute += time.Since(tg)
+		c.ReleaseAlloc(int64(8 * len(bFull.Data)))
+	case SplitN:
+		ta := time.Now()
+		counts := make([]int, p.P)
+		for q := 0; q < p.P; q++ {
+			k0, k1 := dist.BlockRange(p.K, p.P, q)
+			counts[q] = heightIf(p.M, k1-k0) * (k1 - k0)
+		}
+		// A is column-partitioned; gather the column blocks.
+		aAll := c.Allgatherv(aNat.Pack(), counts)
+		aFull := mat.New(p.M, p.K)
+		off := 0
+		for q := 0; q < p.P; q++ {
+			if counts[q] == 0 {
+				continue
+			}
+			k0, k1 := dist.BlockRange(p.K, p.P, q)
+			aFull.View(0, k0, p.M, k1-k0).Unpack(aAll[off : off+counts[q]])
+			off += counts[q]
+		}
+		tm.Replicate += time.Since(ta)
+		c.RecordAlloc(int64(8 * len(aFull.Data)))
+		tg := time.Now()
+		cMine = mat.New(heightIf(p.M, bNat.Cols), bNat.Cols)
+		if bNat.Cols > 0 {
+			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bNat, 0, cMine)
+		}
+		tm.Compute += time.Since(tg)
+		c.ReleaseAlloc(int64(8 * len(aFull.Data)))
+	case SplitK:
+		// Full partial C per rank, then reduce-scatter by columns.
+		tg := time.Now()
+		cPart := mat.New(p.M, p.N)
+		if aNat.Cols > 0 {
+			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aNat, bNat, 0, cPart)
+		}
+		tm.Compute += time.Since(tg)
+		c.RecordAlloc(int64(8 * len(cPart.Data)))
+		ts := time.Now()
+		counts := make([]int, p.P)
+		buf := make([]float64, p.M*p.N)
+		off := 0
+		for q := 0; q < p.P; q++ {
+			n0, n1 := dist.BlockRange(p.N, p.P, q)
+			counts[q] = heightIf(p.M, n1-n0) * (n1 - n0)
+			if counts[q] == 0 {
+				continue
+			}
+			cPart.View(0, n0, p.M, n1-n0).PackInto(buf[off : off+counts[q]])
+			off += counts[q]
+		}
+		mine := c.ReduceScatter(buf[:off], trimCounts(counts, off))
+		n0, n1 := dist.BlockRange(p.N, p.P, c.Rank())
+		cMine = mat.New(heightIf(p.M, n1-n0), n1-n0)
+		cMine.Unpack(mine)
+		tm.Reduce += time.Since(ts)
+		c.ReleaseAlloc(int64(8 * len(cPart.Data)))
+	}
+
+	tr = time.Now()
+	cUser := dist.Redistribute(c, p.CLayout, cMine, cLayout)
+	tm.Redistribute += time.Since(tr)
+	c.ReleaseAlloc(int64(8 * (len(aNat.Data) + len(bNat.Data))))
+	tm.Total = time.Since(t0)
+	return cUser, tm
+}
+
+// trimCounts returns counts unchanged; it exists to document that the
+// packed buffer length equals the counts sum even when trailing ranks
+// own empty column ranges.
+func trimCounts(counts []int, total int) []int {
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != total {
+		panic(fmt.Sprintf("algo1d: packed %d elements, counts sum %d", total, sum))
+	}
+	return counts
+}

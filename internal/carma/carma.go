@@ -1,0 +1,339 @@
+// Package carma implements the CARMA algorithm (Demmel et al., 2013):
+// communication-optimal recursive matrix multiplication.
+//
+// CARMA recursively bisects the largest dimension of the current
+// subproblem and assigns each half to half of the processes, so the
+// process count must be a power of two. Each m- or n-bisection
+// replicates the opposite input matrix between the halves; each
+// k-bisection requires summing the two partial C results. At the leaf
+// (one process per subproblem) a local multiplication runs.
+//
+// In this runtime the per-level pairwise exchanges are expressed as
+// recursive-doubling allgathers / recursive-halving reduce-scatters
+// over the replication groups, which for power-of-two groups lower to
+// exactly the pairwise partner exchanges CARMA performs.
+package carma
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Dim identifies the dimension bisected at a recursion level.
+type Dim int
+
+// Bisected dimensions.
+const (
+	DimM Dim = iota
+	DimK
+	DimN
+)
+
+func (d Dim) String() string { return [...]string{"m", "k", "n"}[d] }
+
+// Plan precomputes the recursion (the split sequence), each rank's
+// leaf subproblem, and the native input/output layouts.
+type Plan struct {
+	M, N, K        int
+	TransA, TransB bool
+	P              int // must be a power of two
+	Splits         []Dim
+
+	ALayout, BLayout, CLayout *dist.Explicit
+
+	// Per-rank leaf ranges, indexed by rank.
+	leafM, leafK, leafN [][2]int
+	// Bit masks of the split levels per dimension (bit ℓ set means
+	// level ℓ split that dimension). Level ℓ corresponds to rank bit
+	// L-1-ℓ so that sibling halves are contiguous rank ranges.
+	nSplitLevels, mSplitLevels, kSplitLevels []int
+}
+
+// Timings is the per-rank stage breakdown.
+type Timings struct {
+	Redistribute time.Duration
+	Replicate    time.Duration
+	Compute      time.Duration
+	Reduce       time.Duration
+	Total        time.Duration
+}
+
+// NewPlan builds a CARMA plan. p must be a power of two (the
+// algorithm's documented restriction).
+func NewPlan(m, n, k, p int, transA, transB bool) (*Plan, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("carma: invalid dimensions %dx%dx%d", m, k, n)
+	}
+	if p <= 0 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("carma: process count %d is not a power of two", p)
+	}
+	pl := &Plan{M: m, N: n, K: k, P: p, TransA: transA, TransB: transB}
+
+	// Decide the split sequence on the global problem: always bisect
+	// the (currently) largest dimension, ties broken m > n > k as a
+	// fixed convention.
+	cm, cn, ck := m, n, k
+	levels := bits.TrailingZeros(uint(p))
+	for ℓ := 0; ℓ < levels; ℓ++ {
+		switch {
+		case cm >= cn && cm >= ck:
+			pl.Splits = append(pl.Splits, DimM)
+			cm = (cm + 1) / 2
+		case cn >= ck:
+			pl.Splits = append(pl.Splits, DimN)
+			cn = (cn + 1) / 2
+		default:
+			pl.Splits = append(pl.Splits, DimK)
+			ck = (ck + 1) / 2
+		}
+	}
+	pl.computeLeaves()
+	pl.buildLayouts()
+	return pl, nil
+}
+
+// computeLeaves walks each rank down the split tree.
+func (p *Plan) computeLeaves() {
+	L := len(p.Splits)
+	p.leafM = make([][2]int, p.P)
+	p.leafK = make([][2]int, p.P)
+	p.leafN = make([][2]int, p.P)
+	p.mSplitLevels = make([]int, p.P)
+	p.kSplitLevels = make([]int, p.P)
+	p.nSplitLevels = make([]int, p.P)
+	for r := 0; r < p.P; r++ {
+		mr := [2]int{0, p.M}
+		kr := [2]int{0, p.K}
+		nr := [2]int{0, p.N}
+		for ℓ := 0; ℓ < L; ℓ++ {
+			side := (r >> (L - 1 - ℓ)) & 1
+			switch p.Splits[ℓ] {
+			case DimM:
+				mr = half(mr, side)
+				p.mSplitLevels[r] |= 1 << ℓ
+			case DimK:
+				kr = half(kr, side)
+				p.kSplitLevels[r] |= 1 << ℓ
+			case DimN:
+				nr = half(nr, side)
+				p.nSplitLevels[r] |= 1 << ℓ
+			}
+		}
+		p.leafM[r], p.leafK[r], p.leafN[r] = mr, kr, nr
+	}
+}
+
+func half(r [2]int, side int) [2]int {
+	lo, hi := r[0], r[1]
+	mid := lo + (hi-lo+1)/2
+	if side == 0 {
+		return [2]int{lo, mid}
+	}
+	return [2]int{mid, hi}
+}
+
+// shareIndex returns this rank's index among the 2^b ranks that share
+// a replicated block, where the sharers differ exactly in the split
+// levels of mask (read MSB-first by level so indices are contiguous
+// under recursive doubling).
+func shareIndex(rank, mask, L int) (idx, count int) {
+	count = 1
+	for ℓ := 0; ℓ < L; ℓ++ {
+		if mask&(1<<ℓ) == 0 {
+			continue
+		}
+		idx = idx<<1 | (rank>>(L-1-ℓ))&1
+		count <<= 1
+	}
+	return idx, count
+}
+
+// buildLayouts assigns the native distributions: each rank initially
+// holds a 1/(sharers) slice of its leaf A and B blocks (so all ranks
+// together hold exactly one copy of each input), and finally holds a
+// 1/(k-sharers) slice of its leaf C block.
+func (p *Plan) buildLayouts() {
+	L := len(p.Splits)
+	p.ALayout = dist.NewExplicit(p.M, p.K, p.P)
+	p.BLayout = dist.NewExplicit(p.K, p.N, p.P)
+	p.CLayout = dist.NewExplicit(p.M, p.N, p.P)
+	for r := 0; r < p.P; r++ {
+		mr, kr, nr := p.leafM[r], p.leafK[r], p.leafN[r]
+		// A(mr, kr) is shared by ranks differing in n-split levels.
+		idx, cnt := shareIndex(r, p.nSplitLevels[r], L)
+		lo, hi := dist.BlockRange(kr[1]-kr[0], cnt, idx)
+		p.ALayout.SetBlock(r, mr[0], kr[0]+lo, rowsIf(mr[1]-mr[0], hi-lo), hi-lo)
+		// B(kr, nr) is shared by ranks differing in m-split levels.
+		idx, cnt = shareIndex(r, p.mSplitLevels[r], L)
+		lo, hi = dist.BlockRange(kr[1]-kr[0], cnt, idx)
+		p.BLayout.SetBlock(r, kr[0]+lo, nr[0], hi-lo, colsIf(nr[1]-nr[0], hi-lo))
+		// C(mr, nr) is shared by ranks differing in k-split levels.
+		idx, cnt = shareIndex(r, p.kSplitLevels[r], L)
+		lo, hi = dist.BlockRange(nr[1]-nr[0], cnt, idx)
+		p.CLayout.SetBlock(r, mr[0], nr[0]+lo, rowsIf(mr[1]-mr[0], hi-lo), hi-lo)
+	}
+}
+
+func rowsIf(rows, cols int) int {
+	if cols == 0 {
+		return 0
+	}
+	return rows
+}
+
+func colsIf(cols, rows int) int {
+	if rows == 0 {
+		return 0
+	}
+	return cols
+}
+
+// Execute runs CARMA on the calling rank: redistribute inputs to the
+// native layouts, replicate A across n-split sharers and B across
+// m-split sharers, one local multiplication, reduce-scatter partial C
+// across k-split sharers, and redistribute C to the caller's layout.
+func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
+	bLocal *mat.Dense, bLayout dist.Layout, cLayout dist.Layout) (*mat.Dense, *Timings) {
+
+	if c.Size() != p.P {
+		panic(fmt.Sprintf("carma: communicator size %d != plan size %d", c.Size(), p.P))
+	}
+	tm := &Timings{}
+	t0 := time.Now()
+	L := len(p.Splits)
+	r := c.Rank()
+
+	tr := time.Now()
+	aNat := dist.RedistributeOp(c, aLayout, aLocal, p.ALayout, p.TransA)
+	bNat := dist.RedistributeOp(c, bLayout, bLocal, p.BLayout, p.TransB)
+	tm.Redistribute += time.Since(tr)
+	c.RecordAlloc(int64(8 * (len(aNat.Data) + len(bNat.Data))))
+
+	mr, kr, nr := p.leafM[r], p.leafK[r], p.leafN[r]
+	mSz, kSz, nSz := mr[1]-mr[0], kr[1]-kr[0], nr[1]-nr[0]
+
+	// Replicate A across the n-sharers (column-split parts).
+	ta := time.Now()
+	aIdx, aCnt := shareIndex(r, p.nSplitLevels[r], L)
+	aComm := c.Split(groupColor(r, p.nSplitLevels[r], L), aIdx)
+	aFull := gatherColumnParts(aComm, aNat, mSz, kSz, aCnt)
+	// Replicate B across the m-sharers (row-split parts).
+	bIdx, bCnt := shareIndex(r, p.mSplitLevels[r], L)
+	bComm := c.Split(groupColor(r, p.mSplitLevels[r], L), bIdx)
+	bFull := gatherRowParts(bComm, bNat, kSz, nSz, bCnt)
+	tm.Replicate += time.Since(ta)
+	c.RecordAlloc(int64(8 * (len(aFull.Data) + len(bFull.Data))))
+
+	// Leaf multiplication.
+	tg := time.Now()
+	cPart := mat.New(mSz, nSz)
+	mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bFull, 0, cPart)
+	tm.Compute += time.Since(tg)
+	c.RecordAlloc(int64(8 * len(cPart.Data)))
+
+	// Reduce partial C across the k-sharers (column-split result).
+	ts := time.Now()
+	cIdx, cCnt := shareIndex(r, p.kSplitLevels[r], L)
+	cComm := c.Split(groupColor(r, p.kSplitLevels[r], L), cIdx)
+	cMine := reduceScatterColumns(cComm, cPart, cCnt, cIdx)
+	tm.Reduce += time.Since(ts)
+
+	tr = time.Now()
+	cUser := dist.Redistribute(c, p.CLayout, cMine, cLayout)
+	tm.Redistribute += time.Since(tr)
+	c.ReleaseAlloc(int64(8 * (len(aNat.Data) + len(bNat.Data) + len(aFull.Data) + len(bFull.Data) + len(cPart.Data))))
+	tm.Total = time.Since(t0)
+	return cUser, tm
+}
+
+// groupColor identifies the sharer group of a rank: the rank with the
+// mask's level bits cleared.
+func groupColor(rank, mask, L int) int {
+	color := rank
+	for ℓ := 0; ℓ < L; ℓ++ {
+		if mask&(1<<ℓ) != 0 {
+			color &^= 1 << (L - 1 - ℓ)
+		}
+	}
+	return color
+}
+
+// gatherColumnParts allgathers cnt column-split parts of a rows x cols
+// block and reassembles it. The k-split of A is by columns.
+func gatherColumnParts(comm *mpi.Comm, part *mat.Dense, rows, cols, cnt int) *mat.Dense {
+	if cnt == 1 {
+		return part
+	}
+	counts := make([]int, cnt)
+	for q := 0; q < cnt; q++ {
+		lo, hi := dist.BlockRange(cols, cnt, q)
+		counts[q] = rows * (hi - lo)
+	}
+	all := comm.Allgatherv(part.Pack(), counts)
+	full := mat.New(rows, cols)
+	off := 0
+	for q := 0; q < cnt; q++ {
+		if counts[q] == 0 {
+			continue
+		}
+		lo, hi := dist.BlockRange(cols, cnt, q)
+		full.View(0, lo, rows, hi-lo).Unpack(all[off : off+counts[q]])
+		off += counts[q]
+	}
+	return full
+}
+
+// gatherRowParts allgathers cnt row-split parts of a rows x cols block.
+func gatherRowParts(comm *mpi.Comm, part *mat.Dense, rows, cols, cnt int) *mat.Dense {
+	if cnt == 1 {
+		return part
+	}
+	counts := make([]int, cnt)
+	for q := 0; q < cnt; q++ {
+		lo, hi := dist.BlockRange(rows, cnt, q)
+		counts[q] = (hi - lo) * cols
+	}
+	all := comm.Allgatherv(part.Pack(), counts)
+	full := mat.New(rows, cols)
+	off := 0
+	for q := 0; q < cnt; q++ {
+		if counts[q] == 0 {
+			continue
+		}
+		lo, hi := dist.BlockRange(rows, cnt, q)
+		full.View(lo, 0, hi-lo, cols).Unpack(all[off : off+counts[q]])
+		off += counts[q]
+	}
+	return full
+}
+
+// reduceScatterColumns reduce-scatters a partial block column-split
+// cnt ways; the caller keeps part idx.
+func reduceScatterColumns(comm *mpi.Comm, part *mat.Dense, cnt, idx int) *mat.Dense {
+	if cnt == 1 {
+		return part
+	}
+	rows, cols := part.Rows, part.Cols
+	counts := make([]int, cnt)
+	buf := make([]float64, rows*cols)
+	off := 0
+	for q := 0; q < cnt; q++ {
+		lo, hi := dist.BlockRange(cols, cnt, q)
+		counts[q] = rows * (hi - lo)
+		if counts[q] == 0 {
+			continue
+		}
+		part.View(0, lo, rows, hi-lo).PackInto(buf[off : off+counts[q]])
+		off += counts[q]
+	}
+	mine := comm.ReduceScatter(buf, counts)
+	lo, hi := dist.BlockRange(cols, cnt, idx)
+	out := mat.New(rowsIf(rows, hi-lo), hi-lo)
+	out.Unpack(mine)
+	return out
+}

@@ -1,0 +1,417 @@
+// Package core implements CA3DMM, the Communication-Avoiding 3D
+// Matrix Multiplication algorithm (Huang & Chow, SC 2022).
+//
+// CA3DMM views the multiplication C = op(A)·op(B) as pk independent
+// rank-(k/pk) updates: the process grid pm x pn x pk is organized as
+// pk k-task groups of pm x pn processes; each k-task group computes
+// one low-rank update with a 2D algorithm (Cannon's), and the partial
+// results are combined with a reduce-scatter. Because
+// max(pm,pn) mod min(pm,pn) = 0 is enforced at grid selection, each
+// k-task group splits into c = max(pm,pn)/min(pm,pn) square Cannon
+// groups of side s = min(pm,pn); the smaller of A and B is replicated
+// c times across the Cannon groups by an allgather. The scheme
+// degenerates gracefully: pk = 1 gives a pure 2D algorithm, s = 1
+// gives 1D algorithms, and m = n = 1 gives the optimal inner-product
+// reduction — the paper's "unified view".
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/trace"
+)
+
+// Options configures plan construction.
+type Options struct {
+	// Grid forces a specific process grid instead of optimizing
+	// (paper Table II drives CA3DMM with explicit grids this way).
+	Grid grid.Grid
+	// LowerUtil is the utilization bound l of constraint (5);
+	// zero means the paper's default 0.95.
+	LowerUtil float64
+	// DualBuffer enables communication/computation overlap in the
+	// Cannon stage (on in the reference implementation).
+	DualBuffer bool
+	// MultiShift aggregates Cannon shifts for thin k-blocks; values
+	// < 2 disable aggregation.
+	MultiShift int
+	// MinKBlock is the k-width threshold for MultiShift (0 = 64).
+	MinKBlock int
+	// UseSUMMA replaces the Cannon kernel with SUMMA inside each
+	// k-task group (the CA3DMM-S variant of Section III-E, for
+	// ablation). The grid is then chosen without constraint (7).
+	UseSUMMA bool
+	// SUMMAPanel is the SUMMA broadcast panel width (0 = automatic).
+	SUMMAPanel int
+	// MaxPk caps the number of k-task groups. This is the paper's
+	// second memory-control knob (Section V): fewer k-task groups
+	// means fewer partial C copies, trading communication volume for
+	// memory as the algorithm moves toward a 2D algorithm.
+	MaxPk int
+	// MemoryLimitBytes bounds the per-process memory predicted by the
+	// eq. (11) model. When positive, the planner reduces the number of
+	// k-task groups until the model fits, or fails if even pk = 1
+	// exceeds the limit. Ignored when Grid is forced.
+	MemoryLimitBytes int64
+	// Trace, when non-nil, records a per-rank stage timeline of every
+	// execution (exportable as a Chrome trace).
+	Trace *trace.Recorder
+}
+
+// Plan holds everything precomputed for a CA3DMM multiplication of
+// fixed shape on a fixed number of processes: the process grid, the
+// role of every rank, and the native matrix layouts. Plans are
+// immutable and safe for concurrent use by all ranks.
+type Plan struct {
+	M, N, K        int // dimensions of C = op(A)·op(B): C is MxN, k is the inner dim
+	TransA, TransB bool
+	P              int // world size (>= active processes)
+
+	G    grid.Grid
+	Crep int  // c: Cannon groups per k-task group (replication factor)
+	S    int  // s: side of each square Cannon group
+	RepA bool // true: A is replicated (pm <= pn); false: B is replicated
+
+	Opt Options
+
+	// Native layouts of op(A) (MxK), op(B) (KxN), and C (MxN) over all
+	// P world ranks. Idle ranks own nothing but participate in
+	// redistribution.
+	ALayout, BLayout, CLayout *dist.Explicit
+}
+
+// rankRole decodes a world rank's place in the 3D grid.
+type rankRole struct {
+	active bool
+	g      int // k-task group index (0..pk-1)
+	q      int // Cannon group index within the k-task group (0..c-1)
+	i, j   int // position in the s x s Cannon grid (row, col)
+}
+
+// role returns the role of world rank r. Ranks are organized
+// "column-major" as in the paper: all ranks of a k-task group are
+// contiguous, and within it all ranks of a Cannon group are
+// contiguous; within a Cannon group, local rank j*s+i sits at grid
+// position (i, j).
+func (p *Plan) role(r int) rankRole {
+	pmpn := p.G.Pm * p.G.Pn
+	if r >= pmpn*p.G.Pk {
+		return rankRole{}
+	}
+	g := r / pmpn
+	lr := r % pmpn
+	if p.S <= 0 {
+		// CA3DMM-S: the whole k-task group is one SUMMA grid; the
+		// Cannon position fields are unused.
+		return rankRole{active: true, g: g}
+	}
+	q := lr / (p.S * p.S)
+	pos := lr % (p.S * p.S)
+	return rankRole{active: true, g: g, q: q, i: pos % p.S, j: pos / p.S}
+}
+
+// ActiveProcs returns the number of non-idle processes, pm*pn*pk.
+func (p *Plan) ActiveProcs() int { return p.G.Procs() }
+
+// kRange returns k-task group g's slice of the k dimension.
+func (p *Plan) kRange(g int) (int, int) { return dist.BlockRange(p.K, p.G.Pk, g) }
+
+// mRange returns Cannon group q's slice of the m dimension (identity
+// when A is replicated: the full m range).
+func (p *Plan) mRange(q int) (int, int) {
+	if p.RepA {
+		return 0, p.M
+	}
+	return dist.BlockRange(p.M, p.Crep, q)
+}
+
+// nRange returns Cannon group q's slice of the n dimension (identity
+// when B is replicated).
+func (p *Plan) nRange(q int) (int, int) {
+	if !p.RepA {
+		return 0, p.N
+	}
+	return dist.BlockRange(p.N, p.Crep, q)
+}
+
+// NewPlan builds a CA3DMM plan for C = op(A)·op(B) with op-applied
+// dimensions m, n, k on p processes. m, n, k refer to the multiplied
+// shapes: op(A) is m x k and op(B) is k x n regardless of the
+// transpose flags (which only affect how user matrices are
+// redistributed into the native layouts).
+func NewPlan(m, n, k, p int, transA, transB bool, opt Options) (*Plan, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: invalid dimensions %dx%dx%d", m, k, n)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("core: invalid process count %d", p)
+	}
+	g := opt.Grid
+	if g.Procs() == 0 {
+		var err error
+		g, err = grid.Optimize(m, n, k, p, grid.Options{
+			LowerUtil:          opt.LowerUtil,
+			NoCannonConstraint: opt.UseSUMMA,
+			MaxK:               opt.MaxPk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if opt.MemoryLimitBytes > 0 {
+			g, err = fitMemory(m, n, k, p, g, opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if g.Procs() > p {
+			return nil, fmt.Errorf("core: forced grid %v needs %d > %d processes", g, g.Procs(), p)
+		}
+		if g.Pm > m || g.Pn > n || g.Pk > k {
+			return nil, fmt.Errorf("core: forced grid %v exceeds matrix dimensions %dx%dx%d", g, m, k, n)
+		}
+		if !opt.UseSUMMA {
+			hi, lo := g.Pm, g.Pn
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			if lo == 0 || hi%lo != 0 {
+				return nil, fmt.Errorf("core: forced grid %v violates the Cannon divisibility constraint (eq. 7)", g)
+			}
+		}
+	}
+
+	pl := &Plan{
+		M: m, N: n, K: k,
+		TransA: transA, TransB: transB,
+		P: p, G: g, Opt: opt,
+		RepA: g.Pm <= g.Pn,
+	}
+	if opt.UseSUMMA {
+		// CA3DMM-S: one "Cannon group" spanning the whole pm x pn
+		// k-task group; no replication. S is unused.
+		pl.Crep, pl.S = 1, 0
+	} else {
+		pl.Crep = g.CannonGroups()
+		pl.S = g.CannonSize()
+	}
+	pl.buildLayouts()
+	return pl, nil
+}
+
+// buildLayouts constructs the native distributions of op(A), op(B),
+// and C. They satisfy the paper's invariants: exactly one copy of A
+// and B across all processes initially (the c-fold replication happens
+// later via allgather), 2D partitions, balanced per-rank storage, and
+// a final C that is 2D-partitioned across all active processes.
+func (p *Plan) buildLayouts() {
+	p.ALayout = dist.NewExplicit(p.M, p.K, p.P)
+	p.BLayout = dist.NewExplicit(p.K, p.N, p.P)
+	p.CLayout = dist.NewExplicit(p.M, p.N, p.P)
+
+	for r := 0; r < p.P; r++ {
+		role := p.role(r)
+		if !role.active {
+			continue
+		}
+		if p.Opt.UseSUMMA {
+			p.buildSUMMARankLayout(r, role)
+			continue
+		}
+		k0, k1 := p.kRange(role.g)
+		m0, m1 := p.mRange(role.q)
+		n0, n1 := p.nRange(role.q)
+		kg := k1 - k0
+
+		if p.RepA {
+			// A panel (M x kg) is partitioned s x s with Cannon's
+			// padded-uniform blocks; block (i,j) is column-split into
+			// c sub-blocks, one per Cannon group.
+			am, ak := ceilDiv(p.M, p.S), ceilDiv(kg, p.S)
+			ar0, ac0, arows, acols := clampBlock(role.i*am, role.j*ak, am, ak, p.M, kg)
+			sc0, sc1 := dist.BlockRange(acols, p.Crep, role.q)
+			p.ALayout.SetBlock(r, ar0, k0+ac0+sc0, boundRows(arows, sc1-sc0), sc1-sc0)
+
+			// B panel (kg x nq) for this Cannon group, s x s blocks,
+			// no replication.
+			nq := n1 - n0
+			bk, bn := ceilDiv(kg, p.S), ceilDiv(nq, p.S)
+			br0, bc0, brows, bcols := clampBlock(role.i*bk, role.j*bn, bk, bn, kg, nq)
+			p.BLayout.SetBlock(r, k0+br0, n0+bc0, brows, bcols)
+
+			// C block of this position, column-split pk ways; part g.
+			cr0, cc0, crows, ccols := clampBlock(role.i*am, role.j*bn, am, bn, p.M, nq)
+			cs0, cs1 := dist.BlockRange(ccols, p.G.Pk, role.g)
+			p.CLayout.SetBlock(r, cr0, n0+cc0+cs0, boundRows(crows, cs1-cs0), cs1-cs0)
+		} else {
+			// B replicated: mirror image. A blocks are unsplit; B
+			// panel blocks (kg x N over s x s) are row-split c ways.
+			mq := m1 - m0
+			am, ak := ceilDiv(mq, p.S), ceilDiv(kg, p.S)
+			ar0, ac0, arows, acols := clampBlock(role.i*am, role.j*ak, am, ak, mq, kg)
+			p.ALayout.SetBlock(r, m0+ar0, k0+ac0, arows, acols)
+
+			bk, bn := ceilDiv(kg, p.S), ceilDiv(p.N, p.S)
+			br0, bc0, brows, bcols := clampBlock(role.i*bk, role.j*bn, bk, bn, kg, p.N)
+			sr0, sr1 := dist.BlockRange(brows, p.Crep, role.q)
+			p.BLayout.SetBlock(r, k0+br0+sr0, bc0, sr1-sr0, boundCols(bcols, sr1-sr0))
+
+			cr0, cc0, crows, ccols := clampBlock(role.i*am, role.j*bn, am, bn, mq, p.N)
+			cs0, cs1 := dist.BlockRange(ccols, p.G.Pk, role.g)
+			p.CLayout.SetBlock(r, m0+cr0, cc0+cs0, boundRows(crows, cs1-cs0), cs1-cs0)
+		}
+	}
+}
+
+// buildSUMMARankLayout assigns the CA3DMM-S native blocks: plain 2D
+// partitions of A (pm x pk grid), B (pk x pn), and C (pm x pn,
+// column-split pk ways) — the natural SUMMA-compatible distribution.
+func (p *Plan) buildSUMMARankLayout(r int, role rankRole) {
+	// For CA3DMM-S the "Cannon group" position degenerates: local rank
+	// lr within the k-task group indexes a pm x pn grid column-major.
+	pm, pn := p.G.Pm, p.G.Pn
+	lr := r % (pm * pn)
+	i, j := lr%pm, lr/pm
+	k0, k1 := p.kRange(role.g)
+	kg := k1 - k0
+
+	ar0, ar1 := dist.BlockRange(p.M, pm, i)
+	ac0, ac1 := dist.BlockRange(kg, pn, j)
+	p.ALayout.SetBlock(r, ar0, k0+ac0, ar1-ar0, ac1-ac0)
+
+	br0, br1 := dist.BlockRange(kg, pm, i)
+	bc0, bc1 := dist.BlockRange(p.N, pn, j)
+	p.BLayout.SetBlock(r, k0+br0, bc0, br1-br0, bc1-bc0)
+
+	cr0, cr1 := dist.BlockRange(p.M, pm, i)
+	cc0, cc1 := dist.BlockRange(p.N, pn, j)
+	cs0, cs1 := dist.BlockRange(cc1-cc0, p.G.Pk, role.g)
+	p.CLayout.SetBlock(r, cr0, cc0+cs0, boundRows(cr1-cr0, cs1-cs0), cs1-cs0)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// memoryOfGrid evaluates the eq. (11) model (in bytes) for a candidate
+// grid without building the full plan.
+func memoryOfGrid(m, n, k int, g grid.Grid, useSUMMA bool) float64 {
+	probe := &Plan{M: m, N: n, K: k, G: g, RepA: g.Pm <= g.Pn}
+	if useSUMMA {
+		probe.Crep, probe.S = 1, 0
+	} else {
+		probe.Crep = g.CannonGroups()
+		probe.S = g.CannonSize()
+	}
+	return probe.MemoryModel() * 8
+}
+
+// fitMemory reduces the number of k-task groups (the paper's Section V
+// memory-control approach) until the eq. (11) model fits the limit.
+func fitMemory(m, n, k, p int, g grid.Grid, opt Options) (grid.Grid, error) {
+	if memoryOfGrid(m, n, k, g, opt.UseSUMMA) <= float64(opt.MemoryLimitBytes) {
+		return g, nil
+	}
+	best := g
+	bestMem := memoryOfGrid(m, n, k, g, opt.UseSUMMA)
+	for maxK := g.Pk - 1; maxK >= 1; maxK-- {
+		cand, err := grid.Optimize(m, n, k, p, grid.Options{
+			LowerUtil:          opt.LowerUtil,
+			NoCannonConstraint: opt.UseSUMMA,
+			MaxK:               maxK,
+		})
+		if err != nil {
+			continue
+		}
+		mem := memoryOfGrid(m, n, k, cand, opt.UseSUMMA)
+		if mem <= float64(opt.MemoryLimitBytes) {
+			return cand, nil
+		}
+		if mem < bestMem {
+			best, bestMem = cand, mem
+		}
+		if cand.Pk < maxK {
+			maxK = cand.Pk // skip redundant caps
+		}
+	}
+	return grid.Grid{}, fmt.Errorf(
+		"core: memory limit %d B unsatisfiable: smallest eq.(11) footprint is %.0f B with grid %v",
+		opt.MemoryLimitBytes, bestMem, best)
+}
+
+// clampBlock clips the padded-uniform block starting at (r0, c0) with
+// nominal size rows x cols to the panel extent (R, C). Empty blocks
+// come back as (0,0,0,0).
+func clampBlock(r0, c0, rows, cols, R, C int) (int, int, int, int) {
+	if r0 >= R || c0 >= C {
+		return 0, 0, 0, 0
+	}
+	if r0+rows > R {
+		rows = R - r0
+	}
+	if c0+cols > C {
+		cols = C - c0
+	}
+	return r0, c0, rows, cols
+}
+
+// boundRows zeroes the row count when the column count is zero so that
+// empty blocks are fully empty (keeps layout validation honest).
+func boundRows(rows, cols int) int {
+	if cols == 0 {
+		return 0
+	}
+	return rows
+}
+
+func boundCols(cols, rows int) int {
+	if rows == 0 {
+		return 0
+	}
+	return cols
+}
+
+// LowerBoundRatio returns the ratio of the plan's per-process
+// communication volume (by the surface measure of eq. 4, divided by
+// active processes) to the lower bound Q of eq. (9) — the "Comm.
+// volume / lower bound" line of the reference implementation's output.
+func (p *Plan) LowerBoundRatio() float64 {
+	// At the optimal cubic grid the total surface 6(mnk)^{2/3}P^{1/3}
+	// equals 2·P·Q with Q from eq. (9), so the ratio is exactly 1.
+	act := float64(p.ActiveProcs())
+	return float64(grid.SurfaceCost(p.M, p.N, p.K, p.G)) /
+		(2 * act * grid.CommLowerBound(p.M, p.N, p.K, p.ActiveProcs()))
+}
+
+// WorkCuboid returns the per-process work cuboid dimensions
+// (mb x nb x kb), the "Work cuboid" line of the reference output.
+func (p *Plan) WorkCuboid() (mb, nb, kb int) {
+	return ceilDiv(p.M, p.G.Pm), ceilDiv(p.N, p.G.Pn), ceilDiv(p.K, p.G.Pk)
+}
+
+// Utilization returns the fraction of processes doing compute.
+func (p *Plan) Utilization() float64 {
+	return float64(p.ActiveProcs()) / float64(p.P)
+}
+
+// MemoryModel returns the predicted per-process memory usage in
+// matrix elements from eq. (11): 2(c·mk + kn)/P + pk·mn/P, evaluated
+// with the plan's actual grid (P = active processes). When B is the
+// replicated matrix the roles of mk and kn swap.
+func (p *Plan) MemoryModel() float64 {
+	act := float64(p.ActiveProcs())
+	mk := float64(p.M) * float64(p.K)
+	kn := float64(p.K) * float64(p.N)
+	mn := float64(p.M) * float64(p.N)
+	c := float64(p.Crep)
+	var ab float64
+	if p.RepA {
+		ab = 2 * (c*mk + kn) / act
+	} else {
+		ab = 2 * (mk + c*kn) / act
+	}
+	return ab + float64(p.G.Pk)*mn/act
+}
+
+var _ = mat.New // keep the mat import stable as the package grows

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// These tests pin the measured per-operation traffic of a CA3DMM
+// execution to closed-form expectations, bridging the runtime's
+// statistics and the paper's Section III-D cost model.
+
+// runNative executes the plan from native layouts and returns the run
+// report (no redistribution traffic).
+func runNative(t *testing.T, pl *Plan, a, b *mat.Dense) *mpi.Report {
+	t.Helper()
+	aLocs := dist.Scatter(a, pl.ALayout)
+	bLocs := dist.Scatter(b, pl.BLayout)
+	rep, err := mpi.Run(pl.P, func(c *mpi.Comm) {
+		pl.Execute(c, aLocs[c.Rank()], pl.ALayout, bLocs[c.Rank()], pl.BLayout, pl.CLayout)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestPerOpBytesMatchClosedForm(t *testing.T) {
+	// 64^3 on 8 ranks: the optimizer picks the 2x2x2 grid (c=1, s=2).
+	const m, n, k, p = 64, 64, 64, 8
+	pl := mustPlan(t, m, n, k, p, false, false, Options{})
+	if pl.G.Pm != 2 || pl.G.Pn != 2 || pl.G.Pk != 2 {
+		t.Fatalf("grid %v, want 2x2x2", pl.G)
+	}
+	a := mat.Random(m, k, 1)
+	b := mat.Random(k, n, 2)
+	rep := runNative(t, pl, a, b)
+
+	// Reduce-scatter: ring over pk=2, each rank sends exactly half of
+	// its 32x32 partial C block: 512 elements = 4096 bytes.
+	const rsWant = 8 * 512
+	var rsTotal int64
+	for r, st := range rep.Ranks {
+		got := st.PerOp["reduce_scatter"].Bytes
+		if got != rsWant {
+			t.Fatalf("rank %d reduce_scatter bytes %d, want %d", r, got, rsWant)
+		}
+		rsTotal += got
+	}
+
+	// Cannon point-to-point: every rank shifts its 32x16 A and 16x32 B
+	// blocks once (s-1 = 1 step, 8192 bytes total each: 4096+4096);
+	// additionally the skew sends A for ranks with grid row 1 and B
+	// for ranks with grid col 1 (4 ranks each, 4096 bytes per send).
+	blockBytes := int64(8 * 32 * 16)
+	wantP2P := int64(p)*2*blockBytes + 4*blockBytes + 4*blockBytes
+	var p2pTotal int64
+	for _, st := range rep.Ranks {
+		p2pTotal += st.PerOp["p2p"].Bytes
+	}
+	if p2pTotal != wantP2P {
+		t.Fatalf("total p2p bytes %d, want %d", p2pTotal, wantP2P)
+	}
+}
+
+func TestLatencyTracksEq10(t *testing.T) {
+	// The paper's latency model L = log2(c) + s + pk - 1 counts
+	// per-step messages on the critical path; our runtime sends A and
+	// B separately and the ring reduce-scatter sends pk-1 messages, so
+	// the measured max message count (excluding the Split bookkeeping)
+	// must lie within a small constant factor of L.
+	cases := []struct{ m, n, k, p int }{
+		{64, 64, 64, 8},    // 2x2x2: c=1, s=2, pk=2
+		{32, 64, 16, 8},    // 2x4x1: c=2, s=2, pk=1
+		{64, 64, 1024, 16}, // k-heavy
+	}
+	for _, tc := range cases {
+		pl := mustPlan(t, tc.m, tc.n, tc.k, tc.p, false, false, Options{})
+		a := mat.Random(tc.m, tc.k, 1)
+		b := mat.Random(tc.k, tc.n, 2)
+		rep := runNative(t, pl, a, b)
+		s := pl.S
+		lat := costmodel.CA3DMMLatency(pl.Crep, s, pl.G.Pk)
+		var maxMsgs int64
+		for _, st := range rep.Ranks {
+			// Subtract the Split allgathers (3 splits, tiny messages)
+			// which Algorithm 1 amortizes into initialization.
+			msgs := st.MsgsSent - st.PerOp["allgather"].Msgs
+			if pl.Crep > 1 {
+				// Keep the replication allgather itself: it is part of
+				// step 5. Re-add its messages estimated as log2-ish;
+				// simplest is to keep all allgather messages.
+				msgs = st.MsgsSent
+			}
+			if msgs > maxMsgs {
+				maxMsgs = msgs
+			}
+		}
+		if float64(maxMsgs) > 4*lat+8 {
+			t.Fatalf("%dx%dx%d grid %v: max %d messages vs eq.(10) L=%.1f",
+				tc.m, tc.k, tc.n, pl.G, maxMsgs, lat)
+		}
+	}
+}

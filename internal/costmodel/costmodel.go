@@ -1,0 +1,169 @@
+// Package costmodel provides the α-β communication cost model used by
+// the CA3DMM paper's complexity analysis (Section III-D) and by the
+// cluster simulator that reproduces the paper's large-scale
+// experiments.
+//
+// Collective costs assume butterfly-network algorithms, "optimal or
+// near-optimal in the α-β model", exactly as the paper does:
+//
+//	T_allgather(n, P)      = α·log2(P)       + β·n·(P-1)/P
+//	T_broadcast(n, P)      = α·(log2(P)+P-1) + 2β·n·(P-1)/P
+//	T_reduce-scatter(n, P) = α·(P-1)         + β·n·(P-1)/P
+//
+// where n is the message size in bytes, α the network latency, and β
+// the inverse bandwidth. Placement effects (several ranks sharing one
+// NIC, cheap intra-node transfers) are captured by an effective β/α
+// computed from a Placement.
+package costmodel
+
+import "math"
+
+// Net describes one link class of the machine.
+type Net struct {
+	Alpha float64 // latency per message, seconds
+	Beta  float64 // seconds per byte
+}
+
+// Placement describes where the ranks of a communicating group live,
+// to derive effective α/β parameters.
+type Placement struct {
+	GroupSize    int // ranks in the communicating group
+	RanksPerNode int // ranks of this job on each node
+	// GroupSpan is the number of distinct nodes the group touches.
+	GroupSpan int
+	// ConcurrentPerNode is how many ranks on one node are driving
+	// inter-node traffic at the same time (they share the NIC).
+	ConcurrentPerNode int
+	Intra, Inter      Net
+}
+
+// Contiguous places a group of g consecutive ranks on nodes of rpn
+// ranks, with all rpn node-local ranks communicating concurrently
+// (the common case inside a collective where every rank participates).
+func Contiguous(g, rpn int, intra, inter Net) Placement {
+	span := (g + rpn - 1) / rpn
+	conc := rpn
+	if g < rpn {
+		conc = g
+	}
+	return Placement{
+		GroupSize: g, RanksPerNode: rpn, GroupSpan: span,
+		ConcurrentPerNode: conc, Intra: intra, Inter: inter,
+	}
+}
+
+// Strided places a group of g ranks that are rpn apart (one per node
+// up to the node count), as happens for CA3DMM's reduce-scatter groups
+// when k-task groups are contiguous.
+func Strided(g, rpn, concurrent int, intra, inter Net) Placement {
+	return Placement{
+		GroupSize: g, RanksPerNode: rpn, GroupSpan: g,
+		ConcurrentPerNode: concurrent, Intra: intra, Inter: inter,
+	}
+}
+
+// Eff returns the effective α and β for one rank's traffic in this
+// placement: intra-node messages use the intra link; inter-node
+// messages use the NIC shared by the concurrent ranks of the node.
+func (p Placement) Eff() Net {
+	if p.GroupSize <= 1 {
+		return Net{}
+	}
+	// Fraction of a rank's partners that are off-node.
+	onNode := float64(p.GroupSize)/float64(p.GroupSpan) - 1
+	if onNode < 0 {
+		onNode = 0
+	}
+	fOff := 1 - onNode/float64(p.GroupSize-1)
+	if fOff < 0 {
+		fOff = 0
+	}
+	conc := float64(p.ConcurrentPerNode)
+	if conc < 1 {
+		conc = 1
+	}
+	return Net{
+		Alpha: p.Intra.Alpha*(1-fOff) + p.Inter.Alpha*fOff,
+		Beta:  p.Intra.Beta*(1-fOff) + p.Inter.Beta*conc*fOff,
+	}
+}
+
+func log2(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Log2(float64(p))
+}
+
+// Allgather returns the time for an allgather producing n bytes on
+// each rank (total gathered size), group size and placement from p.
+func Allgather(n float64, p Placement) float64 {
+	if p.GroupSize <= 1 {
+		return 0
+	}
+	e := p.Eff()
+	P := float64(p.GroupSize)
+	return e.Alpha*log2(p.GroupSize) + e.Beta*n*(P-1)/P
+}
+
+// Broadcast returns the time to broadcast n bytes within the group.
+func Broadcast(n float64, p Placement) float64 {
+	if p.GroupSize <= 1 {
+		return 0
+	}
+	e := p.Eff()
+	P := float64(p.GroupSize)
+	return e.Alpha*(log2(p.GroupSize)+P-1) + 2*e.Beta*n*(P-1)/P
+}
+
+// ReduceScatter returns the time to reduce-scatter an n-byte buffer
+// within the group.
+func ReduceScatter(n float64, p Placement) float64 {
+	if p.GroupSize <= 1 {
+		return 0
+	}
+	e := p.Eff()
+	P := float64(p.GroupSize)
+	return e.Alpha*(P-1) + e.Beta*n*(P-1)/P
+}
+
+// SendRecv returns the time for one point-to-point message of n bytes
+// under the placement's effective link.
+func SendRecv(n float64, p Placement) float64 {
+	e := p.Eff()
+	return e.Alpha + e.Beta*n
+}
+
+// AllToAll estimates a personalized all-to-all (used for matrix
+// redistribution) where each rank sends sendBytes in total, spread
+// over the group: pairwise exchange costs (P-1) latencies plus the
+// full volume at the effective bandwidth.
+func AllToAll(sendBytes float64, p Placement) float64 {
+	if p.GroupSize <= 1 {
+		return 0
+	}
+	e := p.Eff()
+	steps := float64(p.GroupSize - 1)
+	if steps > 256 {
+		steps = 256 // large alltoallv implementations cap message rounds
+	}
+	return e.Alpha*steps + e.Beta*sendBytes
+}
+
+// CA3DMMLatency returns the paper's communication latency model
+// L = log2(c) + s + pk - 1 (eq. 10): messages on the critical path.
+func CA3DMMLatency(c, s, pk int) float64 {
+	return log2(c) + float64(s) + float64(pk) - 1
+}
+
+// SUMMALatency returns the paper's Section III-E SUMMA latency
+// L = pm(log2(pm) + pm - 1) + pk - 1 for pm >= pn with full panels.
+func SUMMALatency(pm, pk int) float64 {
+	return float64(pm)*(log2(pm)+float64(pm)-1) + float64(pk) - 1
+}
+
+// QLowerBound returns the paper's per-process communication volume
+// lower bound Q = 3(mnk/P)^(2/3) in matrix elements (eq. 9).
+func QLowerBound(m, n, k, p int) float64 {
+	return 3 * math.Pow(float64(m)*float64(n)*float64(k)/float64(p), 2.0/3.0)
+}

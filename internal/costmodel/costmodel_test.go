@@ -1,0 +1,127 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+var testNet = Net{Alpha: 1e-6, Beta: 1e-10}
+
+func singleNode(g int) Placement {
+	return Contiguous(g, 1024, testNet, Net{Alpha: 1e-5, Beta: 1e-9})
+}
+
+func TestAllgatherFormula(t *testing.T) {
+	// Single node: effective net = intra. n=1e6 bytes, P=8:
+	// alpha*3 + beta*1e6*(7/8).
+	got := Allgather(1e6, singleNode(8))
+	want := 1e-6*3 + 1e-10*1e6*7/8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestBroadcastFormula(t *testing.T) {
+	got := Broadcast(1e6, singleNode(4))
+	want := 1e-6*(2+3) + 2*1e-10*1e6*3/4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestReduceScatterFormula(t *testing.T) {
+	got := ReduceScatter(1e6, singleNode(4))
+	want := 1e-6*3 + 1e-10*1e6*3/4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTrivialGroupsFree(t *testing.T) {
+	if Allgather(1e9, singleNode(1)) != 0 {
+		t.Fatal("allgather over one rank must be free")
+	}
+	if Broadcast(1e9, singleNode(1)) != 0 {
+		t.Fatal("broadcast over one rank must be free")
+	}
+	if ReduceScatter(1e9, singleNode(1)) != 0 {
+		t.Fatal("reduce-scatter over one rank must be free")
+	}
+}
+
+func TestInterNodeCostsMore(t *testing.T) {
+	intra := Net{Alpha: 1e-7, Beta: 1e-11}
+	inter := Net{Alpha: 1e-6, Beta: 1e-10}
+	onNode := Contiguous(8, 24, intra, inter)   // fits one node
+	offNode := Strided(8, 24, 24, intra, inter) // one rank per node
+	if Allgather(1e7, offNode) <= Allgather(1e7, onNode) {
+		t.Fatal("inter-node allgather should cost more")
+	}
+}
+
+func TestNICSharingScalesBeta(t *testing.T) {
+	intra := Net{Alpha: 1e-7, Beta: 1e-11}
+	inter := Net{Alpha: 1e-6, Beta: 1e-10}
+	exclusive := Strided(8, 1, 1, intra, inter)
+	shared := Strided(8, 24, 24, intra, inter)
+	if e, s := exclusive.Eff(), shared.Eff(); s.Beta <= e.Beta {
+		t.Fatalf("shared NIC beta %v should exceed exclusive %v", s.Beta, e.Beta)
+	}
+}
+
+func TestCA3DMMLatencyEq10(t *testing.T) {
+	// L = log2(c) + s + pk - 1.
+	got := CA3DMMLatency(2, 4, 3)
+	want := 1.0 + 4 + 3 - 1
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSUMMALatencyDominatesCannon(t *testing.T) {
+	// Section III-E: SUMMA latency >= Cannon-based latency whenever
+	// pm >= 2, same grid.
+	for pm := 2; pm <= 32; pm *= 2 {
+		for pk := 1; pk <= 8; pk *= 2 {
+			ls := SUMMALatency(pm, pk)
+			lc := CA3DMMLatency(1, pm, pk)
+			if ls < lc {
+				t.Fatalf("pm=%d pk=%d: SUMMA latency %v < Cannon %v", pm, pk, ls, lc)
+			}
+		}
+	}
+}
+
+func TestQLowerBound(t *testing.T) {
+	if got := QLowerBound(8, 8, 8, 1); math.Abs(got-192) > 1e-9 {
+		t.Fatalf("got %v want 192", got)
+	}
+	// Q shrinks with more processes.
+	if QLowerBound(100, 100, 100, 8) >= QLowerBound(100, 100, 100, 1) {
+		t.Fatal("Q must decrease with P")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	got := SendRecv(1e6, singleNode(2))
+	want := 1e-6 + 1e-10*1e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAllToAllLatencyCap(t *testing.T) {
+	p := Contiguous(4096, 24, testNet, Net{Alpha: 1e-6, Beta: 1e-10})
+	small := AllToAll(0, p)
+	if small > 1e-6*256*24+1e-3 {
+		t.Fatalf("alltoall latency %v not capped", small)
+	}
+}
+
+func TestEffFullyIntra(t *testing.T) {
+	p := Contiguous(8, 24, testNet, Net{Alpha: 9, Beta: 9})
+	e := p.Eff()
+	if e.Alpha != testNet.Alpha || e.Beta != testNet.Beta {
+		t.Fatalf("single-node group must use intra link: %+v", e)
+	}
+}

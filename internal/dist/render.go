@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a layout's ownership map as text: one character cell
+// per matrix element (or per sampled element for large matrices), with
+// each rank shown as a distinct symbol. It makes the native
+// distributions of the algorithms inspectable — the paper's Figure 2
+// as ASCII — and is used by cmd/gridplan and the documentation.
+//
+// maxCells bounds the rendered grid; larger matrices are sampled
+// (each cell shows the owner of its top-left element). Zero means 32.
+func Render(l Layout, maxCells int) string {
+	if maxCells <= 0 {
+		maxCells = 32
+	}
+	rows, cols := l.GlobalRows(), l.GlobalCols()
+	sr, sc := 1, 1
+	for rows/sr > maxCells {
+		sr++
+	}
+	for cols/sc > maxCells {
+		sc++
+	}
+	// Ownership table.
+	owner := make([][]int, rows)
+	for i := range owner {
+		owner[i] = make([]int, cols)
+		for j := range owner[i] {
+			owner[i][j] = -1
+		}
+	}
+	for r := 0; r < l.Procs(); r++ {
+		for _, p := range l.Pieces(r) {
+			for i := p.R0; i < p.R0+p.Rows; i++ {
+				for j := p.C0; j < p.C0+p.Cols; j++ {
+					owner[i][j] = r
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d over %d ranks (cell = %dx%d elements)\n",
+		rows, cols, l.Procs(), sr, sc)
+	for i := 0; i < rows; i += sr {
+		for j := 0; j < cols; j += sc {
+			b.WriteString(symbol(owner[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// symbol maps a rank to a compact display token: 0-9, a-z, A-Z, then
+// bracketed numbers; -1 (unowned) is ".".
+func symbol(rank int) string {
+	switch {
+	case rank < 0:
+		return "."
+	case rank < 10:
+		return string(rune('0' + rank))
+	case rank < 36:
+		return string(rune('a' + rank - 10))
+	case rank < 62:
+		return string(rune('A' + rank - 36))
+	default:
+		return fmt.Sprintf("[%d]", rank)
+	}
+}

@@ -1,0 +1,309 @@
+// Package experiments regenerates every table and figure of the
+// CA3DMM paper's evaluation (Section IV): Figures 3-5 and Tables I-III
+// plus the l-parameter sweep. Paper-scale rows are produced by the
+// cluster cost model (internal/sim) driving the algorithms' real
+// planners; each driver also has a scaled-down twin (real.go) that
+// executes the actual distributed algorithms on goroutine ranks and
+// checks the same qualitative orderings.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Class is one of the paper's four problem classes.
+type Class struct {
+	Name    string
+	M, N, K int
+}
+
+// PaperClasses are the CPU experiment dimensions of Figures 3-5 and
+// Tables I-II (units: matrix elements).
+func PaperClasses() []Class {
+	return []Class{
+		{"square", 50000, 50000, 50000},
+		{"large-K", 6000, 6000, 1200000},
+		{"large-M", 1200000, 6000, 6000},
+		{"flat", 100000, 100000, 5000},
+	}
+}
+
+// GPUClasses are the Table III dimensions.
+func GPUClasses() []Class {
+	return []Class{
+		{"square", 50000, 50000, 50000},
+		{"large-K", 10000, 10000, 300000},
+		{"large-M", 300000, 10000, 10000},
+		{"flat", 50000, 50000, 10000},
+	}
+}
+
+// ProcCounts is the strong-scaling x axis of Figures 3-4 and Table I.
+var ProcCounts = []int{192, 384, 768, 1536, 3072}
+
+// Fig3 regenerates Figure 3: strong-scaling percent-of-peak for
+// COSMA, CA3DMM, and CTF with library-native layouts, plus the 1D
+// column "custom layout" curves for COSMA and CA3DMM.
+func Fig3(w io.Writer, mach sim.Machine) error {
+	fmt.Fprintf(w, "# Figure 3: strong scaling, %% of peak (modeled on %s)\n", mach.Name)
+	for _, cl := range PaperClasses() {
+		fmt.Fprintf(w, "\n## Fig 3 %s: m,n,k = %d, %d, %d\n", cl.Name, cl.M, cl.N, cl.K)
+		fmt.Fprintf(w, "%8s %14s %14s %14s %14s %14s\n",
+			"procs", "cosma-native", "ca3dmm-native", "ctf-native", "cosma-1Dcol", "ca3dmm-1Dcol")
+		for _, p := range ProcCounts {
+			row := []string{}
+			for _, run := range []struct {
+				alg    sim.Alg
+				layout sim.Layout
+			}{
+				{sim.AlgCOSMA, sim.Native}, {sim.AlgCA3DMM, sim.Native}, {sim.AlgCTF, sim.Native},
+				{sim.AlgCOSMA, sim.Col1D}, {sim.AlgCA3DMM, sim.Col1D},
+			} {
+				est, err := sim.Predict(mach, sim.Spec{
+					M: cl.M, N: cl.N, K: cl.K, Ranks: p, ThreadsPerRank: 1,
+					Alg: run.alg, Layout: run.layout,
+				})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%13.1f%%", 100*est.PctPeak))
+			}
+			fmt.Fprintf(w, "%8d %s %s %s %s %s\n", p, row[0], row[1], row[2], row[3], row[4])
+		}
+	}
+	return nil
+}
+
+// Fig4 regenerates Figure 4: pure-MPI vs MPI+OpenMP runtimes.
+func Fig4(w io.Writer, mach sim.Machine) error {
+	fmt.Fprintf(w, "# Figure 4: pure MPI vs MPI+OpenMP hybrid, runtime seconds (modeled on %s)\n", mach.Name)
+	for _, cl := range PaperClasses() {
+		fmt.Fprintf(w, "\n## Fig 4 %s: m,n,k = %d, %d, %d\n", cl.Name, cl.M, cl.N, cl.K)
+		fmt.Fprintf(w, "%8s %12s %12s %12s %12s %12s %12s\n",
+			"cores", "cosma-mpi", "cosma-hyb", "ca3dmm-mpi", "ca3dmm-hyb", "ctf-mpi", "ctf-hyb")
+		for _, cores := range ProcCounts {
+			row := []string{}
+			for _, alg := range []sim.Alg{sim.AlgCOSMA, sim.AlgCA3DMM, sim.AlgCTF} {
+				pure, err := sim.Predict(mach, sim.Spec{
+					M: cl.M, N: cl.N, K: cl.K, Ranks: cores, ThreadsPerRank: 1, Alg: alg,
+				})
+				if err != nil {
+					return err
+				}
+				hyb, err := sim.Predict(mach, sim.Spec{
+					M: cl.M, N: cl.N, K: cl.K,
+					Ranks: cores / mach.CoresPerNode, ThreadsPerRank: mach.CoresPerNode, Alg: alg,
+				})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%11.3fs", pure.Total), fmt.Sprintf("%11.3fs", hyb.Total))
+			}
+			fmt.Fprintf(w, "%8d %s %s %s %s %s %s\n", cores, row[0], row[1], row[2], row[3], row[4], row[5])
+		}
+	}
+	return nil
+}
+
+// Fig5 regenerates Figure 5: relative runtime breakdowns at 2048
+// cores, normalized so each class's COSMA total equals 1.
+func Fig5(w io.Writer, mach sim.Machine) error {
+	fmt.Fprintf(w, "# Figure 5: runtime breakdown at 2048 cores, normalized to COSMA total (modeled)\n")
+	fmt.Fprintf(w, "%-8s %-8s %10s %14s %10s %8s %8s\n",
+		"class", "lib", "local-MM", "replicate-A,B", "reduce-C", "other", "total")
+	for _, cl := range PaperClasses() {
+		var cosmaTotal float64
+		for _, alg := range []sim.Alg{sim.AlgCOSMA, sim.AlgCA3DMM} {
+			est, err := sim.Predict(mach, sim.Spec{
+				M: cl.M, N: cl.N, K: cl.K, Ranks: 2048, ThreadsPerRank: 1, Alg: alg,
+			})
+			if err != nil {
+				return err
+			}
+			if alg == sim.AlgCOSMA {
+				cosmaTotal = est.Total
+			}
+			other := est.Spread + est.Redist
+			fmt.Fprintf(w, "%-8s %-8s %10.3f %14.3f %10.3f %8.3f %8.3f\n",
+				cl.Name, alg,
+				est.Compute/cosmaTotal, est.ReplAB/cosmaTotal, est.ReduceC/cosmaTotal,
+				other/cosmaTotal, est.Total/cosmaTotal)
+		}
+	}
+	return nil
+}
+
+// Table1 regenerates Table I: memory usage per process in MB.
+// Paper-reported values are printed alongside for comparison.
+func Table1(w io.Writer, mach sim.Machine) error {
+	paper := map[string]map[string][5]int{
+		"COSMA": {
+			"square":  {2086, 1242, 770, 484, 292},
+			"large-K": {848, 561, 424, 283, 171},
+			"large-M": {848, 561, 424, 283, 171},
+			"flat":    {993, 616, 387, 293, 176},
+		},
+		"CA3DMM": {
+			"square":  {1490, 696, 398, 137, 106},
+			"large-K": {1987, 1397, 497, 284, 125},
+			"large-M": {1428, 851, 710, 213, 102},
+			"flat":    {1797, 855, 433, 206, 128},
+		},
+	}
+	fmt.Fprintf(w, "# Table I: memory per process (MB); 'paper' columns are the published values\n")
+	fmt.Fprintf(w, "%-8s %-8s", "lib", "class")
+	for _, p := range ProcCounts {
+		fmt.Fprintf(w, " %7d %7s", p, "paper")
+	}
+	fmt.Fprintln(w)
+	for _, lib := range []string{"COSMA", "CA3DMM"} {
+		alg := sim.AlgCOSMA
+		if lib == "CA3DMM" {
+			alg = sim.AlgCA3DMM
+		}
+		for _, cl := range PaperClasses() {
+			fmt.Fprintf(w, "%-8s %-8s", lib, cl.Name)
+			for pi, p := range ProcCounts {
+				est, err := sim.Predict(mach, sim.Spec{
+					M: cl.M, N: cl.N, K: cl.K, Ranks: p, ThreadsPerRank: 1, Alg: alg,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %7.0f %7d", est.MemPerRankBytes/1e6, paper[lib][cl.Name][pi])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Table2Row is one Table II configuration.
+type Table2Row struct {
+	Cores      int
+	Class      Class
+	Pm, Pn, Pk int     // 0,0,0 = library default grid
+	PaperCOSMA float64 // published runtime, seconds (0 = not published)
+	PaperCA    float64
+}
+
+// Table2Rows returns the paper's Table II configurations, including
+// the italic (forced, non-default) grids.
+func Table2Rows() []Table2Row {
+	cls := PaperClasses()
+	sq, lk, lm, fl := cls[0], cls[1], cls[2], cls[3]
+	return []Table2Row{
+		{2048, sq, 8, 16, 16, 2.65, 2.46},
+		{2048, lk, 2, 2, 512, 0.84, 0.78},
+		{2048, lm, 512, 2, 2, 0.82, 0.82},
+		{2048, fl, 32, 32, 2, 1.03, 1.02},
+		{3072, sq, 16, 16, 12, 2.11, 1.75},
+		{3072, sq, 12, 16, 16, 1.88, 0},
+		{3072, lk, 4, 2, 384, 0.61, 0.54},
+		{3072, lk, 3, 3, 341, 0, 0.62},
+		{3072, lm, 384, 4, 2, 0, 0.58},
+		{3072, lm, 512, 2, 3, 0.6, 0},
+		{3072, fl, 32, 32, 3, 0.85, 0.82},
+		{3072, fl, 39, 39, 2, 0, 0.70},
+		{3072, fl, 32, 48, 2, 0.77, 0},
+	}
+}
+
+// Table2 regenerates Table II: runtimes under explicit process grids.
+func Table2(w io.Writer, mach sim.Machine) error {
+	fmt.Fprintf(w, "# Table II: runtime (s) with forced process grids; paper values alongside\n")
+	fmt.Fprintf(w, "%6s %-8s %13s %10s %10s %10s %10s\n",
+		"cores", "class", "pm,pn,pk", "cosma", "paper", "ca3dmm", "paper")
+	for _, r := range Table2Rows() {
+		var vals [2]string
+		for i, alg := range []sim.Alg{sim.AlgCOSMA, sim.AlgCA3DMM} {
+			est, err := sim.Predict(mach, sim.Spec{
+				M: r.Class.M, N: r.Class.N, K: r.Class.K, Ranks: r.Cores, ThreadsPerRank: 1,
+				Alg: alg, GridPm: r.Pm, GridPn: r.Pn, GridPk: r.Pk,
+			})
+			if err != nil {
+				// CA3DMM cannot use grids violating its divisibility
+				// constraint (the paper gives such rows to COSMA only).
+				vals[i] = "         -"
+				continue
+			}
+			vals[i] = fmt.Sprintf("%9.2fs", est.Total)
+		}
+		pap := func(v float64) string {
+			if v == 0 {
+				return "         -"
+			}
+			return fmt.Sprintf("%9.2fs", v)
+		}
+		fmt.Fprintf(w, "%6d %-8s %4d,%4d,%4d %s %s %s %s\n",
+			r.Cores, r.Class.Name, r.Pm, r.Pn, r.Pk, vals[0], pap(r.PaperCOSMA), vals[1], pap(r.PaperCA))
+	}
+	return nil
+}
+
+// Table3 regenerates Table III: GPU runtimes at 16 and 32 GPUs.
+func Table3(w io.Writer, mach sim.Machine) error {
+	paper := map[int]map[string][3]float64{ // cosma, ca3dmm, ctf
+		16: {
+			"square":  {5.45, 6.44, 15.46},
+			"large-K": {0.91, 0.94, 4.64},
+			"large-M": {0.90, 0.89, 13.77},
+			"flat":    {1.22, 1.23, 11.61},
+		},
+		32: {
+			"square":  {4.70, 5.39, 15.20},
+			"large-K": {0.70, 0.78, 3.70},
+			"large-M": {0.64, 0.65, 14.82},
+			"flat":    {0.82, 0.84, 12.46},
+		},
+	}
+	fmt.Fprintf(w, "# Table III: GPU runtime (s); paper values alongside\n")
+	fmt.Fprintf(w, "%5s %-8s %9s %7s %9s %7s %9s %7s\n",
+		"gpus", "class", "cosma", "paper", "ca3dmm", "paper", "ctf", "paper")
+	for _, gpus := range []int{16, 32} {
+		for _, cl := range GPUClasses() {
+			row := []string{}
+			for ai, alg := range []sim.Alg{sim.AlgCOSMA, sim.AlgCA3DMM, sim.AlgCTF} {
+				est, err := sim.Predict(mach, sim.Spec{
+					M: cl.M, N: cl.N, K: cl.K, Ranks: gpus, Device: sim.GPU, Alg: alg,
+				})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%8.2fs", est.Total),
+					fmt.Sprintf("%6.2fs", paper[gpus][cl.Name][ai]))
+			}
+			fmt.Fprintf(w, "%5d %-8s %s %s %s %s %s %s\n",
+				gpus, cl.Name, row[0], row[1], row[2], row[3], row[4], row[5])
+		}
+	}
+	return nil
+}
+
+// LSweep regenerates the Section IV-A check: process grids chosen for
+// l in [0.85, 0.99].
+func LSweep(w io.Writer) error {
+	fmt.Fprintf(w, "# l-parameter sweep (Section IV-A): grid chosen per utilization bound, P=3072\n")
+	fmt.Fprintf(w, "%-8s", "class")
+	ls := []float64{0.85, 0.90, 0.95, 0.99}
+	for _, l := range ls {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("l=%.2f", l))
+	}
+	fmt.Fprintln(w)
+	for _, cl := range PaperClasses() {
+		fmt.Fprintf(w, "%-8s", cl.Name)
+		for _, l := range ls {
+			g, err := grid.Optimize(cl.M, cl.N, cl.K, 3072, grid.Options{LowerUtil: l})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %14s", fmt.Sprintf("%d,%d,%d", g.Pm, g.Pn, g.Pk))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDriversProduceOutput(t *testing.T) {
+	mach := sim.Phoenix()
+	for name, f := range map[string]func() (string, error){
+		"fig3": func() (string, error) {
+			var b bytes.Buffer
+			err := Fig3(&b, mach)
+			return b.String(), err
+		},
+		"fig4": func() (string, error) {
+			var b bytes.Buffer
+			err := Fig4(&b, mach)
+			return b.String(), err
+		},
+		"fig5": func() (string, error) {
+			var b bytes.Buffer
+			err := Fig5(&b, mach)
+			return b.String(), err
+		},
+		"table1": func() (string, error) {
+			var b bytes.Buffer
+			err := Table1(&b, mach)
+			return b.String(), err
+		},
+		"table2": func() (string, error) {
+			var b bytes.Buffer
+			err := Table2(&b, mach)
+			return b.String(), err
+		},
+		"table3": func() (string, error) {
+			var b bytes.Buffer
+			err := Table3(&b, mach)
+			return b.String(), err
+		},
+		"lsweep": func() (string, error) {
+			var b bytes.Buffer
+			err := LSweep(&b)
+			return b.String(), err
+		},
+	} {
+		out, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 100 {
+			t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+		}
+		for _, cl := range []string{"square", "large-K", "large-M", "flat"} {
+			if !strings.Contains(out, cl) {
+				t.Fatalf("%s: missing class %s", name, cl)
+			}
+		}
+	}
+}
+
+func TestFig5NormalizedToCOSMA(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig5(&b, sim.Phoenix()); err != nil {
+		t.Fatal(err)
+	}
+	// Every COSMA row must end with total 1.000.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "cosma") && !strings.HasSuffix(strings.TrimSpace(line), "1.000") {
+			t.Fatalf("COSMA row not normalized: %q", line)
+		}
+	}
+}
+
+func TestTable2CoversPaperRows(t *testing.T) {
+	rows := Table2Rows()
+	if len(rows) < 12 {
+		t.Fatalf("only %d Table II rows", len(rows))
+	}
+	seen2048, seen3072 := 0, 0
+	for _, r := range rows {
+		switch r.Cores {
+		case 2048:
+			seen2048++
+		case 3072:
+			seen3072++
+		}
+	}
+	if seen2048 != 4 || seen3072 < 8 {
+		t.Fatalf("row coverage: %d at 2048, %d at 3072", seen2048, seen3072)
+	}
+}
+
+func TestRealScaledSmall(t *testing.T) {
+	// Full real-execution sweep at P=8; validates every algorithm on
+	// every class and checks the printed report.
+	var b bytes.Buffer
+	if err := RealScaled(&b, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, alg := range []string{"cosma", "ca3dmm", "ctf"} {
+		if !strings.Contains(out, alg) {
+			t.Fatalf("missing %s in real output:\n%s", alg, out)
+		}
+	}
+}
+
+func TestRealGridSweepRuns(t *testing.T) {
+	var b bytes.Buffer
+	if err := RealGridSweep(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("default grid marker missing")
+	}
+}
+
+func TestRunRealRejectsUnknown(t *testing.T) {
+	if _, err := runReal("nope", Class{"x", 4, 4, 4}, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	var b bytes.Buffer
+	if err := Sensitivity(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Frontier-class") {
+		t.Fatalf("missing frontier section:\n%s", out)
+	}
+	// At 4x bandwidth the communication share must be lower than at
+	// 0.25x for the square class: grep the first and last square rows.
+	lines := strings.Split(out, "\n")
+	var first, last string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "square") {
+			if first == "" {
+				first = ln
+			}
+			last = ln
+		}
+	}
+	if first == "" || first == last {
+		t.Fatalf("square rows missing:\n%s", out)
+	}
+}
+
+func TestWeakScaling(t *testing.T) {
+	var b bytes.Buffer
+	if err := WeakScaling(&b, sim.Phoenix()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("short output:\n%s", b.String())
+	}
+	// Weak-scaling efficiency must stay reasonable (>40%) for CA3DMM
+	// across the sweep: the last row's efficiency column.
+	last := lines[len(lines)-1]
+	fields := strings.Fields(last)
+	eff := fields[len(fields)-1]
+	var v float64
+	if _, err := fmt.Sscanf(eff, "%f%%", &v); err != nil {
+		t.Fatalf("cannot parse efficiency %q", eff)
+	}
+	if v < 40 {
+		t.Fatalf("weak-scaling efficiency %v%% too low:\n%s", v, b.String())
+	}
+}
+
+func TestRealMemoryTableRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real executions")
+	}
+	var b bytes.Buffer
+	if err := RealMemoryTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ca3dmm") || !strings.Contains(b.String(), "P=32") {
+		t.Fatalf("memory table malformed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+// Frontier describes a hypothetical successor cluster: AMD EPYC class
+// nodes on a 4x faster interconnect. It is used by the sensitivity
+// study to ask how the paper's conclusions shift as the
+// compute/communication balance moves — the question a reader of the
+// paper would ask before adopting CA3DMM on newer hardware.
+func Frontier() sim.Machine {
+	return sim.Machine{
+		Name:         "Frontier-class",
+		CoresPerNode: 64,
+		// Zen-class core: 2 AVX2-512-ish FMA pipes at ~2.0 GHz AVX.
+		CorePeak:        64e9,
+		CoreGemm:        48e9,
+		GemmParallelEff: 0.92,
+
+		GPUsPerNode: 4,
+		GPUGemm:     20e12,      // MI250X-class FP64
+		PCIeBeta:    1.0 / 36e9, // faster host link
+
+		Intra: costmodel.Net{Alpha: 0.3e-6, Beta: 1.0 / 30e9},
+		// 4x the paper's IB: ~50 GB/s per node, lower latency.
+		Inter: costmodel.Net{Alpha: 0.9e-6, Beta: 1.0 / 50e9},
+
+		SingleStream: 3.0,
+		PackBeta:     1.0 / 2e9,
+		RSFudge:      1.5,
+	}
+}
+
+// Sensitivity sweeps the inter-node bandwidth around the paper's
+// machine and reports how the CA3DMM-vs-COSMA and pure-vs-hybrid
+// verdicts respond. The qualitative expectations: faster networks
+// shrink every gap (compute dominates), slower networks amplify
+// CA3DMM's communication-pattern advantage on square/flat problems.
+func Sensitivity(w io.Writer) error {
+	base := sim.Phoenix()
+	fmt.Fprintf(w, "# Network sensitivity: scale the %s inter-node bandwidth, P=2048, pure MPI\n", base.Name)
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %14s %14s\n",
+		"class", "BW-scale", "ca3dmm(s)", "cosma(s)", "ca3dmm/cosma", "comm-share")
+	for _, cl := range PaperClasses() {
+		for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+			mach := base
+			mach.Inter.Beta = base.Inter.Beta / scale
+			ca, err := sim.Predict(mach, sim.Spec{M: cl.M, N: cl.N, K: cl.K, Ranks: 2048, ThreadsPerRank: 1, Alg: sim.AlgCA3DMM})
+			if err != nil {
+				return err
+			}
+			co, err := sim.Predict(mach, sim.Spec{M: cl.M, N: cl.N, K: cl.K, Ranks: 2048, ThreadsPerRank: 1, Alg: sim.AlgCOSMA})
+			if err != nil {
+				return err
+			}
+			commShare := (ca.Total - ca.Compute) / ca.Total
+			fmt.Fprintf(w, "%-8s %7.2fx %12.3f %12.3f %14.3f %13.1f%%\n",
+				cl.Name, scale, ca.Total, co.Total, ca.Total/co.Total, 100*commShare)
+		}
+	}
+
+	fmt.Fprintf(w, "\n# Same study on a %s machine (Table III-style GPU run, 16 GPUs)\n", Frontier().Name)
+	fmt.Fprintf(w, "%-8s %12s %12s %10s\n", "class", "ca3dmm(s)", "cosma(s)", "ctf(s)")
+	for _, cl := range GPUClasses() {
+		row := make([]float64, 3)
+		for i, alg := range []sim.Alg{sim.AlgCA3DMM, sim.AlgCOSMA, sim.AlgCTF} {
+			est, err := sim.Predict(Frontier(), sim.Spec{M: cl.M, N: cl.N, K: cl.K, Ranks: 16, Device: sim.GPU, Alg: alg})
+			if err != nil {
+				return err
+			}
+			row[i] = est.Total
+		}
+		fmt.Fprintf(w, "%-8s %12.3f %12.3f %10.3f\n", cl.Name, row[0], row[1], row[2])
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// WeakScaling complements the paper's strong-scaling study (Fig. 3)
+// with the other standard view: per-process work held constant while
+// P grows. For the square class the dimension grows as N ∝ P^{1/3};
+// ideal weak scaling keeps the runtime flat, and the communication
+// share (which grows like P^{1/3} relative to compute under the
+// surface lower bound Q = 3(mnk/P)^{2/3}... per-rank compute constant,
+// per-rank volume constant, but latency terms and NIC contention grow)
+// shows where each algorithm departs from ideal.
+func WeakScaling(w io.Writer, mach sim.Machine) error {
+	const baseN = 20000 // per the paper's square class at 192 procs scaled down
+	const baseP = 192
+	fmt.Fprintf(w, "# Weak scaling (square class): N = %d * (P/%d)^(1/3), pure MPI (modeled on %s)\n",
+		baseN, baseP, mach.Name)
+	fmt.Fprintf(w, "%8s %8s %12s %12s %12s %14s\n",
+		"procs", "N", "ca3dmm(s)", "cosma(s)", "ctf(s)", "ca3dmm-eff")
+	var base float64
+	for _, p := range ProcCounts {
+		n := int(float64(baseN) * math.Cbrt(float64(p)/float64(baseP)))
+		row := make([]float64, 3)
+		for i, alg := range []sim.Alg{sim.AlgCA3DMM, sim.AlgCOSMA, sim.AlgCTF} {
+			est, err := sim.Predict(mach, sim.Spec{M: n, N: n, K: n, Ranks: p, ThreadsPerRank: 1, Alg: alg})
+			if err != nil {
+				return err
+			}
+			row[i] = est.Total
+		}
+		if p == ProcCounts[0] {
+			base = row[0]
+		}
+		fmt.Fprintf(w, "%8d %8d %12.3f %12.3f %12.3f %13.1f%%\n",
+			p, n, row[0], row[1], row[2], 100*base/row[0])
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package gca implements the Generalized Cannon's Algorithm (Lee,
+// Robertson & Fortes, ICS 1997) for rectangular process grids.
+//
+// The CA3DMM paper discusses GCA as the obvious way to run a 2D kernel
+// on a non-square pm x pn grid and rejects it: "GCA is designed for
+// block-cyclic distributed matrices and it also has some restrictions
+// on the matrix dimensions. Instead of using GCA, we add an
+// intermediate layer between the k-task group and the original
+// Cannon's algorithm" (the Cannon-group construction with the
+// divisibility constraint (7)). This package exists so that choice can
+// be measured: benchmarks compare GCA's shift traffic on a rectangular
+// grid against CA3DMM's allgather-plus-square-Cannon on the same
+// problem.
+//
+// Structure: on a pr x pc grid with L = lcm(pr, pc), the inner
+// dimension is split into L fine blocks. Process (i, j) initially
+// holds the fine A-blocks {l : l ≡ i + j (mod pc)} (block-cyclic along
+// its row) and fine B-blocks {l : l ≡ i + j (mod pr)}. Stage
+// t ∈ [0, L) multiplies the aligned pair l = (i + j + t) mod L, then
+// every process circularly shifts its whole A holding left and its
+// whole B holding up. Restrictions, as the paper notes: the dimensions
+// must divide evenly (pr | M, pc | N, L | K).
+package gca
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Config describes one GCA multiplication C(MxN) = A(MxK)·B(KxN) on a
+// Pr x Pc grid (rank = row*Pc + col).
+type Config struct {
+	Pr, Pc  int
+	M, K, N int
+}
+
+// Timings splits wall time into shift communication and local compute.
+type Timings struct {
+	Comm    time.Duration
+	Compute time.Duration
+}
+
+// LCM returns the least common multiple of the grid sides.
+func (cfg Config) LCM() int {
+	return cfg.Pr / gcd(cfg.Pr, cfg.Pc) * cfg.Pc
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Validate checks GCA's dimension restrictions.
+func (cfg Config) Validate() error {
+	if cfg.Pr <= 0 || cfg.Pc <= 0 {
+		return fmt.Errorf("gca: invalid grid %dx%d", cfg.Pr, cfg.Pc)
+	}
+	l := cfg.LCM()
+	if cfg.M%cfg.Pr != 0 {
+		return fmt.Errorf("gca: m=%d not divisible by pr=%d (GCA dimension restriction)", cfg.M, cfg.Pr)
+	}
+	if cfg.N%cfg.Pc != 0 {
+		return fmt.Errorf("gca: n=%d not divisible by pc=%d (GCA dimension restriction)", cfg.N, cfg.Pc)
+	}
+	if cfg.K%l != 0 {
+		return fmt.Errorf("gca: k=%d not divisible by lcm(pr,pc)=%d (GCA dimension restriction)", cfg.K, l)
+	}
+	return nil
+}
+
+// AHolding returns the fine-block indices of A initially held by grid
+// position (i, j), in ascending order: {l : l ≡ (i+j) mod pc}.
+func (cfg Config) AHolding(i, j int) []int {
+	l := cfg.LCM()
+	var out []int
+	for b := 0; b < l; b++ {
+		if b%cfg.Pc == (i+j)%cfg.Pc {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BHolding returns the fine-block indices of B initially held by
+// (i, j): {l : l ≡ (i+j) mod pr}.
+func (cfg Config) BHolding(i, j int) []int {
+	l := cfg.LCM()
+	var out []int
+	for b := 0; b < l; b++ {
+		if b%cfg.Pr == (i+j)%cfg.Pr {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Multiply runs GCA. The communicator must have exactly Pr*Pc ranks in
+// row-major order. a maps fine-block index -> the (M/Pr) x (K/L) block
+// A(i-th row band, l-th fine k-range) for each l in AHolding;
+// similarly b holds (K/L) x (N/Pc) blocks for BHolding. Returns the
+// caller's (M/Pr) x (N/Pc) block of C.
+func Multiply(c *mpi.Comm, a, b map[int]*mat.Dense, cfg Config) (*mat.Dense, Timings) {
+	var tm Timings
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if c.Size() != cfg.Pr*cfg.Pc {
+		panic(fmt.Sprintf("gca: communicator size %d != %dx%d", c.Size(), cfg.Pr, cfg.Pc))
+	}
+	L := cfg.LCM()
+	i, j := c.Rank()/cfg.Pc, c.Rank()%cfg.Pc
+	mb, kb, nb := cfg.M/cfg.Pr, cfg.K/L, cfg.N/cfg.Pc
+
+	// Copy holdings into ordered working sets; position in the slice
+	// is stable under shifting (every process holds the same count).
+	aIdx := cfg.AHolding(i, j)
+	bIdx := cfg.BHolding(i, j)
+	if len(a) != len(aIdx) || len(b) != len(bIdx) {
+		panic(fmt.Sprintf("gca: rank %d holds %d/%d A blocks and %d/%d B blocks",
+			c.Rank(), len(a), len(aIdx), len(b), len(bIdx)))
+	}
+	aHold := make([]tagged, 0, len(aIdx))
+	for _, l := range aIdx {
+		blk, ok := a[l]
+		if !ok || blk.Rows != mb || blk.Cols != kb {
+			panic(fmt.Sprintf("gca: rank %d missing or misshapen A fine block %d", c.Rank(), l))
+		}
+		aHold = append(aHold, tagged{l, blk.Clone()})
+	}
+	bHold := make([]tagged, 0, len(bIdx))
+	for _, l := range bIdx {
+		blk, ok := b[l]
+		if !ok || blk.Rows != kb || blk.Cols != nb {
+			panic(fmt.Sprintf("gca: rank %d missing or misshapen B fine block %d", c.Rank(), l))
+		}
+		bHold = append(bHold, tagged{l, blk.Clone()})
+	}
+
+	rank := func(r, cc int) int {
+		return ((r+cfg.Pr)%cfg.Pr)*cfg.Pc + (cc+cfg.Pc)%cfg.Pc
+	}
+	cOut := mat.New(mb, nb)
+	const tagA, tagB = 0, 1
+
+	findBlock := func(hold []tagged, l int) *mat.Dense {
+		for _, tb := range hold {
+			if tb.l == l {
+				return tb.blk
+			}
+		}
+		panic(fmt.Sprintf("gca: rank %d does not hold fine block %d at its stage (alignment bug)", c.Rank(), l))
+	}
+
+	for t := 0; t < L; t++ {
+		l := (i + j + t) % L
+		tg := time.Now()
+		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, findBlock(aHold, l), findBlock(bHold, l), 1, cOut)
+		tm.Compute += time.Since(tg)
+
+		if t == L-1 {
+			break
+		}
+		// Shift all A holdings left along the row, all B holdings up
+		// along the column. Payloads carry (index, data) pairs so
+		// receivers re-tag their holdings.
+		tc := time.Now()
+		aBuf := packHoldings(aHold, mb*kb)
+		bBuf := packHoldings(bHold, kb*nb)
+		aGot := c.Sendrecv(rank(i, j-1), rank(i, j+1), tagA, aBuf)
+		bGot := c.Sendrecv(rank(i-1, j), rank(i+1, j), tagB, bBuf)
+		unpackHoldings(aHold, aGot, mb, kb)
+		unpackHoldings(bHold, bGot, kb, nb)
+		tm.Comm += time.Since(tc)
+	}
+	return cOut, tm
+}
+
+// tagged pairs a fine-block index with its data while circulating.
+type tagged struct {
+	l   int
+	blk *mat.Dense
+}
+
+// packHoldings serializes holdings as [index, elements...] tuples.
+func packHoldings(hold []tagged, blkLen int) []float64 {
+	out := make([]float64, 0, len(hold)*(1+blkLen))
+	for _, tb := range hold {
+		out = append(out, float64(tb.l))
+		out = append(out, tb.blk.Pack()...)
+	}
+	return out
+}
+
+func unpackHoldings(hold []tagged, buf []float64, rows, cols int) {
+	blkLen := rows * cols
+	if len(buf) != len(hold)*(1+blkLen) {
+		panic(fmt.Sprintf("gca: holding payload %d, want %d", len(buf), len(hold)*(1+blkLen)))
+	}
+	off := 0
+	for idx := range hold {
+		hold[idx].l = int(buf[off])
+		off++
+		hold[idx].blk.Unpack(buf[off : off+blkLen])
+		off += blkLen
+	}
+}

@@ -1,0 +1,208 @@
+package gca
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// runGCA distributes A and B per the GCA block-cyclic holdings,
+// multiplies, and assembles C.
+func runGCA(t testing.TB, a, b *mat.Dense, cfg Config) *mat.Dense {
+	t.Helper()
+	L := cfg.LCM()
+	mb, kb, nb := cfg.M/cfg.Pr, cfg.K/L, cfg.N/cfg.Pc
+	out := mat.New(cfg.M, cfg.N)
+	var mu sync.Mutex
+	_, err := mpi.Run(cfg.Pr*cfg.Pc, func(c *mpi.Comm) {
+		i, j := c.Rank()/cfg.Pc, c.Rank()%cfg.Pc
+		aBlocks := map[int]*mat.Dense{}
+		for _, l := range cfg.AHolding(i, j) {
+			aBlocks[l] = a.View(i*mb, l*kb, mb, kb).Clone()
+		}
+		bBlocks := map[int]*mat.Dense{}
+		for _, l := range cfg.BHolding(i, j) {
+			bBlocks[l] = b.View(l*kb, j*nb, kb, nb).Clone()
+		}
+		cLoc, _ := Multiply(c, aBlocks, bBlocks, cfg)
+		mu.Lock()
+		out.View(i*mb, j*nb, mb, nb).CopyFrom(cLoc)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func ref(a, b *mat.Dense) *mat.Dense {
+	c := mat.New(a.Rows, b.Cols)
+	mat.GemmRef(mat.NoTrans, mat.NoTrans, 1, a, b, 0, c)
+	return c
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ pr, pc, want int }{
+		{2, 4, 4}, {3, 3, 3}, {2, 3, 6}, {4, 6, 12}, {1, 5, 5},
+	}
+	for _, tc := range cases {
+		if got := (Config{Pr: tc.pr, Pc: tc.pc}).LCM(); got != tc.want {
+			t.Fatalf("lcm(%d,%d) = %d, want %d", tc.pr, tc.pc, got, tc.want)
+		}
+	}
+}
+
+func TestValidateRestrictions(t *testing.T) {
+	// The dimension restrictions the paper cites.
+	if err := (Config{Pr: 2, Pc: 3, M: 10, K: 12, N: 9}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (Config{Pr: 2, Pc: 3, M: 11, K: 12, N: 9}).Validate(); err == nil {
+		t.Fatal("m not divisible by pr must be rejected")
+	}
+	if err := (Config{Pr: 2, Pc: 3, M: 10, K: 10, N: 9}).Validate(); err == nil {
+		t.Fatal("k not divisible by lcm must be rejected")
+	}
+	if err := (Config{Pr: 2, Pc: 3, M: 10, K: 12, N: 10}).Validate(); err == nil {
+		t.Fatal("n not divisible by pc must be rejected")
+	}
+}
+
+func TestHoldingsPartition(t *testing.T) {
+	// The A holdings of one process row must partition [0, L) exactly,
+	// and likewise for B holdings of one column.
+	cfg := Config{Pr: 2, Pc: 3, M: 4, K: 12, N: 6}
+	L := cfg.LCM()
+	for i := 0; i < cfg.Pr; i++ {
+		seen := make([]bool, L)
+		for j := 0; j < cfg.Pc; j++ {
+			for _, l := range cfg.AHolding(i, j) {
+				if seen[l] {
+					t.Fatalf("row %d: fine block %d held twice", i, l)
+				}
+				seen[l] = true
+			}
+		}
+		for l, ok := range seen {
+			if !ok {
+				t.Fatalf("row %d: fine block %d unowned", i, l)
+			}
+		}
+	}
+	for j := 0; j < cfg.Pc; j++ {
+		seen := make([]bool, L)
+		for i := 0; i < cfg.Pr; i++ {
+			for _, l := range cfg.BHolding(i, j) {
+				if seen[l] {
+					t.Fatalf("col %d: fine block %d held twice", j, l)
+				}
+				seen[l] = true
+			}
+		}
+		for l, ok := range seen {
+			if !ok {
+				t.Fatalf("col %d: fine block %d unowned", j, l)
+			}
+		}
+	}
+}
+
+func TestSquareGridEqualsCannon(t *testing.T) {
+	// pr == pc: GCA degenerates to Cannon's algorithm (L = p, one
+	// block per process).
+	cfg := Config{Pr: 3, Pc: 3, M: 12, K: 12, N: 12}
+	a := mat.Random(12, 12, 1)
+	b := mat.Random(12, 12, 2)
+	got := runGCA(t, a, b, cfg)
+	if d := mat.MaxAbsDiff(got, ref(a, b)); d > 1e-10 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestRectangularGrids(t *testing.T) {
+	cases := []Config{
+		{Pr: 2, Pc: 4, M: 8, K: 16, N: 16},
+		{Pr: 4, Pc: 2, M: 16, K: 16, N: 8},
+		{Pr: 2, Pc: 3, M: 10, K: 18, N: 9},
+		{Pr: 3, Pc: 2, M: 9, K: 24, N: 8},
+		{Pr: 1, Pc: 4, M: 5, K: 8, N: 8},
+	}
+	for _, cfg := range cases {
+		a := mat.Random(cfg.M, cfg.K, 3)
+		b := mat.Random(cfg.K, cfg.N, 4)
+		got := runGCA(t, a, b, cfg)
+		if d := mat.MaxAbsDiff(got, ref(a, b)); d > 1e-10 {
+			t.Fatalf("%+v: diff %v", cfg, d)
+		}
+	}
+}
+
+func TestWrongHoldingsPanics(t *testing.T) {
+	cfg := Config{Pr: 1, Pc: 2, M: 2, K: 4, N: 4}
+	_, err := mpi.Run(2, func(c *mpi.Comm) {
+		Multiply(c, map[int]*mat.Dense{}, map[int]*mat.Dense{}, cfg)
+	})
+	if err == nil {
+		t.Fatal("expected holdings error")
+	}
+}
+
+// TestGCAMovesMoreThanCannonGroups quantifies why CA3DMM rejects GCA:
+// on a rectangular grid GCA circulates every holding every stage,
+// moving strictly more data than CA3DMM's allgather + square-Cannon
+// construction for the same k-task group.
+func TestGCAMovesMoreThanCannonGroups(t *testing.T) {
+	// 2 x 4 k-task group on a square-ish panel.
+	cfg := Config{Pr: 2, Pc: 4, M: 64, K: 64, N: 64}
+	a := mat.Random(cfg.M, cfg.K, 5)
+	b := mat.Random(cfg.K, cfg.N, 6)
+	L := cfg.LCM()
+	mb, kb, nb := cfg.M/cfg.Pr, cfg.K/L, cfg.N/cfg.Pc
+	rep, err := mpi.Run(cfg.Pr*cfg.Pc, func(c *mpi.Comm) {
+		i, j := c.Rank()/cfg.Pc, c.Rank()%cfg.Pc
+		aBlocks := map[int]*mat.Dense{}
+		for _, l := range cfg.AHolding(i, j) {
+			aBlocks[l] = a.View(i*mb, l*kb, mb, kb).Clone()
+		}
+		bBlocks := map[int]*mat.Dense{}
+		for _, l := range cfg.BHolding(i, j) {
+			bBlocks[l] = b.View(l*kb, j*nb, kb, nb).Clone()
+		}
+		Multiply(c, aBlocks, bBlocks, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcaBytes := rep.TotalBytesSent()
+	// GCA moves (L-1) stages x one full A copy + one full B copy
+	// spread over the grid; CA3DMM's construction for the same group
+	// (c=2 allgather of A + two 2x2 Cannons) moves far less. Assert
+	// the decisive gap rather than exact constants.
+	caBound := int64(8 * (cfg.M*cfg.K + cfg.K*cfg.N) * 3) // generous CA3DMM-side bound
+	if gcaBytes < caBound {
+		t.Fatalf("GCA moved %d bytes; expected well above the Cannon-group bound %d", gcaBytes, caBound)
+	}
+}
+
+func TestProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mat.NewRNG(seed)
+		pr := 1 + rng.Intn(3)
+		pc := 1 + rng.Intn(3)
+		cfg := Config{Pr: pr, Pc: pc}
+		L := cfg.LCM()
+		cfg.M = pr * (1 + rng.Intn(5))
+		cfg.N = pc * (1 + rng.Intn(5))
+		cfg.K = L * (1 + rng.Intn(5))
+		a := mat.Random(cfg.M, cfg.K, seed+1)
+		b := mat.Random(cfg.K, cfg.N, seed+2)
+		got := runGCA(t, a, b, cfg)
+		return mat.MaxAbsDiff(got, ref(a, b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package grid
+
+import "testing"
+
+// Fuzz targets complement the testing/quick properties with
+// coverage-guided exploration of the planners' input space. Run with:
+//
+//	go test -fuzz=FuzzOptimize ./internal/grid
+
+func FuzzOptimize(f *testing.F) {
+	f.Add(32, 64, 16, 8)
+	f.Add(1, 1, 1, 1)
+	f.Add(50000, 50000, 50000, 3072)
+	f.Add(7, 11, 13, 17)
+	f.Fuzz(func(t *testing.T, m, n, k, p int) {
+		if m <= 0 || n <= 0 || k <= 0 || p <= 0 || m > 1<<20 || n > 1<<20 || k > 1<<20 || p > 4096 {
+			t.Skip()
+		}
+		g, err := Optimize(m, n, k, p, Options{})
+		if err != nil {
+			t.Fatalf("Optimize(%d,%d,%d,%d): %v", m, n, k, p, err)
+		}
+		if g.Pm < 1 || g.Pn < 1 || g.Pk < 1 {
+			t.Fatalf("non-positive grid %v", g)
+		}
+		if g.Procs() > p {
+			t.Fatalf("grid %v oversubscribes P=%d", g, p)
+		}
+		if g.Pm > m || g.Pn > n || g.Pk > k {
+			t.Fatalf("grid %v exceeds dims %dx%dx%d", g, m, k, n)
+		}
+		hi, lo := g.Pm, g.Pn
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if hi%lo != 0 {
+			t.Fatalf("grid %v violates divisibility", g)
+		}
+	})
+}
+
+func FuzzOptimize2D(f *testing.F) {
+	f.Add(100, 100, 100, 16)
+	f.Add(3, 7, 5, 6)
+	f.Fuzz(func(t *testing.T, m, n, k, p int) {
+		if m <= 0 || n <= 0 || k <= 0 || p <= 0 || m > 1<<16 || n > 1<<16 || k > 1<<16 || p > 1024 {
+			t.Skip()
+		}
+		pr, pc, err := Optimize2D(m, n, k, p)
+		if err != nil {
+			t.Skip() // infeasible combinations are allowed to error
+		}
+		if pr*pc > p {
+			t.Fatalf("2D grid %dx%d oversubscribes %d processes", pr, pc, p)
+		}
+		if pr > m || pc > n {
+			t.Fatalf("2D grid %dx%d exceeds dims", pr, pc)
+		}
+	})
+}
+
+func FuzzFactorize(f *testing.F) {
+	f.Add(360)
+	f.Add(97)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 2 || n > 1<<24 {
+			t.Skip()
+		}
+		prod := 1
+		prev := 1
+		for _, p := range Factorize(n) {
+			if p < prev {
+				t.Fatalf("Factorize(%d) not sorted", n)
+			}
+			prev = p
+			prod *= p
+		}
+		if prod != n {
+			t.Fatalf("Factorize(%d) product %d", n, prod)
+		}
+	})
+}

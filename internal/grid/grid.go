@@ -1,0 +1,255 @@
+// Package grid selects process grids for parallel matrix
+// multiplication.
+//
+// Its central routine implements Section III-B of the CA3DMM paper:
+// enumerate all 3D grids pm × pk × pn, minimize the total subdomain
+// surface area (the total number of matrix elements transferred, paper
+// eq. 4) subject to the utilization constraint l·P ≤ pm·pk·pn ≤ P
+// (eq. 5) and the Cannon-group divisibility constraint
+// max(pm,pn) mod min(pm,pn) = 0 (eq. 7), breaking ties toward maximal
+// process utilization (eq. 6). The package also provides the
+// unconstrained optimizer used by the COSMA-style baseline and the 2D
+// grid chooser used by SUMMA.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a 3D process grid: Pm, Pn, and Pk processes along the m-, n-
+// and k-dimensions of the multiplication C(m×n) = A(m×k) · B(k×n).
+type Grid struct {
+	Pm, Pn, Pk int
+}
+
+// Procs returns the number of active processes, Pm·Pn·Pk.
+func (g Grid) Procs() int { return g.Pm * g.Pn * g.Pk }
+
+// CannonGroups returns c = max(Pm,Pn)/min(Pm,Pn), the number of Cannon
+// groups per k-task group (paper eq. 8). It panics if the grid violates
+// the divisibility constraint.
+func (g Grid) CannonGroups() int {
+	hi, lo := g.Pm, g.Pn
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if lo == 0 || hi%lo != 0 {
+		panic(fmt.Sprintf("grid: %v violates divisibility constraint", g))
+	}
+	return hi / lo
+}
+
+// CannonSize returns s = min(Pm,Pn), the side of the square Cannon
+// grids inside each k-task group.
+func (g Grid) CannonSize() int {
+	if g.Pm < g.Pn {
+		return g.Pm
+	}
+	return g.Pn
+}
+
+func (g Grid) String() string {
+	return fmt.Sprintf("%d x %d x %d (pm x pn x pk)", g.Pm, g.Pn, g.Pk)
+}
+
+// SurfaceCost evaluates the paper's objective (eq. 4): the total
+// number of matrix elements read and updated by all processes,
+// 2(pm·kn + pn·mk + pk·mn).
+func SurfaceCost(m, n, k int, g Grid) int64 {
+	return 2 * (int64(g.Pm)*int64(k)*int64(n) +
+		int64(g.Pn)*int64(m)*int64(k) +
+		int64(g.Pk)*int64(m)*int64(n))
+}
+
+// CommLowerBound returns the per-process communication lower bound in
+// matrix elements, Q = 3(mnk/P)^(2/3) (paper eq. 9).
+func CommLowerBound(m, n, k, p int) float64 {
+	return 3 * math.Pow(float64(m)*float64(n)*float64(k)/float64(p), 2.0/3.0)
+}
+
+// Options configures Optimize.
+type Options struct {
+	// LowerUtil is l in constraint (5): the grid must use at least
+	// l·P processes. Zero means the paper's default 0.95.
+	LowerUtil float64
+	// NoCannonConstraint drops the divisibility constraint (7); used
+	// by the CA3DMM-S (SUMMA inner kernel) variant and the COSMA-style
+	// baseline, which have no Cannon groups.
+	NoCannonConstraint bool
+	// MaxK caps Pk (0 = unlimited). Reducing the number of k-task
+	// groups is the paper's second memory-control knob (Section V).
+	MaxK int
+}
+
+const defaultLowerUtil = 0.95
+
+// Optimize returns the best grid for multiplying an m×k by a k×n
+// matrix on at most p processes, per the paper's objective and
+// constraints. A grid dimension never exceeds the corresponding matrix
+// dimension (a process with an empty block would idle anyway).
+func Optimize(m, n, k, p int, opt Options) (Grid, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return Grid{}, fmt.Errorf("grid: invalid problem %dx%dx%d", m, k, n)
+	}
+	if p <= 0 {
+		return Grid{}, fmt.Errorf("grid: invalid process count %d", p)
+	}
+	l := opt.LowerUtil
+	if l == 0 {
+		l = defaultLowerUtil
+	}
+	if l < 0 || l > 1 {
+		return Grid{}, fmt.Errorf("grid: utilization bound %v out of [0,1]", l)
+	}
+
+	best := Grid{}
+	var bestCost int64 = math.MaxInt64
+	bestProcs := 0
+	found := false
+	// The lower bound truncates: with the paper's l=0.95 and P=17 the
+	// bound is 16, which is what makes Example 3 (grid 2x2x4 on 17
+	// processes, one idle) feasible.
+	minProcs := int(l * float64(p))
+	if minProcs < 1 {
+		minProcs = 1
+	}
+
+	consider := func(g Grid) {
+		procs := g.Procs()
+		if procs < minProcs || procs > p {
+			return
+		}
+		if g.Pm > m || g.Pn > n || g.Pk > k {
+			return
+		}
+		if !opt.NoCannonConstraint {
+			hi, lo := g.Pm, g.Pn
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			if hi%lo != 0 {
+				return
+			}
+		}
+		if opt.MaxK > 0 && g.Pk > opt.MaxK {
+			return
+		}
+		cost := SurfaceCost(m, n, k, g)
+		switch {
+		case !found, cost < bestCost,
+			cost == bestCost && procs > bestProcs,
+			cost == bestCost && procs == bestProcs && lexLess(g, best):
+			best, bestCost, bestProcs, found = g, cost, procs, true
+		}
+	}
+
+	for pm := 1; pm <= p && pm <= m; pm++ {
+		for pn := 1; pm*pn <= p && pn <= n; pn++ {
+			rem := p / (pm * pn)
+			lowK := (minProcs + pm*pn - 1) / (pm * pn)
+			if lowK < 1 {
+				lowK = 1
+			}
+			for pk := lowK; pk <= rem; pk++ {
+				consider(Grid{Pm: pm, Pn: pn, Pk: pk})
+			}
+		}
+	}
+	if !found {
+		// Constraint (5) can be unsatisfiable (e.g. large prime P with
+		// high l, or tiny matrices). Retry accepting any utilization;
+		// idle processes are explicitly permitted by the paper.
+		if minProcs > 1 {
+			return Optimize(m, n, k, p, Options{
+				LowerUtil:          1.0 / float64(p+1), // effectively no lower bound
+				NoCannonConstraint: opt.NoCannonConstraint,
+				MaxK:               opt.MaxK,
+			})
+		}
+		return Grid{}, fmt.Errorf("grid: no feasible grid for %dx%dx%d on %d processes", m, k, n, p)
+	}
+	return best, nil
+}
+
+// lexLess imposes a deterministic total order for exact ties.
+func lexLess(a, b Grid) bool {
+	if a.Pk != b.Pk {
+		return a.Pk < b.Pk
+	}
+	if a.Pm != b.Pm {
+		return a.Pm < b.Pm
+	}
+	return a.Pn < b.Pn
+}
+
+// Optimize2D returns the pr×pc grid for a pure 2D algorithm (SUMMA):
+// it minimizes the broadcast volume pc·mk + pr·kn over factorizations
+// of P. When no factorization of P fits the matrix dimensions (tiny
+// matrices on many ranks), the largest feasible pr·pc < P is used and
+// the remaining ranks idle — the standard 2D-library behaviour.
+func Optimize2D(m, n, k, p int) (pr, pc int, err error) {
+	if m <= 0 || n <= 0 || k <= 0 || p <= 0 {
+		return 0, 0, fmt.Errorf("grid: invalid 2D problem %dx%dx%d on %d", m, k, n, p)
+	}
+	for active := p; active >= 1; active-- {
+		var bestCost int64 = math.MaxInt64
+		for _, d := range Divisors(active) {
+			r, c := d, active/d
+			if r > m || c > n {
+				continue
+			}
+			cost := int64(c)*int64(m)*int64(k) + int64(r)*int64(k)*int64(n)
+			if cost < bestCost {
+				bestCost, pr, pc = cost, r, c
+			}
+		}
+		if bestCost != math.MaxInt64 {
+			return pr, pc, nil
+		}
+	}
+	// active = 1 always fits (1x1), so this is unreachable for valid
+	// inputs.
+	return 0, 0, fmt.Errorf("grid: no feasible 2D grid for %dx%dx%d on %d processes", m, k, n, p)
+}
+
+// Divisors returns the positive divisors of n in increasing order.
+func Divisors(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Factorize returns the prime factorization of n in increasing order
+// (with multiplicity). Used by the COSMA-style baseline to derive its
+// sequence of splitting steps.
+func Factorize(n int) []int {
+	var fs []int
+	for n%2 == 0 {
+		fs = append(fs, 2)
+		n /= 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

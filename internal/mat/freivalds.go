@@ -1,0 +1,54 @@
+package mat
+
+// Freivalds' algorithm: probabilistic verification that C = op(A)·op(B)
+// in O(trials · n^2) time instead of the O(n^3) full reference
+// multiplication. For each trial a random ±1 vector x is drawn and
+// C·x is compared against op(A)·(op(B)·x); a wrong product passes one
+// trial with probability at most 1/2, so `trials` independent rounds
+// bound the false-accept probability by 2^-trials.
+//
+// The benchmark driver uses this to validate paper-scale
+// multiplications whose reference product would dwarf the experiment
+// itself (the artifact's example program validates the same way a
+// "correctness check" flag does).
+
+// Freivalds reports whether C = op(A)·op(B) holds, with false-accept
+// probability at most 2^-trials. tol bounds the per-element residual
+// allowed for floating-point roundoff (scaled by the inner dimension).
+func Freivalds(transA, transB Op, a, b, c *Dense, trials int, seed uint64, tol float64) bool {
+	m, n, k, kb := gemmDims(transA, transB, a, b)
+	if k != kb || c.Rows != m || c.Cols != n {
+		return false
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	rng := NewRNG(seed)
+	x := New(n, 1)
+	bx := New(k, 1)
+	abx := New(m, 1)
+	cx := New(m, 1)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < n; i++ {
+			if rng.Uint64()&1 == 0 {
+				x.Data[i] = 1
+			} else {
+				x.Data[i] = -1
+			}
+		}
+		Gemm(transB, NoTrans, 1, b, x, 0, bx)
+		Gemm(transA, NoTrans, 1, a, bx, 0, abx)
+		Gemm(NoTrans, NoTrans, 1, c, x, 0, cx)
+		bound := tol * float64(k+n)
+		for i := 0; i < m; i++ {
+			d := abx.Data[i] - cx.Data[i]
+			if d < -bound || d > bound {
+				return false
+			}
+		}
+	}
+	return true
+}

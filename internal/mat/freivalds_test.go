@@ -1,0 +1,85 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFreivaldsAcceptsCorrect(t *testing.T) {
+	a := Random(40, 30, 1)
+	b := Random(30, 50, 2)
+	c := New(40, 50)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	if !Freivalds(NoTrans, NoTrans, a, b, c, 10, 7, 1e-9) {
+		t.Fatal("rejected a correct product")
+	}
+}
+
+func TestFreivaldsRejectsCorrupted(t *testing.T) {
+	a := Random(40, 30, 3)
+	b := Random(30, 50, 4)
+	c := New(40, 50)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	c.Set(17, 23, c.At(17, 23)+0.5)
+	// 20 trials: miss probability <= 2^-20.
+	if Freivalds(NoTrans, NoTrans, a, b, c, 20, 8, 1e-9) {
+		t.Fatal("accepted a corrupted product")
+	}
+}
+
+func TestFreivaldsTransposes(t *testing.T) {
+	a := Random(30, 20, 5) // op(A)=A^T is 20x30
+	b := Random(25, 30, 6) // op(B)=B^T is 30x25
+	c := New(20, 25)
+	Gemm(Trans, Trans, 1, a, b, 0, c)
+	if !Freivalds(Trans, Trans, a, b, c, 10, 9, 1e-9) {
+		t.Fatal("rejected a correct transposed product")
+	}
+	c.Set(0, 0, c.At(0, 0)-1)
+	if Freivalds(Trans, Trans, a, b, c, 20, 10, 1e-9) {
+		t.Fatal("accepted a corrupted transposed product")
+	}
+}
+
+func TestFreivaldsShapeMismatch(t *testing.T) {
+	if Freivalds(NoTrans, NoTrans, Random(3, 3, 1), Random(3, 3, 2), New(4, 3), 5, 1, 1e-9) {
+		t.Fatal("accepted mismatched shapes")
+	}
+	if Freivalds(NoTrans, NoTrans, Random(3, 4, 1), Random(3, 3, 2), New(3, 3), 5, 1, 1e-9) {
+		t.Fatal("accepted mismatched inner dimensions")
+	}
+}
+
+func TestFreivaldsDefaults(t *testing.T) {
+	a := Random(10, 10, 11)
+	b := Random(10, 10, 12)
+	c := New(10, 10)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	// trials < 1 and tol <= 0 fall back to sane defaults.
+	if !Freivalds(NoTrans, NoTrans, a, b, c, 0, 13, 0) {
+		t.Fatal("defaults rejected a correct product")
+	}
+}
+
+// Property: Freivalds accepts genuine products and rejects products
+// with a large random corruption.
+func TestFreivaldsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(30)
+		a := Random(m, k, seed+1)
+		b := Random(k, n, seed+2)
+		c := New(m, n)
+		Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+		if !Freivalds(NoTrans, NoTrans, a, b, c, 12, seed, 1e-9) {
+			return false
+		}
+		c.Set(rng.Intn(m), rng.Intn(n), 1e3)
+		return !Freivalds(NoTrans, NoTrans, a, b, c, 20, seed, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const gemmTol = 1e-10
+
+func TestGemmSmallKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(c, want, gemmTol) {
+		t.Fatalf("got\n%v want\n%v", c, want)
+	}
+}
+
+func TestGemmMatchesRefAllOps(t *testing.T) {
+	for _, ta := range []Op{NoTrans, Trans} {
+		for _, tb := range []Op{NoTrans, Trans} {
+			m, n, k := 17, 13, 21
+			ar, ac := m, k
+			if ta == Trans {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if tb == Trans {
+				br, bc = n, k
+			}
+			a := Random(ar, ac, 1)
+			b := Random(br, bc, 2)
+			c := Random(m, n, 3)
+			cref := c.Clone()
+			Gemm(ta, tb, 1.5, a, b, 0.5, c)
+			GemmRef(ta, tb, 1.5, a, b, 0.5, cref)
+			if d := MaxAbsDiff(c, cref); d > gemmTol {
+				t.Fatalf("op(%v,%v): diff %v", ta, tb, d)
+			}
+		}
+	}
+}
+
+func TestGemmLargeBlocked(t *testing.T) {
+	// Exercise multiple cache blocks and the parallel path.
+	m, n, k := 150, 300, 280
+	a := Random(m, k, 4)
+	b := Random(k, n, 5)
+	c := New(m, n)
+	cref := New(m, n)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	GemmRef(NoTrans, NoTrans, 1, a, b, 0, cref)
+	if d := MaxAbsDiff(c, cref); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestGemmSerialMatchesParallel(t *testing.T) {
+	m, n, k := 130, 140, 150
+	a := Random(m, k, 6)
+	b := Random(k, n, 7)
+	c1 := New(m, n)
+	c2 := New(m, n)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c1)
+	GemmSerial(NoTrans, NoTrans, 1, a, b, 0, c2)
+	if d := MaxAbsDiff(c1, c2); d > gemmTol {
+		t.Fatalf("serial vs parallel diff %v", d)
+	}
+}
+
+func TestGemmBetaAccumulate(t *testing.T) {
+	a := Random(8, 9, 8)
+	b := Random(9, 10, 9)
+	c := Random(8, 10, 10)
+	orig := c.Clone()
+	// C = 0*op(A)op(B) + 1*C must leave C unchanged.
+	Gemm(NoTrans, NoTrans, 0, a, b, 1, c)
+	if !Equal(c, orig, 0) {
+		t.Fatal("alpha=0,beta=1 must be identity")
+	}
+	// Accumulation: C2 = AB; C2 += AB should equal 2*AB.
+	c1 := New(8, 10)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c1)
+	c2 := c1.Clone()
+	Gemm(NoTrans, NoTrans, 1, a, b, 1, c2)
+	c1.Scale(2)
+	if d := MaxAbsDiff(c1, c2); d > gemmTol {
+		t.Fatalf("accumulate diff %v", d)
+	}
+}
+
+func TestGemmZeroDims(t *testing.T) {
+	// k = 0: product is the zero matrix; beta scaling still applies.
+	a := New(3, 0)
+	b := New(0, 4)
+	c := Random(3, 4, 11)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	if MaxAbs(c) != 0 {
+		t.Fatal("k=0 product must zero C when beta=0")
+	}
+	// m = 0 must not panic.
+	Gemm(NoTrans, NoTrans, 1, New(0, 5), Random(5, 4, 12), 0, New(0, 4))
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1, Random(2, 3, 1), Random(4, 2, 2), 0, New(2, 2))
+}
+
+func TestGemmOutputShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1, Random(2, 3, 1), Random(3, 2, 2), 0, New(3, 3))
+}
+
+func TestGemmOnViews(t *testing.T) {
+	// Strided operands and output must work.
+	bigA := Random(20, 20, 13)
+	bigB := Random(20, 20, 14)
+	bigC := New(20, 20)
+	a := bigA.View(2, 3, 7, 9)
+	b := bigB.View(1, 5, 9, 6)
+	c := bigC.View(4, 4, 7, 6)
+	cref := New(7, 6)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	GemmRef(NoTrans, NoTrans, 1, a.Clone(), b.Clone(), 0, cref)
+	if d := MaxAbsDiff(c.Clone(), cref); d > gemmTol {
+		t.Fatalf("view gemm diff %v", d)
+	}
+}
+
+// Property: (A*B)*x == A*(B*x) for random shapes (associativity with a
+// vector, checked via the full products).
+func TestGemmAssociativityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(20), 1+r.Intn(20), 1+r.Intn(20)
+		a := Random(m, k, seed+1)
+		b := Random(k, n, seed+2)
+		x := Random(n, 1, seed+3)
+		ab := New(m, n)
+		Gemm(NoTrans, NoTrans, 1, a, b, 0, ab)
+		abx := New(m, 1)
+		Gemm(NoTrans, NoTrans, 1, ab, x, 0, abx)
+		bx := New(k, 1)
+		Gemm(NoTrans, NoTrans, 1, b, x, 0, bx)
+		abx2 := New(m, 1)
+		Gemm(NoTrans, NoTrans, 1, a, bx, 0, abx2)
+		return MaxAbsDiff(abx, abx2) < 1e-9*float64(k*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose identity (A*B)^T == B^T * A^T.
+func TestGemmTransposeIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(25), 1+r.Intn(25), 1+r.Intn(25)
+		a := Random(m, k, seed+1)
+		b := Random(k, n, seed+2)
+		ab := New(m, n)
+		Gemm(NoTrans, NoTrans, 1, a, b, 0, ab)
+		btat := New(n, m)
+		Gemm(Trans, Trans, 1, b, a, 0, btat)
+		return MaxAbsDiff(ab.Transpose(), btat) < 1e-9*float64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGemmThreads(t *testing.T) {
+	old := SetGemmThreads(2)
+	defer SetGemmThreads(old)
+	if got := SetGemmThreads(-5); got != 2 {
+		t.Fatalf("previous thread count = %d, want 2", got)
+	}
+	// -5 clamps to 1.
+	m, n, k := 64, 64, 64
+	a, b := Random(m, k, 1), Random(k, n, 2)
+	c, cref := New(m, n), New(m, n)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	GemmRef(NoTrans, NoTrans, 1, a, b, 0, cref)
+	if d := MaxAbsDiff(c, cref); d > gemmTol {
+		t.Fatalf("clamped-thread gemm diff %v", d)
+	}
+}
+
+func BenchmarkGemmLocal512(b *testing.B) {
+	a := Random(512, 512, 1)
+	bb := Random(512, 512, 2)
+	c := New(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, 1, a, bb, 0, c)
+	}
+	b.SetBytes(int64(8 * 512 * 512 * 3))
+}
+
+func TestOpString(t *testing.T) {
+	if NoTrans.String() != "N" || Trans.String() != "T" {
+		t.Fatalf("op names %q %q", NoTrans.String(), Trans.String())
+	}
+}

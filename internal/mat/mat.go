@@ -1,0 +1,266 @@
+// Package mat provides dense row-major float64 matrices and the local
+// (shared-memory) matrix-multiplication engine used by every
+// distributed algorithm in this repository.
+//
+// It plays the role that an OpenMP-parallel BLAS library (e.g. MKL
+// dgemm) plays in the reference CA3DMM implementation: each
+// distributed rank calls into this package for its local compute.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major matrix. Element (i, j) is stored at
+// Data[i*Stride+j]. Stride >= Cols allows views into larger buffers
+// without copying.
+type Dense struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// New returns a zeroed r-by-c matrix with a tight stride.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data as an r-by-c matrix with a tight stride.
+// The matrix shares storage with data. len(data) must be r*c.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.Data[i*m.Stride+j] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// View returns a submatrix [i0:i0+r, j0:j0+c] sharing storage with m.
+func (m *Dense) View(i0, j0, r, c int) *Dense {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.Rows || j0+c > m.Cols {
+		panic(fmt.Sprintf("mat: view (%d,%d,%d,%d) out of range %dx%d", i0, j0, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: nil}
+	}
+	off := i0*m.Stride + j0
+	return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off : off+(r-1)*m.Stride+c]}
+}
+
+// Clone returns a tightly-strided deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	out.CopyFrom(m)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: copy shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+m.Cols])
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Dense) Zero() {
+	if m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	if m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Dense) Scale(s float64) {
+	if m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] *= s
+		}
+	}
+}
+
+// Add accumulates src into m elementwise. Shapes must match.
+func (m *Dense) Add(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: add shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		s := src.Data[i*src.Stride : i*src.Stride+m.Cols]
+		for j, v := range s {
+			dst[j] += v
+		}
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.Cols, m.Rows)
+	// Blocked to stay cache friendly for large matrices.
+	const tb = 64
+	for ib := 0; ib < m.Rows; ib += tb {
+		iEnd := min(ib+tb, m.Rows)
+		for jb := 0; jb < m.Cols; jb += tb {
+			jEnd := min(jb+tb, m.Cols)
+			for i := ib; i < iEnd; i++ {
+				for j := jb; j < jEnd; j++ {
+					out.Data[j*out.Stride+i] = m.Data[i*m.Stride+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pack copies the contents of m row-by-row into a new tight slice.
+// It is the serialization primitive for sending matrix blocks.
+func (m *Dense) Pack() []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	m.PackInto(out)
+	return out
+}
+
+// PackInto copies m row-by-row into dst, which must have length
+// m.Rows*m.Cols.
+func (m *Dense) PackInto(dst []float64) {
+	if len(dst) != m.Rows*m.Cols {
+		panic(fmt.Sprintf("mat: PackInto length %d != %d", len(dst), m.Rows*m.Cols))
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(dst[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+}
+
+// Unpack copies a packed row-major buffer into m. len(src) must be
+// m.Rows*m.Cols.
+func (m *Dense) Unpack(src []float64) {
+	if len(src) != m.Rows*m.Cols {
+		panic(fmt.Sprintf("mat: Unpack length %d != %d", len(src), m.Rows*m.Cols))
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src[i*m.Cols:(i+1)*m.Cols])
+	}
+}
+
+// MaxAbsDiff returns max |a(i,j) - b(i,j)|. Shapes must match.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: diff shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var d float64
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		rb := b.Data[i*b.Stride : i*b.Stride+a.Cols]
+		for j := range ra {
+			if v := math.Abs(ra[j] - rb[j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// MaxAbs returns max |a(i,j)|.
+func MaxAbs(a *Dense) float64 {
+	var d float64
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for _, v := range row {
+			if av := math.Abs(v); av > d {
+				d = av
+			}
+		}
+	}
+	return d
+}
+
+// Equal reports whether a and b have the same shape and every element
+// differs by at most tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	if a.Rows == 0 || a.Cols == 0 {
+		return true
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// String renders small matrices for debugging.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("Dense{%dx%d}", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.3f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

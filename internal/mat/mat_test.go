@@ -1,0 +1,307 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(1, 0) != 4 {
+		t.Fatalf("At(1,0) = %v, want 4", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	if d[1] != 9 {
+		t.Fatal("FromSlice must share storage")
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 3, make([]float64, 5))
+}
+
+func TestView(t *testing.T) {
+	m := Random(6, 8, 1)
+	v := m.View(2, 3, 3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if v.At(i, j) != m.At(i+2, j+3) {
+				t.Fatalf("view mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	v.Set(0, 0, 42)
+	if m.At(2, 3) != 42 {
+		t.Fatal("view must share storage")
+	}
+}
+
+func TestViewEmpty(t *testing.T) {
+	m := Random(4, 4, 2)
+	v := m.View(1, 1, 0, 3)
+	if v.Rows != 0 || v.Cols != 3 {
+		t.Fatalf("empty view shape %dx%d", v.Rows, v.Cols)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Random(5, 5, 3)
+	c := m.Clone()
+	if !Equal(m, c, 0) {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestCopyFromStrided(t *testing.T) {
+	m := Random(6, 6, 4)
+	v := m.View(1, 1, 4, 4)
+	dst := New(4, 4)
+	dst.CopyFrom(v)
+	if !Equal(dst, v.Clone(), 0) {
+		t.Fatal("strided copy mismatch")
+	}
+}
+
+func TestZeroFillScaleAdd(t *testing.T) {
+	m := Random(4, 3, 5)
+	m.Fill(2)
+	if m.At(3, 2) != 2 {
+		t.Fatal("fill failed")
+	}
+	m.Scale(3)
+	if m.At(0, 0) != 6 {
+		t.Fatal("scale failed")
+	}
+	n := New(4, 3)
+	n.Fill(1)
+	m.Add(n)
+	if m.At(1, 1) != 7 {
+		t.Fatal("add failed")
+	}
+	m.Zero()
+	if MaxAbs(m) != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Random(7, 5, 6)
+	tt := m.Transpose()
+	if tt.Rows != 5 || tt.Cols != 7 {
+		t.Fatalf("transpose shape %dx%d", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		rows, cols := 1+r.Intn(40), 1+r.Intn(40)
+		m := Random(rows, cols, seed)
+		return Equal(m, m.Transpose().Transpose(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := Random(9, 7, 8)
+	v := m.View(1, 2, 5, 4) // strided view
+	buf := v.Pack()
+	if len(buf) != 20 {
+		t.Fatalf("pack length %d", len(buf))
+	}
+	out := New(5, 4)
+	out.Unpack(buf)
+	if !Equal(out, v.Clone(), 0) {
+		t.Fatal("pack/unpack round trip mismatch")
+	}
+}
+
+func TestPackIntoBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Random(2, 2, 1).PackInto(make([]float64, 3))
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	b.Set(1, 1, -3)
+	if d := MaxAbsDiff(a, b); d != 3 {
+		t.Fatalf("MaxAbsDiff = %v, want 3", d)
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(2, 2), New(2, 3), 1) {
+		t.Fatal("different shapes must not be Equal")
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(10, 10, 42)
+	b := Random(10, 10, 42)
+	c := Random(10, 10, 43)
+	if !Equal(a, b, 0) {
+		t.Fatal("same seed must give same matrix")
+	}
+	if Equal(a, c, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandomRange(t *testing.T) {
+	m := Random(50, 50, 7)
+	for _, v := range m.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v out of [-1,1)", v)
+		}
+	}
+}
+
+func TestRandomGlobalBlockConsistency(t *testing.T) {
+	// Assembling blocks of the global matrix must equal the full fill.
+	const gr, gc = 12, 17
+	const seed = 99
+	full := New(gr, gc)
+	RandomGlobalBlock(full, gc, 0, 0, seed)
+
+	patch := New(5, 6)
+	RandomGlobalBlock(patch, gc, 3, 7, seed)
+	want := full.View(3, 7, 5, 6)
+	if !Equal(patch, want.Clone(), 0) {
+		t.Fatal("block fill inconsistent with global fill")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := New(2, 2)
+	if small.String() == "" {
+		t.Fatal("empty string for small matrix")
+	}
+	large := New(100, 100)
+	if got := large.String(); got != "Dense{100x100}" {
+		t.Fatalf("large String = %q", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := New(2, 3)
+	m.Set(0, 1, -5)
+	m.Set(1, 2, 4)
+	if MaxAbs(m) != 5 {
+		t.Fatalf("MaxAbs = %v, want 5", MaxAbs(m))
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Add(New(3, 2))
+}
+
+func TestViewOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 3).View(1, 1, 3, 3)
+}
+
+func TestEqualZeroSize(t *testing.T) {
+	if !Equal(New(0, 5), New(0, 5), 0) {
+		t.Fatal("zero-row matrices of same shape should be Equal")
+	}
+}
+
+func TestNegativeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

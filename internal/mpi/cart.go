@@ -1,0 +1,76 @@
+package mpi
+
+import "fmt"
+
+// Cart2D is a 2D Cartesian view of a communicator with periodic
+// (torus) boundaries, the topology Cannon's algorithm runs on: fixed
+// neighbor communication along rows and columns.
+type Cart2D struct {
+	Comm       *Comm
+	Rows, Cols int
+}
+
+// NewCart2D interprets comm's ranks as a rows x cols torus in
+// row-major order. comm must have exactly rows*cols ranks.
+func NewCart2D(comm *Comm, rows, cols int) *Cart2D {
+	if comm.Size() != rows*cols {
+		panic(fmt.Sprintf("mpi: Cart2D %dx%d needs %d ranks, communicator has %d",
+			rows, cols, rows*cols, comm.Size()))
+	}
+	return &Cart2D{Comm: comm, Rows: rows, Cols: cols}
+}
+
+// Coords returns the calling rank's (row, col).
+func (g *Cart2D) Coords() (row, col int) {
+	return g.Comm.Rank() / g.Cols, g.Comm.Rank() % g.Cols
+}
+
+// Rank returns the rank at (row, col), with periodic wraparound.
+func (g *Cart2D) Rank(row, col int) int {
+	row = ((row % g.Rows) + g.Rows) % g.Rows
+	col = ((col % g.Cols) + g.Cols) % g.Cols
+	return row*g.Cols + col
+}
+
+// Shift returns the source and destination ranks for a displacement
+// along a dimension (0 = rows, 1 = columns), like MPI_Cart_shift: a
+// message sent to dst and received from src moves every rank's data by
+// disp along the dimension.
+func (g *Cart2D) Shift(dim, disp int) (src, dst int) {
+	row, col := g.Coords()
+	switch dim {
+	case 0:
+		return g.Rank(row-disp, col), g.Rank(row+disp, col)
+	case 1:
+		return g.Rank(row, col-disp), g.Rank(row, col+disp)
+	default:
+		panic(fmt.Sprintf("mpi: Cart2D dimension %d out of range", dim))
+	}
+}
+
+// ShiftExchange circularly shifts data by disp along dim: every rank
+// sends its buffer toward +disp and receives the buffer arriving from
+// -disp.
+func (g *Cart2D) ShiftExchange(dim, disp, tag int, data []float64) []float64 {
+	src, dst := g.Shift(dim, disp)
+	if src == g.Comm.Rank() && dst == g.Comm.Rank() {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	return g.Comm.Sendrecv(dst, src, tag, data)
+}
+
+// RowComm splits off the calling rank's row as a communicator ordered
+// by column.
+func (g *Cart2D) RowComm() *Comm {
+	row, col := g.Coords()
+	return g.Comm.Split(row, col)
+}
+
+// ColComm splits off the calling rank's column as a communicator
+// ordered by row.
+func (g *Cart2D) ColComm() *Comm {
+	row, col := g.Coords()
+	return g.Comm.Split(col, row)
+}

@@ -1,0 +1,452 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sizes covering p=1, powers of two (recursive doubling paths) and
+// non-powers (ring / general paths), plus primes.
+var collSizes = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range collSizes {
+		if _, err := Run(p, func(c *Comm) { c.Barrier(); c.Barrier() }); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, p := range collSizes {
+		for root := 0; root < p; root += max(1, p/3) {
+			root := root
+			_, err := Run(p, func(c *Comm) {
+				buf := make([]float64, 5)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(10*root + i)
+					}
+				}
+				got := c.Bcast(root, buf)
+				for i := range got {
+					if got[i] != float64(10*root+i) {
+						t.Errorf("p=%d root=%d rank=%d: got %v", p, root, c.Rank(), got)
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestAllgatherAllSizes(t *testing.T) {
+	for _, p := range collSizes {
+		p := p
+		_, err := Run(p, func(c *Comm) {
+			send := []float64{float64(c.Rank()), float64(c.Rank() * 2)}
+			got := c.Allgather(send)
+			if len(got) != 2*p {
+				t.Errorf("p=%d: len %d", p, len(got))
+				return
+			}
+			for r := 0; r < p; r++ {
+				if got[2*r] != float64(r) || got[2*r+1] != float64(2*r) {
+					t.Errorf("p=%d rank=%d: block %d = %v", p, c.Rank(), r, got[2*r:2*r+2])
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllgathervVariableSizes(t *testing.T) {
+	for _, p := range collSizes {
+		p := p
+		counts := make([]int, p)
+		total := 0
+		for i := range counts {
+			counts[i] = i % 4 // includes zero-length contributions
+			total += counts[i]
+		}
+		_, err := Run(p, func(c *Comm) {
+			send := make([]float64, counts[c.Rank()])
+			for i := range send {
+				send[i] = float64(100*c.Rank() + i)
+			}
+			got := c.Allgatherv(send, counts)
+			if len(got) != total {
+				t.Errorf("p=%d: len %d want %d", p, len(got), total)
+				return
+			}
+			off := 0
+			for r := 0; r < p; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if got[off] != float64(100*r+i) {
+						t.Errorf("p=%d rank=%d: wrong value at block %d", p, c.Rank(), r)
+						return
+					}
+					off++
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestReduceScatterAllSizes(t *testing.T) {
+	for _, p := range collSizes {
+		p := p
+		counts := make([]int, p)
+		total := 0
+		for i := range counts {
+			counts[i] = 1 + i%3
+			total += counts[i]
+		}
+		_, err := Run(p, func(c *Comm) {
+			// Rank r contributes value (r+1) at every position; the
+			// reduced vector is everywhere sum_{r}(r+1) = p(p+1)/2.
+			send := make([]float64, total)
+			for i := range send {
+				send[i] = float64(c.Rank() + 1)
+			}
+			got := c.ReduceScatter(send, counts)
+			if len(got) != counts[c.Rank()] {
+				t.Errorf("p=%d rank=%d: len %d want %d", p, c.Rank(), len(got), counts[c.Rank()])
+				return
+			}
+			want := float64(p * (p + 1) / 2)
+			for i, v := range got {
+				if v != want {
+					t.Errorf("p=%d rank=%d: got[%d]=%v want %v", p, c.Rank(), i, v, want)
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestReduceScatterPositional(t *testing.T) {
+	// Distinct values per position verify chunk routing, not just sums.
+	const p = 4
+	counts := []int{2, 1, 3, 2}
+	total := 8
+	_, err := Run(p, func(c *Comm) {
+		send := make([]float64, total)
+		for i := range send {
+			send[i] = float64(i) * math.Pow(10, float64(c.Rank())) // digit encoding
+		}
+		got := c.ReduceScatter(send, counts)
+		offs := []int{0, 2, 3, 6}
+		for i, v := range got {
+			pos := offs[c.Rank()] + i
+			want := float64(pos) * 1111 // 1+10+100+1000
+			if v != want {
+				t.Errorf("rank %d pos %d: got %v want %v", c.Rank(), pos, v, want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const p = 3
+	_, err := Run(p, func(c *Comm) {
+		send := make([]float64, 2*p)
+		for i := range send {
+			send[i] = 1
+		}
+		got := c.ReduceScatterBlock(send, 2)
+		if len(got) != 2 || got[0] != p || got[1] != p {
+			t.Errorf("rank %d: got %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAllSizesAllRoots(t *testing.T) {
+	for _, p := range collSizes {
+		for root := 0; root < p; root += max(1, p/2) {
+			root := root
+			_, err := Run(p, func(c *Comm) {
+				send := []float64{float64(c.Rank()), 1}
+				got := c.Reduce(root, send)
+				if c.Rank() == root {
+					wantSum := float64(p*(p-1)) / 2
+					if got == nil || got[0] != wantSum || got[1] != float64(p) {
+						t.Errorf("p=%d root=%d: got %v", p, root, got)
+					}
+				} else if got != nil {
+					t.Errorf("p=%d rank=%d: non-root got non-nil", p, c.Rank())
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceAllSizes(t *testing.T) {
+	for _, p := range collSizes {
+		p := p
+		_, err := Run(p, func(c *Comm) {
+			got := c.Allreduce([]float64{float64(c.Rank() + 1)})
+			want := float64(p*(p+1)) / 2
+			if got[0] != want {
+				t.Errorf("p=%d rank=%d: got %v want %v", p, c.Rank(), got[0], want)
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const p = 5
+	const root = 2
+	counts := []int{1, 2, 0, 3, 1}
+	_, err := Run(p, func(c *Comm) {
+		send := make([]float64, counts[c.Rank()])
+		for i := range send {
+			send[i] = float64(10*c.Rank() + i)
+		}
+		all := c.Gatherv(root, send, counts)
+		if c.Rank() == root {
+			want := []float64{0, 10, 11, 30, 31, 32, 40}
+			if len(all) != len(want) {
+				t.Errorf("gatherv len %d", len(all))
+			}
+			for i := range want {
+				if all[i] != want[i] {
+					t.Errorf("gatherv[%d] = %v want %v", i, all[i], want[i])
+				}
+			}
+		} else if all != nil {
+			t.Errorf("non-root rank %d got non-nil", c.Rank())
+		}
+		// Scatter it back; every rank must recover its contribution.
+		back := c.Scatterv(root, all, counts)
+		if len(back) != counts[c.Rank()] {
+			t.Errorf("scatterv len %d", len(back))
+		}
+		for i := range back {
+			if back[i] != send[i] {
+				t.Errorf("rank %d scatterv[%d] = %v want %v", c.Rank(), i, back[i], send[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		p := p
+		_, err := Run(p, func(c *Comm) {
+			bufs := make([][]float64, p)
+			for d := 0; d < p; d++ {
+				// Rank r sends to d a buffer of length (r+d)%3 with a
+				// recognizable pattern; zero lengths included.
+				n := (c.Rank() + d) % 3
+				b := make([]float64, n)
+				for i := range b {
+					b[i] = float64(100*c.Rank() + 10*d + i)
+				}
+				bufs[d] = b
+			}
+			got := c.Alltoallv(bufs)
+			for s := 0; s < p; s++ {
+				n := (s + c.Rank()) % 3
+				if len(got[s]) != n {
+					t.Errorf("p=%d rank=%d from=%d: len %d want %d", p, c.Rank(), s, len(got[s]), n)
+					return
+				}
+				for i := range got[s] {
+					if got[s][i] != float64(100*s+10*c.Rank()+i) {
+						t.Errorf("p=%d rank=%d from=%d: bad value", p, c.Rank(), s)
+						return
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestSplitBasic(t *testing.T) {
+	// 6 ranks split into even/odd; new rank order follows key.
+	_, err := Run(6, func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color, -c.Rank()) // reverse order via key
+		if sub.Size() != 3 {
+			t.Errorf("sub size %d", sub.Size())
+		}
+		// Keys are -rank so largest parent rank gets new rank 0.
+		wantRank := map[int]int{0: 2, 2: 1, 4: 0, 1: 2, 3: 1, 5: 0}[c.Rank()]
+		if sub.Rank() != wantRank {
+			t.Errorf("parent %d: sub rank %d want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collectives work within the subcommunicator.
+		got := sub.Allreduce([]float64{float64(c.Rank())})
+		want := map[int]float64{0: 6, 1: 9}[color] // 0+2+4 or 1+3+5
+		if got[0] != want {
+			t.Errorf("color %d allreduce %v want %v", color, got[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		color := Undefined
+		if c.Rank() < 2 {
+			color = 0
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				t.Errorf("rank %d: bad sub", c.Rank())
+			}
+		} else if sub != nil {
+			t.Errorf("rank %d: expected nil comm", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNested(t *testing.T) {
+	// Two levels of splitting with concurrent collectives in leaves.
+	_, err := Run(8, func(c *Comm) {
+		half := c.Split(c.Rank()/4, c.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		got := quarter.Allreduce([]float64{1})
+		if got[0] != 2 {
+			t.Errorf("rank %d: leaf allreduce %v", c.Rank(), got[0])
+		}
+		// Parent communicator still usable after splitting.
+		tot := c.Allreduce([]float64{1})
+		if tot[0] != 8 {
+			t.Errorf("rank %d: world allreduce %v", c.Rank(), tot[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDisjointTraffic(t *testing.T) {
+	// Same tags in sibling communicators must not cross.
+	_, err := Run(4, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Rank() == 0 {
+			sub.Send(1, 3, []float64{float64(c.Rank())})
+		} else {
+			got := sub.Recv(0, 3)
+			want := float64(c.Rank() - 2) // partner in same color
+			if got[0] != want {
+				t.Errorf("rank %d: got %v want %v", c.Rank(), got[0], want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveMisuseDetected(t *testing.T) {
+	// Mismatched Allgather contribution sizes must fail, not hang.
+	_, err := RunOpt(2, Options{Timeout: 2e9}, func(c *Comm) {
+		c.Allgather(make([]float64, 1+c.Rank()))
+	})
+	if err == nil {
+		t.Fatal("expected mismatched-size error")
+	}
+}
+
+func TestReduceScatterBadCounts(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		c.ReduceScatter(make([]float64, 4), []int{1, 2}) // sum != 4
+	})
+	if err == nil || !strings.Contains(err.Error(), "sum(counts)") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: allgather over random sizes and contributions equals the
+// serial concatenation.
+func TestAllgatherProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 1 + int(seed%9)
+		n := 1 + int(seed/9%5)
+		ok := true
+		_, err := Run(p, func(c *Comm) {
+			send := make([]float64, n)
+			for i := range send {
+				send[i] = float64(c.Rank()*n + i)
+			}
+			got := c.Allgather(send)
+			for i := range got {
+				if got[i] != float64(i) {
+					ok = false
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduce-scatter of identical buffers equals p * buffer chunk.
+func TestReduceScatterProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 1 + int(seed%8)
+		chunk := 1 + int(seed/8%4)
+		ok := true
+		_, err := Run(p, func(c *Comm) {
+			send := make([]float64, p*chunk)
+			for i := range send {
+				send[i] = float64(i)
+			}
+			got := c.ReduceScatterBlock(send, chunk)
+			for i, v := range got {
+				if v != float64(p*(c.Rank()*chunk+i)) {
+					ok = false
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

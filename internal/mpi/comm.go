@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Undefined is the color passed to Split by ranks that should not be
+// members of any resulting communicator.
+const Undefined = -1
+
+// maxUserTag is the upper bound (exclusive) for user-supplied message
+// tags; tags at or above it are reserved for collectives.
+const maxUserTag = 1 << 20
+
+// collTagWindow bounds the number of distinct collective tags, keeping
+// the router map small during long runs. Collectives within one
+// communicator are ordered, so reuse this far apart is safe.
+const collTagWindow = 1 << 12
+
+// Comm is a communicator: an ordered group of ranks that can exchange
+// point-to-point messages and perform collectives. Each rank holds its
+// own Comm value; Comm methods are called by that rank's goroutine
+// only.
+type Comm struct {
+	w         *world
+	ctx       string // communicator identity, equal across members
+	rank      int    // my rank within this communicator
+	ranks     []int  // world rank of each member
+	stats     *Stats
+	timeout   time.Duration
+	worldRank int
+	collSeq   int // per-rank collective sequence counter
+	splitSeq  int // per-rank split counter
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.worldRank }
+
+// Stats returns the caller's statistics record (shared with the final
+// Report, indexed by world rank).
+func (c *Comm) Stats() *Stats { return c.stats }
+
+func (c *Comm) checkPeer(peer int, op string) {
+	if peer < 0 || peer >= len(c.ranks) {
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): %s peer %d out of range [0,%d)",
+			c.rank, c.ctx, op, peer, len(c.ranks)))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= maxUserTag {
+		c.w.fail(fmt.Errorf("mpi: rank %d: user tag %d out of range [0,%d)", c.rank, tag, maxUserTag))
+	}
+}
+
+// Send sends a copy of data to dst with the given tag. It normally
+// completes immediately (eager buffering) and blocks only when the
+// destination queue is full.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.checkPeer(dst, "Send")
+	c.checkTag(tag)
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.sendOwned(dst, tag, cp)
+}
+
+// sendOwned enqueues data without copying; the caller must not touch
+// data afterwards.
+func (c *Comm) sendOwned(dst, tag int, data []float64) {
+	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
+	ch := c.w.box(key)
+	select {
+	case ch <- data:
+	case <-time.After(c.timeout):
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): send to %d tag %d stalled %v (receiver queue full — likely deadlock)",
+			c.rank, c.ctx, dst, tag, c.timeout))
+	}
+	c.stats.BytesSent += int64(8 * len(data))
+	c.stats.MsgsSent++
+	c.stats.addOp("p2p", int64(8*len(data)))
+}
+
+// Recv receives a message from src with the given tag, returning the
+// payload. It blocks until the message arrives or the run times out.
+func (c *Comm) Recv(src, tag int) []float64 {
+	c.checkPeer(src, "Recv")
+	c.checkTag(tag)
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) []float64 {
+	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
+	ch := c.w.box(key)
+	select {
+	case data := <-ch:
+		c.stats.BytesRecv += int64(8 * len(data))
+		c.stats.MsgsRecv++
+		return data
+	case <-time.After(c.timeout):
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): recv from %d tag %d timed out after %v (deadlock or mismatched schedule)",
+			c.rank, c.ctx, src, tag, c.timeout))
+		return nil
+	}
+}
+
+// RecvInto receives from src/tag into buf, which must have exactly the
+// length of the incoming message.
+func (c *Comm) RecvInto(src, tag int, buf []float64) {
+	data := c.Recv(src, tag)
+	if len(data) != len(buf) {
+		c.w.fail(fmt.Errorf("mpi: rank %d: RecvInto buffer length %d != message length %d",
+			c.rank, len(buf), len(data)))
+	}
+	copy(buf, data)
+}
+
+// Sendrecv sends sendData to dst and receives a message from src in a
+// deadlock-free manner (the send is eager). Both use the same tag.
+func (c *Comm) Sendrecv(dst, src, tag int, sendData []float64) []float64 {
+	c.checkPeer(dst, "Sendrecv")
+	c.checkPeer(src, "Sendrecv")
+	c.checkTag(tag)
+	c.send(dst, tag, sendData)
+	return c.recv(src, tag)
+}
+
+// nextCollTag reserves the tag pair used by the next collective. All
+// members call collectives in the same order, so the sequence numbers
+// agree across ranks.
+func (c *Comm) nextCollTag() int {
+	tag := maxUserTag + c.collSeq%collTagWindow
+	c.collSeq++
+	return tag
+}
+
+// csend and crecv are the collective-internal message primitives; they
+// account traffic to the named collective operation.
+func (c *Comm) csend(dst, tag int, data []float64, op string) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
+	ch := c.w.box(key)
+	select {
+	case ch <- cp:
+	case <-time.After(c.timeout):
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): %s send to %d stalled %v",
+			c.rank, c.ctx, op, dst, c.timeout))
+	}
+	c.stats.BytesSent += int64(8 * len(data))
+	c.stats.MsgsSent++
+	c.stats.addOp(op, int64(8*len(data)))
+}
+
+func (c *Comm) crecv(src, tag int, op string) []float64 {
+	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
+	ch := c.w.box(key)
+	select {
+	case data := <-ch:
+		c.stats.BytesRecv += int64(8 * len(data))
+		c.stats.MsgsRecv++
+		return data
+	case <-time.After(c.timeout):
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): %s recv from %d timed out after %v (mismatched collective participation?)",
+			c.rank, c.ctx, op, src, c.timeout))
+		return nil
+	}
+}
+
+// Split partitions the communicator: ranks passing the same color form
+// a new communicator, ordered by (key, parent rank). Ranks passing
+// Undefined receive nil. Split is collective over c.
+func (c *Comm) Split(color, key int) *Comm {
+	if color < 0 && color != Undefined {
+		c.w.fail(fmt.Errorf("mpi: rank %d: negative split color %d", c.rank, color))
+	}
+	// Allgather (color, key) pairs so each rank can deterministically
+	// compute every subgroup.
+	pairs := c.Allgather([]float64{float64(color), float64(key)})
+	c.splitSeq++
+
+	if color == Undefined {
+		return nil
+	}
+	type member struct{ key, parentRank int }
+	var members []member
+	for r := 0; r < c.Size(); r++ {
+		col := int(pairs[2*r])
+		if col == color {
+			members = append(members, member{key: int(pairs[2*r+1]), parentRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+	newRanks := make([]int, len(members))
+	myNew := -1
+	for i, mb := range members {
+		newRanks[i] = c.ranks[mb.parentRank]
+		if mb.parentRank == c.rank {
+			myNew = i
+		}
+	}
+	return &Comm{
+		w:         c.w,
+		ctx:       fmt.Sprintf("%s/%d.%d", c.ctx, c.splitSeq, color),
+		rank:      myNew,
+		ranks:     newRanks,
+		stats:     c.stats,
+		timeout:   c.timeout,
+		worldRank: c.worldRank,
+	}
+}
+
+// RecordAlloc registers sz bytes of live matrix buffers; the runtime
+// tracks the per-rank peak for the paper's memory-usage comparisons
+// (Table I).
+func (c *Comm) RecordAlloc(sz int64) {
+	c.stats.CurAlloc += sz
+	if c.stats.CurAlloc > c.stats.PeakAlloc {
+		c.stats.PeakAlloc = c.stats.CurAlloc
+	}
+}
+
+// ReleaseAlloc unregisters sz bytes previously passed to RecordAlloc.
+func (c *Comm) ReleaseAlloc(sz int64) {
+	c.stats.CurAlloc -= sz
+}

@@ -1,0 +1,412 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// --- Reduction operators -------------------------------------------
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		want []float64 // over contributions {1,2}, {2,1}, {3,3} (p=3)
+	}{
+		{OpSum, []float64{6, 6}},
+		{OpMax, []float64{3, 3}},
+		{OpMin, []float64{1, 1}},
+		{OpProd, []float64{6, 6}},
+	}
+	contrib := [][]float64{{1, 2}, {2, 1}, {3, 3}}
+	for _, tc := range cases {
+		_, err := Run(3, func(c *Comm) {
+			got := c.AllreduceWith(tc.op, contrib[c.Rank()])
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("%v: rank %d got %v want %v", tc.op, c.Rank(), got, tc.want)
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.op, err)
+		}
+	}
+}
+
+func TestReduceWithRoot(t *testing.T) {
+	_, err := Run(5, func(c *Comm) {
+		got := c.ReduceWith(2, OpMax, []float64{float64(c.Rank())})
+		if c.Rank() == 2 {
+			if got == nil || got[0] != 4 {
+				t.Errorf("root got %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root got %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceScalar(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		if v := c.AllreduceScalar(OpMax, float64(c.Rank()*c.Rank())); v != 9 {
+			t.Errorf("rank %d: %v", c.Rank(), v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpString(t *testing.T) {
+	if OpSum.String() != "sum" || OpProd.String() != "prod" {
+		t.Fatal("bad op names")
+	}
+}
+
+// --- Nonblocking requests ------------------------------------------
+
+func TestIsendIrecv(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			r := c.Isend(1, 3, []float64{7, 8})
+			if got := r.Wait(); got != nil {
+				t.Errorf("send Wait returned %v", got)
+			}
+		} else {
+			r := c.Irecv(0, 3)
+			got := r.Wait()
+			if len(got) != 2 || got[0] != 7 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvOverlap(t *testing.T) {
+	// Post the receive for the next block before "computing" on the
+	// current one — the dual-buffer idiom.
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				c.Send(1, 0, []float64{float64(i)})
+			}
+		} else {
+			next := c.Irecv(0, 0)
+			for i := 0; i < 4; i++ {
+				cur := next.Wait()
+				if i < 3 {
+					next = c.Irecv(0, 0)
+				}
+				if cur[0] != float64(i) {
+					t.Errorf("block %d got %v", i, cur)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	_, err := Run(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			r1 := c.Isend(1, 0, []float64{1})
+			r2 := c.Isend(2, 0, []float64{2})
+			WaitAll(r1, r2)
+		} else {
+			got := WaitAll(c.Irecv(0, 0))
+			if got[0][0] != float64(c.Rank()) {
+				t.Errorf("rank %d got %v", c.Rank(), got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleWaitFails(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+			c.Send(1, 0, []float64{2})
+		} else {
+			r := c.Irecv(0, 0)
+			r.Wait()
+			r.Wait()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIrecvStatsCounted(t *testing.T) {
+	rep, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 5))
+		} else {
+			c.Irecv(0, 0).Wait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks[1].BytesRecv != 40 || rep.Ranks[1].MsgsRecv != 1 {
+		t.Fatalf("stats %+v", rep.Ranks[1])
+	}
+}
+
+// --- Cartesian topology --------------------------------------------
+
+func TestCart2DCoordsAndRank(t *testing.T) {
+	_, err := Run(6, func(c *Comm) {
+		g := NewCart2D(c, 2, 3)
+		row, col := g.Coords()
+		if g.Rank(row, col) != c.Rank() {
+			t.Errorf("rank %d: coords (%d,%d) round-trip failed", c.Rank(), row, col)
+		}
+		// Wraparound.
+		if g.Rank(-1, 0) != g.Rank(1, 0) {
+			t.Error("row wraparound broken")
+		}
+		if g.Rank(0, 3) != g.Rank(0, 0) {
+			t.Error("col wraparound broken")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCart2DShiftExchange(t *testing.T) {
+	// Shifting by +1 along columns: every rank receives its left
+	// neighbor's value.
+	_, err := Run(9, func(c *Comm) {
+		g := NewCart2D(c, 3, 3)
+		row, col := g.Coords()
+		got := g.ShiftExchange(1, 1, 0, []float64{float64(c.Rank())})
+		want := float64(g.Rank(row, col-1))
+		if got[0] != want {
+			t.Errorf("rank %d got %v want %v", c.Rank(), got[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCart2DRowColComms(t *testing.T) {
+	_, err := Run(6, func(c *Comm) {
+		g := NewCart2D(c, 2, 3)
+		rowSum := g.RowComm().Allreduce([]float64{1})
+		if rowSum[0] != 3 {
+			t.Errorf("row size %v", rowSum[0])
+		}
+		colSum := g.ColComm().Allreduce([]float64{1})
+		if colSum[0] != 2 {
+			t.Errorf("col size %v", colSum[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCart2DSizeMismatch(t *testing.T) {
+	_, err := Run(5, func(c *Comm) {
+		NewCart2D(c, 2, 3)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCart2DShiftIdentity(t *testing.T) {
+	// Degenerate 1x1 grid: shifting exchanges with self.
+	_, err := Run(1, func(c *Comm) {
+		g := NewCart2D(c, 1, 1)
+		got := g.ShiftExchange(0, 1, 0, []float64{42})
+		if got[0] != 42 {
+			t.Errorf("got %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Message-count properties (validate the cost-model assumptions) -
+
+func TestAllgatherMessageCounts(t *testing.T) {
+	// Recursive doubling: log2(P) messages per rank (power of two).
+	rep, err := Run(8, func(c *Comm) { c.Allgather([]float64{1}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range rep.Ranks {
+		if st.MsgsSent != 3 {
+			t.Fatalf("recdouble rank %d sent %d messages, want log2(8)=3", r, st.MsgsSent)
+		}
+	}
+	// Bruck: ceil(log2(P)) messages per rank (non power of two).
+	rep, err = Run(7, func(c *Comm) { c.Allgather([]float64{1}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range rep.Ranks {
+		if st.MsgsSent != 3 {
+			t.Fatalf("bruck rank %d sent %d messages, want ceil(log2(7))=3", r, st.MsgsSent)
+		}
+	}
+	// Ring allgatherv: P-1 messages per rank.
+	rep, err = Run(7, func(c *Comm) {
+		c.Allgatherv([]float64{1}, []int{1, 1, 1, 1, 1, 1, 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range rep.Ranks {
+		if st.MsgsSent != 6 {
+			t.Fatalf("ring rank %d sent %d messages, want P-1=6", r, st.MsgsSent)
+		}
+	}
+}
+
+func TestReduceScatterMessageCounts(t *testing.T) {
+	// Ring reduce-scatter: P-1 messages per rank, bandwidth-optimal
+	// volume n*(P-1)/P — the alpha term of the paper's
+	// T_reduce-scatter = alpha*(P-1) + beta*n*(P-1)/P.
+	const p, chunk = 6, 10
+	rep, err := Run(p, func(c *Comm) {
+		c.ReduceScatterBlock(make([]float64, p*chunk), chunk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range rep.Ranks {
+		if st.MsgsSent != p-1 {
+			t.Fatalf("rank %d sent %d messages, want %d", r, st.MsgsSent, p-1)
+		}
+		want := int64(8 * chunk * (p - 1))
+		if st.BytesSent != want {
+			t.Fatalf("rank %d sent %d bytes, want %d", r, st.BytesSent, want)
+		}
+	}
+}
+
+func TestBcastMessageCounts(t *testing.T) {
+	// Binomial broadcast: P-1 messages in total, at most log2(P) sent
+	// by any one rank (the root).
+	rep, err := Run(8, func(c *Comm) {
+		c.Bcast(0, make([]float64, 4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, st := range rep.Ranks {
+		total += st.MsgsSent
+	}
+	if total != 7 {
+		t.Fatalf("total messages %d, want P-1=7", total)
+	}
+	if rep.Ranks[0].MsgsSent != 3 {
+		t.Fatalf("root sent %d, want log2(8)=3", rep.Ranks[0].MsgsSent)
+	}
+}
+
+func TestBruckAllgatherBigBlocks(t *testing.T) {
+	// Correctness at non-trivial sizes and P values.
+	for _, p := range []int{3, 5, 6, 9, 11} {
+		p := p
+		_, err := Run(p, func(c *Comm) {
+			n := 37
+			send := make([]float64, n)
+			for i := range send {
+				send[i] = float64(c.Rank()*1000 + i)
+			}
+			got := c.Allgather(send)
+			for r := 0; r < p; r++ {
+				for i := 0; i < n; i++ {
+					if got[r*n+i] != float64(r*1000+i) {
+						t.Errorf("p=%d rank=%d: block %d wrong at %d", p, c.Rank(), r, i)
+						return
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestNeighborAlltoallvSparse(t *testing.T) {
+	// Only rank 0 -> 2 and 3 -> 1 exchange data; everything else is
+	// empty and must cost no messages.
+	rep, err := Run(4, func(c *Comm) {
+		send := make([][]float64, 4)
+		recvLens := make([]int, 4)
+		switch c.Rank() {
+		case 0:
+			send[2] = []float64{1, 2}
+		case 3:
+			send[1] = []float64{9}
+		}
+		switch c.Rank() {
+		case 2:
+			recvLens[0] = 2
+		case 1:
+			recvLens[3] = 1
+		}
+		got := c.NeighborAlltoallv(send, recvLens)
+		switch c.Rank() {
+		case 2:
+			if len(got[0]) != 2 || got[0][0] != 1 {
+				t.Errorf("rank 2 got %v", got[0])
+			}
+		case 1:
+			if len(got[3]) != 1 || got[3][0] != 9 {
+				t.Errorf("rank 1 got %v", got[3])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs int64
+	for _, st := range rep.Ranks {
+		msgs += st.MsgsSent
+	}
+	if msgs != 2 {
+		t.Fatalf("sparse exchange sent %d messages, want 2", msgs)
+	}
+}
+
+func TestNeighborAlltoallvLengthMismatch(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		send := make([][]float64, 2)
+		recvLens := make([]int, 2)
+		if c.Rank() == 0 {
+			send[1] = []float64{1, 2, 3}
+		} else {
+			recvLens[0] = 2 // expects 2, sender sends 3
+		}
+		c.NeighborAlltoallv(send, recvLens)
+	})
+	if err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

@@ -1,0 +1,208 @@
+// Package mpi is a message-passing runtime for Go that plays the role
+// MPI plays in the reference CA3DMM implementation.
+//
+// Each "process" (rank) is a goroutine; point-to-point messages are
+// tagged float64 payloads routed over channels; communicators can be
+// split into subgroups exactly like MPI_Comm_split; and the collective
+// operations CA3DMM and its baselines need (broadcast, allgather(v),
+// reduce-scatter, allreduce, alltoallv, barrier) are implemented with
+// the standard distributed algorithms (binomial trees, recursive
+// doubling/halving, rings, pairwise exchange) on top of point-to-point
+// messages. Because the collectives are built from real messages, a
+// program run under this package executes the same communication
+// schedule — the same messages, sizes, and dependency structure — as
+// its MPI twin, and the per-rank statistics the runtime gathers are
+// the communication-cost measurements the CA3DMM paper reasons about.
+//
+// The runtime detects common collective misuse (mismatched buffer
+// sizes, partial participation) by timing out stalled receives and
+// failing the run with a diagnostic instead of hanging.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Timeout bounds how long any single receive may wait before the
+	// run is aborted with a deadlock diagnostic. Zero means a default
+	// of 60 seconds.
+	Timeout time.Duration
+	// ChanCap is the per-(sender,receiver,tag) message queue capacity.
+	// Zero means a default of 256. Sends block only when a queue is
+	// full, which for the algorithms in this repository indicates a
+	// schedule bug; blocked sends are subject to Timeout too.
+	ChanCap int
+}
+
+const (
+	defaultTimeout = 60 * time.Second
+	defaultChanCap = 256
+)
+
+// world is the shared state of one Run: the message router and the
+// per-rank statistics.
+type world struct {
+	size    int
+	opt     Options
+	mu      sync.Mutex
+	boxes   map[boxKey]chan []float64
+	stats   []Stats
+	failMu  sync.Mutex
+	failure error
+}
+
+type boxKey struct {
+	ctx      string
+	src, dst int // world ranks
+	tag      int
+}
+
+func (w *world) box(k boxKey) chan []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.boxes[k]
+	if !ok {
+		ch = make(chan []float64, w.opt.ChanCap)
+		w.boxes[k] = ch
+	}
+	return ch
+}
+
+func (w *world) fail(err error) {
+	w.failMu.Lock()
+	if w.failure == nil {
+		w.failure = err
+	}
+	w.failMu.Unlock()
+	panic(runAbort{err})
+}
+
+// runAbort wraps an error used to unwind a rank goroutine.
+type runAbort struct{ err error }
+
+// Report holds the outcome of a Run: per-rank communication
+// statistics indexed by world rank.
+type Report struct {
+	Ranks []Stats
+}
+
+// MaxBytesSent returns the maximum number of bytes sent by any rank,
+// the "communication size Q" measure of the paper (in bytes).
+func (r *Report) MaxBytesSent() int64 {
+	var m int64
+	for i := range r.Ranks {
+		if b := r.Ranks[i].BytesSent; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// MaxMsgsSent returns the maximum number of messages sent by any rank,
+// the "communication latency L" measure of the paper.
+func (r *Report) MaxMsgsSent() int64 {
+	var m int64
+	for i := range r.Ranks {
+		if b := r.Ranks[i].MsgsSent; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// TotalBytesSent sums bytes sent over all ranks.
+func (r *Report) TotalBytesSent() int64 {
+	var t int64
+	for i := range r.Ranks {
+		t += r.Ranks[i].BytesSent
+	}
+	return t
+}
+
+// MaxPeakAlloc returns the maximum over ranks of the peak matrix
+// memory the rank registered via Comm.RecordAlloc (bytes).
+func (r *Report) MaxPeakAlloc() int64 {
+	var m int64
+	for i := range r.Ranks {
+		if b := r.Ranks[i].PeakAlloc; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Run executes fn on p goroutine ranks with default options and waits
+// for all of them. It returns per-rank communication statistics. A
+// panic in any rank, a receive timeout, or a runtime-detected misuse
+// aborts the run and is reported as an error.
+func Run(p int, fn func(*Comm)) (*Report, error) {
+	return RunOpt(p, Options{}, fn)
+}
+
+// RunOpt is Run with explicit options.
+func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", p)
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = defaultTimeout
+	}
+	if opt.ChanCap <= 0 {
+		opt.ChanCap = defaultChanCap
+	}
+	w := &world{
+		size:  p,
+		opt:   opt,
+		boxes: make(map[boxKey]chan []float64),
+		stats: make([]Stats, p),
+	}
+	worldRanks := make([]int, p)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if ab, ok := rec.(runAbort); ok {
+						errs[rank] = ab.err
+						return
+					}
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			c := &Comm{
+				w:         w,
+				ctx:       "w",
+				rank:      rank,
+				ranks:     worldRanks,
+				stats:     &w.stats[rank],
+				timeout:   opt.Timeout,
+				worldRank: rank,
+			}
+			fn(c)
+		}(r)
+	}
+	wg.Wait()
+
+	// Report every rank's failure: a panic in one rank leaves its
+	// peers timing out, and the root cause must not be masked by a
+	// lower-numbered rank's secondary timeout.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if w.failure != nil {
+		return nil, w.failure
+	}
+	return &Report{Ranks: w.stats}, nil
+}

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBasic(t *testing.T) {
+	rep, err := Run(4, func(c *Comm) {
+		if c.Size() != 4 {
+			t.Errorf("size = %d", c.Size())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(rep.Ranks))
+	}
+}
+
+func TestRunInvalidSize(t *testing.T) {
+	if _, err := Run(0, func(c *Comm) {}); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	_, err := Run(3, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 5)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect receiver
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got := c.Recv(0, 0)
+			if got[0] != 1 {
+				t.Errorf("send did not copy: got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSeparation(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			// Receive in reverse tag order.
+			if got := c.Recv(0, 2); got[0] != 2 {
+				t.Errorf("tag 2 got %v", got)
+			}
+			if got := c.Recv(0, 1); got[0] != 1 {
+				t.Errorf("tag 1 got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderingSameTag(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 0, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := c.Recv(0, 0); got[0] != float64(i) {
+					t.Errorf("message %d got %v", i, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const p = 5
+	_, err := Run(p, func(c *Comm) {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		got := c.Sendrecv(right, left, 3, []float64{float64(c.Rank())})
+		if got[0] != float64(left) {
+			t.Errorf("rank %d got %v, want %d", c.Rank(), got, left)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvIntoLengthMismatch(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2})
+		} else {
+			c.RecvInto(0, 0, make([]float64, 3))
+		}
+	})
+	if err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := RunOpt(2, Options{Timeout: 50 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Recv(0, 7) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+}
+
+func TestInvalidPeerFails(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(5, 0, []float64{1})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidTagFails(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, maxUserTag, []float64{1})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "tag") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	rep, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 10))
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks[0].BytesSent != 80 || rep.Ranks[0].MsgsSent != 1 {
+		t.Fatalf("sender stats %+v", rep.Ranks[0])
+	}
+	if rep.Ranks[1].BytesRecv != 80 || rep.Ranks[1].MsgsRecv != 1 {
+		t.Fatalf("receiver stats %+v", rep.Ranks[1])
+	}
+	if rep.MaxBytesSent() != 80 || rep.TotalBytesSent() != 80 || rep.MaxMsgsSent() != 1 {
+		t.Fatalf("report aggregates wrong: %+v", rep)
+	}
+	if op := rep.Ranks[0].PerOp["p2p"]; op.Bytes != 80 {
+		t.Fatalf("p2p op stats %+v", op)
+	}
+}
+
+func TestRecordAllocPeak(t *testing.T) {
+	rep, err := Run(1, func(c *Comm) {
+		c.RecordAlloc(100)
+		c.RecordAlloc(50)
+		c.ReleaseAlloc(100)
+		c.RecordAlloc(30)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxPeakAlloc(); got != 150 {
+		t.Fatalf("peak = %d, want 150", got)
+	}
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import "fmt"
+
+// ReduceOp is an elementwise reduction operator for Reduce/Allreduce.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	// OpSum adds elements (the default used by the matrix algorithms).
+	OpSum ReduceOp = iota
+	// OpMax keeps the elementwise maximum.
+	OpMax
+	// OpMin keeps the elementwise minimum.
+	OpMin
+	// OpProd multiplies elements.
+	OpProd
+)
+
+func (o ReduceOp) String() string {
+	return [...]string{"sum", "max", "min", "prod"}[o]
+}
+
+// apply folds src into acc elementwise.
+func (o ReduceOp) apply(acc, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			acc[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpProd:
+		for i, v := range src {
+			acc[i] *= v
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduce op %d", o))
+	}
+}
+
+// ReduceWith is Reduce with an explicit operator: the combined buffer
+// lands on root (nil elsewhere). Binomial tree, like Reduce.
+func (c *Comm) ReduceWith(root int, op ReduceOp, send []float64) []float64 {
+	c.checkPeer(root, "Reduce")
+	p := c.Size()
+	tag := c.nextCollTag()
+	c.stats.addCall("reduce")
+	acc := make([]float64, len(send))
+	copy(acc, send)
+	if p == 1 {
+		return acc
+	}
+	rel := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < p {
+				got := c.crecv((srcRel+root)%p, tag, "reduce")
+				if len(got) != len(acc) {
+					c.w.fail(fmt.Errorf("mpi: rank %d: ReduceWith mismatched buffer lengths %d vs %d",
+						c.rank, len(acc), len(got)))
+				}
+				op.apply(acc, got)
+			}
+		} else {
+			dstRel := rel ^ mask
+			c.csend((dstRel+root)%p, tag, acc, "reduce")
+			return nil
+		}
+	}
+	return acc
+}
+
+// AllreduceWith is Allreduce with an explicit operator.
+func (c *Comm) AllreduceWith(op ReduceOp, send []float64) []float64 {
+	c.stats.addCall("allreduce")
+	total := c.ReduceWith(0, op, send)
+	if c.rank != 0 {
+		total = make([]float64, len(send))
+	}
+	return c.Bcast(0, total)
+}
+
+// AllreduceScalar reduces a single value with op across the
+// communicator — the common validation idiom (global error norms,
+// convergence flags).
+func (c *Comm) AllreduceScalar(op ReduceOp, v float64) float64 {
+	return c.AllreduceWith(op, []float64{v})[0]
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Request represents a nonblocking operation in progress. Wait must be
+// called exactly once; it returns the received payload for receive
+// requests and nil for send requests.
+//
+// Nonblocking receives let an algorithm post the receive for the next
+// block before computing on the current one — the message-passing form
+// of the dual-buffer overlap CA3DMM uses in its Cannon stage.
+type Request struct {
+	c      *Comm
+	isRecv bool
+	done   bool
+	// receive plumbing
+	payload chan []float64
+	src     int
+}
+
+// Isend starts a nonblocking send. In this runtime sends are eager
+// (the payload is copied and enqueued immediately), so the request
+// completes at once; Wait only exists for symmetry with MPI code.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	c.Send(dst, tag, data)
+	return &Request{c: c}
+}
+
+// Irecv starts a nonblocking receive from src with the given tag. The
+// message is claimed in the background; call Wait to obtain it.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.checkPeer(src, "Irecv")
+	c.checkTag(tag)
+	r := &Request{c: c, isRecv: true, payload: make(chan []float64, 1), src: src}
+	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
+	box := c.w.box(key)
+	timeout := c.timeout
+	// The background goroutine only moves the payload; statistics are
+	// recorded in the owning rank's goroutine inside Wait, keeping the
+	// per-rank Stats single-writer.
+	go func() {
+		select {
+		case data := <-box:
+			r.payload <- data
+		case <-time.After(timeout):
+			r.payload <- nil
+		}
+	}()
+	return r
+}
+
+// Wait completes the request. For receives it returns the payload; a
+// timed-out receive aborts the run like a blocking Recv would.
+func (r *Request) Wait() []float64 {
+	if r.done {
+		r.c.w.fail(fmt.Errorf("mpi: rank %d: Wait called twice on the same request", r.c.rank))
+	}
+	r.done = true
+	if !r.isRecv {
+		return nil
+	}
+	data := <-r.payload
+	if data == nil {
+		r.c.w.fail(fmt.Errorf("mpi: rank %d: Irecv from %d timed out after %v",
+			r.c.rank, r.src, r.c.timeout))
+	}
+	r.c.stats.BytesRecv += int64(8 * len(data))
+	r.c.stats.MsgsRecv++
+	return data
+}
+
+// WaitAll completes a set of requests in order, returning the payloads
+// of the receive requests (nil entries for sends).
+func WaitAll(reqs ...*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package mpi
+
+// Stats accumulates one rank's communication activity. Counters are
+// maintained by the rank's own goroutine; read them only after Run
+// returns (via Report).
+type Stats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+
+	// PerOp breaks down sent traffic by operation kind ("p2p",
+	// "allgather", "reduce_scatter", ...). Used to reproduce the
+	// paper's runtime-breakdown figure (Fig. 5).
+	PerOp map[string]OpStats
+
+	// CurAlloc/PeakAlloc track matrix-buffer bytes registered via
+	// Comm.RecordAlloc for the memory-usage comparison (Table I).
+	CurAlloc  int64
+	PeakAlloc int64
+}
+
+// OpStats is the per-operation slice of a rank's traffic.
+type OpStats struct {
+	Bytes int64
+	Msgs  int64
+	Calls int64
+}
+
+func (s *Stats) addOp(op string, bytes int64) {
+	if s.PerOp == nil {
+		s.PerOp = make(map[string]OpStats)
+	}
+	e := s.PerOp[op]
+	e.Bytes += bytes
+	e.Msgs++
+	s.PerOp[op] = e
+}
+
+func (s *Stats) addCall(op string) {
+	if s.PerOp == nil {
+		s.PerOp = make(map[string]OpStats)
+	}
+	e := s.PerOp[op]
+	e.Calls++
+	s.PerOp[op] = e
+}

@@ -1,0 +1,151 @@
+// Package sim predicts the performance of the PGEMM algorithms in
+// this repository on a described cluster, using the α-β cost model of
+// the paper (internal/costmodel) applied to the algorithms' *actual*
+// planning code: grids, replication factors, and stage schedules come
+// from the same planners the real execution uses, and only the
+// per-message and per-flop prices come from the machine description.
+//
+// This is the substitution that lets the repository regenerate the
+// paper's cluster-scale experiments (Figures 3-5, Tables I-III, up to
+// 3072 cores and matrices of order 10^6) on a single machine: the
+// schedules are real, the clock is modeled.
+package sim
+
+import "repro/internal/costmodel"
+
+// Device selects the local compute engine.
+type Device int
+
+// Devices.
+const (
+	CPU Device = iota
+	GPU
+)
+
+// Machine describes one cluster.
+type Machine struct {
+	Name         string
+	CoresPerNode int
+	// CorePeak is the theoretical per-core peak (flop/s), the
+	// denominator of the paper's "% of peak" plots.
+	CorePeak float64
+	// CoreGemm is the achievable dgemm rate per core (flop/s).
+	CoreGemm float64
+	// GemmParallelEff discounts multi-threaded local GEMM scaling
+	// (OpenMP overhead in hybrid mode).
+	GemmParallelEff float64
+
+	GPUsPerNode int
+	GPUGemm     float64 // achievable dgemm rate per GPU (flop/s)
+	PCIeBeta    float64 // seconds per byte for host<->device staging
+
+	Intra costmodel.Net // intra-node (shared memory) transfers
+	Inter costmodel.Net // inter-node (NIC) transfers, per node
+
+	// SingleStream is the number of concurrent per-node streams
+	// needed to saturate the NIC. A hybrid run with one rank per node
+	// drives the network with a single stream and reaches only
+	// 1/SingleStream of the link bandwidth — the effect the paper
+	// invokes to explain why pure MPI can beat MPI+OpenMP
+	// ("communication operations from different MPI processes in the
+	// same node can overlap with each other and better utilize
+	// inter-node network bandwidth").
+	SingleStream float64
+	// PackBeta prices the pack/exchange/unpack passes of the matrix
+	// redistribution subroutine, which the paper notes "is not fully
+	// optimized" (seconds per byte per rank).
+	PackBeta float64
+	// RSFudge is the inefficiency of the MPI library's reduce-scatter
+	// relative to the alpha-beta optimum; the paper observes MVAPICH2
+	// degrading on large partial C blocks (Section IV-C).
+	RSFudge float64
+}
+
+// Phoenix describes the Georgia Tech PACE-Phoenix cluster of the
+// paper: dual Xeon Gold 6226 (2x12 cores) per node, 100 Gbps
+// InfiniBand, NVIDIA V100 GPU nodes.
+func Phoenix() Machine {
+	return Machine{
+		Name:         "PACE-Phoenix",
+		CoresPerNode: 24,
+		// Xeon Gold 6226: 12 cores, two AVX-512 FMA units at ~2.4 GHz
+		// AVX base frequency: 2.4e9 * 32 DP flop/cycle = 76.8 GF/s
+		// peak per core; MKL dgemm sustains ~70% of that on large
+		// blocks. Multi-threaded (hybrid-mode) dgemm pays NUMA and
+		// OpenMP overheads on the dual-socket node.
+		CorePeak:        76.8e9,
+		CoreGemm:        55e9,
+		GemmParallelEff: 0.92,
+
+		GPUsPerNode: 2,
+		// Tesla V100: 7.8 TF/s FP64 peak, ~6.3 TF/s sustained dgemm.
+		GPUGemm:  6.3e12,
+		PCIeBeta: 1.0 / 11e9, // ~11 GB/s effective PCIe 3.0 x16
+
+		Intra: costmodel.Net{Alpha: 0.4e-6, Beta: 1.0 / 18e9},
+		// 100 Gbps IB: ~12 GB/s per node with ~1.3 us latency.
+		Inter: costmodel.Net{Alpha: 1.3e-6, Beta: 1.0 / 12e9},
+
+		SingleStream: 3.0,
+		PackBeta:     1.0 / 1e9,
+		RSFudge:      1.8,
+	}
+}
+
+// Layout selects the user-visible matrix distribution of a run.
+type Layout int
+
+// Layouts.
+const (
+	// Native uses each library's native distribution: no layout
+	// conversion cost ("matmul only" in the reference output).
+	Native Layout = iota
+	// Col1D uses 1D column partitions for A, B, C — the "custom
+	// layout" of the paper's Fig. 3, paying redistribution.
+	Col1D
+)
+
+// Alg identifies one of the implemented PGEMM algorithms.
+type Alg string
+
+// Algorithms the simulator can price.
+const (
+	AlgCA3DMM  Alg = "ca3dmm"
+	AlgCOSMA   Alg = "cosma"
+	AlgCTF     Alg = "ctf" // 2.5D as implemented by CTF
+	AlgSUMMA   Alg = "summa"
+	AlgCARMA   Alg = "carma"
+	AlgCA3DMMS Alg = "ca3dmm-s" // CA3DMM with SUMMA inner kernel
+)
+
+// Spec describes one run to predict.
+type Spec struct {
+	M, N, K        int
+	Ranks          int // MPI ranks
+	ThreadsPerRank int // 1 = pure MPI; CoresPerNode = hybrid
+	RanksPerNode   int
+	Device         Device
+	Alg            Alg
+	Layout         Layout
+	// GridPm/Pn/Pk force a process grid (0 = let the planner choose),
+	// as the paper does in Table II.
+	GridPm, GridPn, GridPk int
+}
+
+// Estimate is the predicted cost breakdown of one run, in seconds,
+// plus derived metrics.
+type Estimate struct {
+	Compute float64 // local multiplication (including GPU staging)
+	ReplAB  float64 // A/B replication + Cannon shift traffic
+	ReduceC float64 // partial C reduction
+	Spread  float64 // internal input movement (2.5D layer spread)
+	Redist  float64 // user-layout conversion (Layout = Col1D)
+	Total   float64
+
+	GridPm, GridPn, GridPk int
+	ActiveRanks            int
+	MemPerRankBytes        float64
+	// PctPeak is 2mnk / Total divided by the machine peak of the
+	// allocation (the y axis of the paper's Fig. 3).
+	PctPeak float64
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/c25d"
+	"repro/internal/core"
+	"repro/internal/cosma"
+	"repro/internal/costmodel"
+	"repro/internal/grid"
+)
+
+// CTF calibration: CTF is a general tensor framework, not a tuned
+// PGEMM; the paper observes its "parallel efficiency is less
+// satisfying" and attributes it to an untuned process grid and matrix
+// decomposition. The stand-in prices CTF with its cyclic-layout
+// repacking overhead (extra volume factor) and a reduced local GEMM
+// efficiency on GPUs where "GPU acceleration of CTF is still in
+// development".
+const (
+	ctfRepackFactor  = 4.0  // cyclic layout pack/unpack traffic multiplier
+	ctfGemmEff       = 0.45 // tensor-contraction machinery overhead (CPU)
+	ctfGPUGemmEff    = 0.12 // immature GPU path
+	summaPanelRounds = 1.0  // full-width panels (fewest messages)
+)
+
+// Predict prices one run. The process grid and schedule come from the
+// same planners the real execution uses.
+func Predict(mach Machine, spec Spec) (Estimate, error) {
+	if spec.ThreadsPerRank <= 0 {
+		spec.ThreadsPerRank = 1
+	}
+	if spec.RanksPerNode <= 0 {
+		spec.RanksPerNode = mach.CoresPerNode / spec.ThreadsPerRank
+		if spec.Device == GPU {
+			spec.RanksPerNode = mach.GPUsPerNode
+		}
+		if spec.RanksPerNode < 1 {
+			spec.RanksPerNode = 1
+		}
+	}
+	var est Estimate
+	var err error
+	switch spec.Alg {
+	case AlgCA3DMM, AlgCA3DMMS:
+		est, err = predictCA3DMM(mach, spec)
+	case AlgCOSMA:
+		est, err = predictCOSMA(mach, spec)
+	case AlgCTF:
+		est, err = predictCTF(mach, spec)
+	case AlgSUMMA:
+		est, err = predictSUMMA(mach, spec)
+	case AlgCARMA:
+		est, err = predictCARMA(mach, spec)
+	default:
+		return Estimate{}, fmt.Errorf("sim: unknown algorithm %q", spec.Alg)
+	}
+	if err != nil {
+		return Estimate{}, err
+	}
+	if spec.Layout == Col1D {
+		est.Redist = redistCost(mach, spec)
+	}
+	est.Total = est.Compute + est.ReplAB + est.ReduceC + est.Spread + est.Redist
+	flops := 2 * float64(spec.M) * float64(spec.N) * float64(spec.K)
+	peak := float64(spec.Ranks*spec.ThreadsPerRank) * mach.CorePeak
+	if spec.Device == GPU {
+		peak = float64(spec.Ranks) * 7.8e12
+	}
+	if est.Total > 0 {
+		est.PctPeak = flops / est.Total / peak
+	}
+	return est, nil
+}
+
+// rankGemmRate returns the local multiplication rate of one rank.
+func rankGemmRate(mach Machine, spec Spec) float64 {
+	if spec.Device == GPU {
+		return mach.GPUGemm
+	}
+	r := mach.CoreGemm * float64(spec.ThreadsPerRank)
+	if spec.ThreadsPerRank > 1 {
+		r *= mach.GemmParallelEff
+	}
+	return r
+}
+
+// gpuStaging returns the host<->device staging time for moving bytes
+// across PCIe (zero on CPU runs).
+func gpuStaging(mach Machine, spec Spec, bytes float64) float64 {
+	if spec.Device != GPU {
+		return 0
+	}
+	return bytes * mach.PCIeBeta
+}
+
+// place builds a placement for a communicating group whose members are
+// `stride` world ranks apart. All ranks of the job run the same
+// collective phase concurrently, so every node's RanksPerNode ranks
+// share its NIC.
+func place(mach Machine, spec Spec, group, stride int) costmodel.Placement {
+	if group < 1 {
+		group = 1
+	}
+	span := (group*stride + spec.RanksPerNode - 1) / spec.RanksPerNode
+	if span > group {
+		span = group
+	}
+	if span < 1 {
+		span = 1
+	}
+	conc := float64(spec.RanksPerNode)
+	if conc < mach.SingleStream {
+		conc = mach.SingleStream // single-stream NIC underutilization
+	}
+	return costmodel.Placement{
+		GroupSize: group, RanksPerNode: spec.RanksPerNode, GroupSpan: span,
+		ConcurrentPerNode: int(conc), Intra: mach.Intra, Inter: mach.Inter,
+	}
+}
+
+// rsCost applies the MPI-library reduce-scatter inefficiency.
+func rsCost(mach Machine, n float64, p costmodel.Placement) float64 {
+	f := mach.RSFudge
+	if f < 1 {
+		f = 1
+	}
+	return f * costmodel.ReduceScatter(n, p)
+}
+
+// redistCost prices the user-layout conversion: every element of A, B,
+// and C crosses the network twice (pack+exchange in, unpack out),
+// spread over all ranks.
+func redistCost(mach Machine, spec Spec) float64 {
+	el := (float64(spec.M)*float64(spec.K) + float64(spec.K)*float64(spec.N) +
+		float64(spec.M)*float64(spec.N)) / float64(spec.Ranks)
+	bytes := 8 * el * 2 // each element is both sent and received by some rank
+	pl := place(mach, spec, spec.Ranks, 1)
+	// Three local passes (pack, copy through the exchange buffers,
+	// unpack) at the unoptimized subroutine's effective rate.
+	return costmodel.AllToAll(bytes, pl) + 3*bytes*mach.PackBeta
+}
+
+func predictCA3DMM(mach Machine, spec Spec) (Estimate, error) {
+	opt := core.Options{DualBuffer: true, UseSUMMA: spec.Alg == AlgCA3DMMS}
+	if spec.GridPm > 0 {
+		opt.Grid = grid.Grid{Pm: spec.GridPm, Pn: spec.GridPn, Pk: spec.GridPk}
+	}
+	pl, err := core.NewPlan(spec.M, spec.N, spec.K, spec.Ranks, false, false, opt)
+	if err != nil {
+		return Estimate{}, err
+	}
+	g := pl.G
+	act := float64(pl.ActiveProcs())
+	est := Estimate{GridPm: g.Pm, GridPn: g.Pn, GridPk: g.Pk, ActiveRanks: pl.ActiveProcs()}
+	rate := rankGemmRate(mach, spec)
+	flopsPerRank := 2 * float64(spec.M) * float64(spec.N) * float64(spec.K) / act
+
+	if spec.Alg == AlgCA3DMMS {
+		// SUMMA kernel: pm panel broadcast rounds inside each k-task
+		// group plus the reduce-scatter.
+		kg := float64(spec.K) / float64(g.Pk)
+		aPanel := 8 * float64(spec.M) / float64(g.Pm) * kg / float64(g.Pn)
+		bPanel := 8 * kg / float64(g.Pm) * float64(spec.N) / float64(g.Pn)
+		rounds := float64(maxInt(g.Pm, g.Pn)) * summaPanelRounds
+		rowPl := place(mach, spec, g.Pn, 1)
+		colPl := place(mach, spec, g.Pm, g.Pn)
+		est.ReplAB = rounds * (costmodel.Broadcast(aPanel, rowPl) + costmodel.Broadcast(bPanel, colPl))
+		est.Compute = flopsPerRank/rate + gpuStaging(mach, spec, 8*(float64(spec.M)*kg/act+kg*float64(spec.N)/act)*rounds)
+	} else {
+		c, s := pl.Crep, pl.S
+		kg := float64(spec.K) / float64(g.Pk)
+		var aBlk, bBlk float64 // padded Cannon block sizes, elements
+		if pl.RepA {
+			aBlk = float64(spec.M) / float64(s) * kg / float64(s)
+			bBlk = kg / float64(s) * float64(spec.N) / float64(c) / float64(s)
+		} else {
+			aBlk = float64(spec.M) / float64(c) / float64(s) * kg / float64(s)
+			bBlk = kg / float64(s) * float64(spec.N) / float64(s)
+		}
+		// Step 5: allgather the replicated matrix across c Cannon
+		// groups (members s^2 apart).
+		if c > 1 {
+			blk := aBlk
+			if !pl.RepA {
+				blk = bBlk
+			}
+			est.ReplAB += costmodel.Allgather(8*blk, place(mach, spec, c, s*s))
+		}
+		// Step 6: Cannon — initial skew + (s-1) shifts; the dual
+		// buffer overlaps each shift with that step's local GEMM, so
+		// only the comm time exceeding the GEMM is exposed.
+		stepGemm := flopsPerRank / float64(s) / rate
+		est.Compute = float64(s)*stepGemm + gpuStaging(mach, spec, 8*(aBlk+bBlk)*float64(s))
+		if s > 1 {
+			shiftPl := place(mach, spec, s*s, 1)
+			stepComm := costmodel.SendRecv(8*aBlk, shiftPl) + costmodel.SendRecv(8*bBlk, shiftPl)
+			est.ReplAB += stepComm // initial skew is not overlapped
+			for i := 0; i < s-1; i++ {
+				est.ReplAB += math.Max(stepComm-stepGemm, 0)
+			}
+		}
+		// Step 7: reduce-scatter across pk (members pm*pn apart).
+		if g.Pk > 1 {
+			cBlk := 8 * float64(spec.M) / float64(g.Pm) * float64(spec.N) / float64(g.Pn)
+			est.ReduceC = rsCost(mach, cBlk, place(mach, spec, g.Pk, g.Pm*g.Pn))
+		}
+	}
+	est.MemPerRankBytes = pl.MemoryModel() * 8
+	return est, nil
+}
+
+func predictCOSMA(mach Machine, spec Spec) (Estimate, error) {
+	opt := cosma.Options{}
+	if spec.GridPm > 0 {
+		opt.Grid = grid.Grid{Pm: spec.GridPm, Pn: spec.GridPn, Pk: spec.GridPk}
+	}
+	pl, err := cosma.NewPlan(spec.M, spec.N, spec.K, spec.Ranks, false, false, opt)
+	if err != nil {
+		return Estimate{}, err
+	}
+	g := pl.G
+	act := float64(pl.ActiveProcs())
+	est := Estimate{GridPm: g.Pm, GridPn: g.Pn, GridPk: g.Pk, ActiveRanks: pl.ActiveProcs()}
+	rate := rankGemmRate(mach, spec)
+
+	aBlk := 8 * float64(spec.M) / float64(g.Pm) * float64(spec.K) / float64(g.Pk)
+	bBlk := 8 * float64(spec.K) / float64(g.Pk) * float64(spec.N) / float64(g.Pn)
+	if g.Pn > 1 {
+		est.ReplAB += costmodel.Allgather(aBlk, place(mach, spec, g.Pn, g.Pm))
+	}
+	if g.Pm > 1 {
+		est.ReplAB += costmodel.Allgather(bBlk, place(mach, spec, g.Pm, 1))
+	}
+	est.Compute = 2*float64(spec.M)*float64(spec.N)*float64(spec.K)/act/rate +
+		gpuStaging(mach, spec, aBlk+bBlk)
+	if g.Pk > 1 {
+		cBlk := 8 * float64(spec.M) / float64(g.Pm) * float64(spec.N) / float64(g.Pn)
+		est.ReduceC = rsCost(mach, cBlk, place(mach, spec, g.Pk, g.Pm*g.Pn))
+	}
+	est.MemPerRankBytes = pl.MemoryModel() * 8
+	return est, nil
+}
+
+func predictCTF(mach Machine, spec Spec) (Estimate, error) {
+	pl, err := c25d.NewPlan(spec.M, spec.N, spec.K, spec.Ranks, false, false)
+	if err != nil {
+		return Estimate{}, err
+	}
+	p, layers := pl.Side, pl.Layers
+	act := float64(pl.ActiveProcs())
+	est := Estimate{GridPm: p, GridPn: p, GridPk: layers, ActiveRanks: pl.ActiveProcs()}
+	rate := rankGemmRate(mach, spec)
+	eff := ctfGemmEff
+	if spec.Device == GPU {
+		eff = ctfGPUGemmEff
+	}
+
+	// Input spread to layers (+ cyclic repacking overhead).
+	el := (float64(spec.M)*float64(spec.K) + float64(spec.K)*float64(spec.N)) / act
+	est.Spread = costmodel.AllToAll(8*el*ctfRepackFactor, place(mach, spec, spec.Ranks, 1))
+
+	// SUMMA within each layer: p panel-broadcast rounds.
+	kg := float64(spec.K) / float64(layers)
+	aPanel := 8 * float64(spec.M) / float64(p) * kg / float64(p)
+	bPanel := 8 * kg / float64(p) * float64(spec.N) / float64(p)
+	rowPl := place(mach, spec, p, 1)
+	colPl := place(mach, spec, p, p)
+	est.ReplAB = float64(p) * (costmodel.Broadcast(aPanel, rowPl) + costmodel.Broadcast(bPanel, colPl))
+
+	est.Compute = 2*float64(spec.M)*float64(spec.N)*float64(spec.K)/act/(rate*eff) +
+		gpuStaging(mach, spec, (aPanel+bPanel)*float64(p))
+	if layers > 1 {
+		cBlk := 8 * float64(spec.M) / float64(p) * float64(spec.N) / float64(p)
+		est.ReduceC = rsCost(mach, cBlk, place(mach, spec, layers, p*p))
+	}
+	est.MemPerRankBytes = 8 * (float64(spec.M)*kg/float64(p*p) + kg*float64(spec.N)/float64(p*p) +
+		float64(spec.M)*float64(spec.N)/float64(p*p)*2)
+	return est, nil
+}
+
+func predictSUMMA(mach Machine, spec Spec) (Estimate, error) {
+	pr, pc, err := grid.Optimize2D(spec.M, spec.N, spec.K, spec.Ranks)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{GridPm: pr, GridPn: pc, GridPk: 1, ActiveRanks: pr * pc}
+	rate := rankGemmRate(mach, spec)
+	rounds := float64(maxInt(pr, pc))
+	aPanel := 8 * float64(spec.M) / float64(pr) * float64(spec.K) / rounds
+	bPanel := 8 * float64(spec.K) / rounds * float64(spec.N) / float64(pc)
+	est.ReplAB = rounds * (costmodel.Broadcast(aPanel, place(mach, spec, pc, 1)) +
+		costmodel.Broadcast(bPanel, place(mach, spec, pr, pc)))
+	est.Compute = 2 * float64(spec.M) * float64(spec.N) * float64(spec.K) / float64(pr*pc) / rate
+	est.MemPerRankBytes = 8 * (float64(spec.M)*float64(spec.K) + float64(spec.K)*float64(spec.N) +
+		float64(spec.M)*float64(spec.N)) / float64(pr*pc) * 2
+	return est, nil
+}
+
+func predictCARMA(mach Machine, spec Spec) (Estimate, error) {
+	// CARMA requires a power-of-two rank count.
+	if spec.Ranks&(spec.Ranks-1) != 0 {
+		return Estimate{}, fmt.Errorf("sim: carma needs power-of-two ranks, got %d", spec.Ranks)
+	}
+	// CARMA's recursion produces a grid equivalent to bisections of
+	// the largest dimensions; approximate with the unconstrained
+	// optimizer restricted to power-of-two factors via bisection.
+	cm, cn, ck := spec.M, spec.N, spec.K
+	pm, pn, pk := 1, 1, 1
+	for p := spec.Ranks; p > 1; p /= 2 {
+		switch {
+		case cm >= cn && cm >= ck:
+			pm, cm = pm*2, (cm+1)/2
+		case cn >= ck:
+			pn, cn = pn*2, (cn+1)/2
+		default:
+			pk, ck = pk*2, (ck+1)/2
+		}
+	}
+	est := Estimate{GridPm: pm, GridPn: pn, GridPk: pk, ActiveRanks: spec.Ranks}
+	rate := rankGemmRate(mach, spec)
+	aBlk := 8 * float64(spec.M) / float64(pm) * float64(spec.K) / float64(pk)
+	bBlk := 8 * float64(spec.K) / float64(pk) * float64(spec.N) / float64(pn)
+	if pn > 1 {
+		est.ReplAB += costmodel.Allgather(aBlk, place(mach, spec, pn, pm))
+	}
+	if pm > 1 {
+		est.ReplAB += costmodel.Allgather(bBlk, place(mach, spec, pm, 1))
+	}
+	est.Compute = 2 * float64(spec.M) * float64(spec.N) * float64(spec.K) / float64(spec.Ranks) / rate
+	if pk > 1 {
+		cBlk := 8 * float64(spec.M) / float64(pm) * float64(spec.N) / float64(pn)
+		est.ReduceC = rsCost(mach, cBlk, place(mach, spec, pk, pm*pn))
+	}
+	est.MemPerRankBytes = aBlk + bBlk + 8*float64(spec.M)*float64(spec.N)/float64(pm*pn)
+	return est, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

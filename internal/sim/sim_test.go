@@ -1,0 +1,223 @@
+package sim
+
+import "testing"
+
+// The simulator's job is to reproduce the *shape* of the paper's
+// results: who wins, by roughly what factor, and how curves scale.
+// These tests assert those shapes.
+
+func spec(m, n, k, ranks int, alg Alg) Spec {
+	return Spec{M: m, N: n, K: k, Ranks: ranks, ThreadsPerRank: 1, Alg: alg}
+}
+
+func predict(t *testing.T, s Spec) Estimate {
+	t.Helper()
+	e, err := Predict(Phoenix(), s)
+	if err != nil {
+		t.Fatalf("%+v: %v", s, err)
+	}
+	return e
+}
+
+func TestStrongScalingReducesRuntime(t *testing.T) {
+	// Fig. 3 shape: more processes, less time, for every algorithm
+	// and problem class.
+	classes := [][3]int{{50000, 50000, 50000}, {6000, 6000, 1200000}, {1200000, 6000, 6000}, {100000, 100000, 5000}}
+	for _, alg := range []Alg{AlgCA3DMM, AlgCOSMA, AlgCTF} {
+		for _, c := range classes {
+			prev := predict(t, spec(c[0], c[1], c[2], 192, alg)).Total
+			for _, p := range []int{384, 768, 1536, 3072} {
+				cur := predict(t, spec(c[0], c[1], c[2], p, alg)).Total
+				if cur >= prev {
+					t.Fatalf("%s %v: no speedup from %d procs (%.3fs -> %.3fs)", alg, c, p, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestCA3DMMCompetitiveWithCOSMA(t *testing.T) {
+	// Fig. 3 / Table II shape: CA3DMM within ~25% of COSMA everywhere,
+	// and at least as good on square and flat problems.
+	classes := map[string][3]int{
+		"square":  {50000, 50000, 50000},
+		"large-K": {6000, 6000, 1200000},
+		"large-M": {1200000, 6000, 6000},
+		"flat":    {100000, 100000, 5000},
+	}
+	for name, c := range classes {
+		for _, p := range []int{192, 768, 3072} {
+			ca := predict(t, spec(c[0], c[1], c[2], p, AlgCA3DMM)).Total
+			co := predict(t, spec(c[0], c[1], c[2], p, AlgCOSMA)).Total
+			if ca > 1.30*co {
+				t.Fatalf("%s P=%d: CA3DMM %.3fs much slower than COSMA %.3fs", name, p, ca, co)
+			}
+		}
+	}
+	// Square and flat: CA3DMM wins or ties (paper: "For square and
+	// flat problems, CA3DMM outperforms COSMA").
+	for _, name := range []string{"square", "flat"} {
+		c := classes[name]
+		ca := predict(t, spec(c[0], c[1], c[2], 2048, AlgCA3DMM)).Total
+		co := predict(t, spec(c[0], c[1], c[2], 2048, AlgCOSMA)).Total
+		if ca > 1.02*co {
+			t.Fatalf("%s: CA3DMM %.3fs should not lose to COSMA %.3fs", name, ca, co)
+		}
+	}
+}
+
+func TestCTFSlowerThanBoth(t *testing.T) {
+	// Fig. 3 shape: CTF's efficiency is "less satisfying"; on large-M
+	// it is far worse (GPU Table III shows >15x).
+	c := [3]int{1200000, 6000, 6000}
+	ctf := predict(t, spec(c[0], c[1], c[2], 768, AlgCTF)).Total
+	ca := predict(t, spec(c[0], c[1], c[2], 768, AlgCA3DMM)).Total
+	if ctf < 2*ca {
+		t.Fatalf("large-M: CTF %.3fs should be much slower than CA3DMM %.3fs", ctf, ca)
+	}
+}
+
+func TestCustomLayoutCostly(t *testing.T) {
+	// Fig. 3b/3c shape: the 1D column layout conversion is very
+	// expensive for tall-and-skinny matrices.
+	s := spec(6000, 6000, 1200000, 768, AlgCA3DMM)
+	native := predict(t, s)
+	s.Layout = Col1D
+	custom := predict(t, s)
+	if custom.Total < 1.3*native.Total {
+		t.Fatalf("large-K: custom layout %.3fs should far exceed native %.3fs", custom.Total, native.Total)
+	}
+	if custom.Redist <= 0 {
+		t.Fatal("custom layout must report redistribution cost")
+	}
+}
+
+func TestHybridHelpsTallSkinny(t *testing.T) {
+	// Fig. 4 shape: MPI+OpenMP is faster than pure MPI for large-K and
+	// large-M (fewer ranks, one NIC owner per node, one small comm
+	// group).
+	for _, c := range [][3]int{{6000, 6000, 1200000}, {1200000, 6000, 6000}} {
+		cores := 1536
+		pure := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: cores, ThreadsPerRank: 1, Alg: AlgCA3DMM})
+		hybrid := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: cores / 24, ThreadsPerRank: 24, Alg: AlgCA3DMM})
+		if hybrid.Total >= pure.Total {
+			t.Fatalf("%v: hybrid %.3fs not faster than pure MPI %.3fs", c, hybrid.Total, pure.Total)
+		}
+	}
+}
+
+func TestPureMPIWinsSquare(t *testing.T) {
+	// Fig. 4a shape: for the square problem pure MPI beats hybrid.
+	c := [3]int{50000, 50000, 50000}
+	cores := 1536
+	pure := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: cores, ThreadsPerRank: 1, Alg: AlgCA3DMM})
+	hybrid := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: cores / 24, ThreadsPerRank: 24, Alg: AlgCA3DMM})
+	if pure.Total >= hybrid.Total {
+		t.Fatalf("square: pure MPI %.3fs not faster than hybrid %.3fs", pure.Total, hybrid.Total)
+	}
+}
+
+func TestMemoryShapeTableI(t *testing.T) {
+	// Table I shapes: (1) memory per process decreases with P;
+	// (2) CA3DMM uses less memory than COSMA on square problems;
+	// (3) CA3DMM memory drops below COSMA's at large P for the other
+	// classes.
+	classes := [][3]int{{50000, 50000, 50000}, {6000, 6000, 1200000}, {1200000, 6000, 6000}, {100000, 100000, 5000}}
+	for ci, c := range classes {
+		prevCA := 1e300
+		for _, p := range []int{192, 384, 768, 1536, 3072} {
+			ca := predict(t, spec(c[0], c[1], c[2], p, AlgCA3DMM)).MemPerRankBytes
+			if ca >= prevCA {
+				t.Fatalf("class %d P=%d: CA3DMM memory %0.f did not decrease (prev %0.f)", ci, p, ca, prevCA)
+			}
+			prevCA = ca
+		}
+	}
+	// Square: CA3DMM below COSMA at every P.
+	c := classes[0]
+	for _, p := range []int{192, 768, 3072} {
+		ca := predict(t, spec(c[0], c[1], c[2], p, AlgCA3DMM)).MemPerRankBytes
+		co := predict(t, spec(c[0], c[1], c[2], p, AlgCOSMA)).MemPerRankBytes
+		if ca >= co {
+			t.Fatalf("square P=%d: CA3DMM memory %0.f >= COSMA %0.f", p, ca, co)
+		}
+	}
+	// Non-square classes: CA3DMM wins at 3072.
+	for _, c := range classes[1:] {
+		ca := predict(t, spec(c[0], c[1], c[2], 3072, AlgCA3DMM)).MemPerRankBytes
+		co := predict(t, spec(c[0], c[1], c[2], 3072, AlgCOSMA)).MemPerRankBytes
+		if ca >= co {
+			t.Fatalf("%v P=3072: CA3DMM memory %0.f >= COSMA %0.f", c, ca, co)
+		}
+	}
+}
+
+func TestForcedGridsTableII(t *testing.T) {
+	// Table II shape: forcing the paper's grids works and sub-optimal
+	// grids with friendlier pk can beat the surface-optimal grid for
+	// large-K (the reduce-scatter latency effect).
+	s := spec(6000, 6000, 1200000, 3072, AlgCA3DMM)
+	s.GridPm, s.GridPn, s.GridPk = 3, 3, 341
+	opt := predict(t, s)
+	s.GridPm, s.GridPn, s.GridPk = 4, 2, 384
+	sub := predict(t, s)
+	if opt.GridPk != 341 || sub.GridPk != 384 {
+		t.Fatalf("forced grids not honored: %+v %+v", opt, sub)
+	}
+	// Both should be in the same ballpark (paper: 0.62s vs 0.54s).
+	if sub.Total > 2*opt.Total || opt.Total > 2*sub.Total {
+		t.Fatalf("grids too far apart: %.3fs vs %.3fs", opt.Total, sub.Total)
+	}
+}
+
+func TestGPUShapesTableIII(t *testing.T) {
+	// Table III shapes at 16 GPUs: CTF much slower everywhere; COSMA
+	// and CA3DMM comparable (within ~35%).
+	classes := [][3]int{{50000, 50000, 50000}, {10000, 10000, 300000}, {300000, 10000, 10000}, {50000, 50000, 10000}}
+	for _, c := range classes {
+		ca := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: 16, Device: GPU, Alg: AlgCA3DMM})
+		co := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: 16, Device: GPU, Alg: AlgCOSMA})
+		ctf := predict(t, Spec{M: c[0], N: c[1], K: c[2], Ranks: 16, Device: GPU, Alg: AlgCTF})
+		if ca.Total > 1.35*co.Total {
+			t.Fatalf("%v GPU: CA3DMM %.3fs vs COSMA %.3fs", c, ca.Total, co.Total)
+		}
+		if ctf.Total < 1.5*ca.Total {
+			t.Fatalf("%v GPU: CTF %.3fs should lag CA3DMM %.3fs clearly", c, ctf.Total, ca.Total)
+		}
+	}
+}
+
+func TestPctPeakSane(t *testing.T) {
+	e := predict(t, spec(50000, 50000, 50000, 768, AlgCA3DMM))
+	if e.PctPeak <= 0 || e.PctPeak > 1 {
+		t.Fatalf("PctPeak %v out of (0,1]", e.PctPeak)
+	}
+}
+
+func TestUnknownAlgErrors(t *testing.T) {
+	if _, err := Predict(Phoenix(), spec(10, 10, 10, 4, Alg("nope"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCARMANeedsPow2(t *testing.T) {
+	if _, err := Predict(Phoenix(), spec(100, 100, 100, 24, AlgCARMA)); err == nil {
+		t.Fatal("expected error for P=24")
+	}
+	if _, err := Predict(Phoenix(), spec(100, 100, 100, 32, AlgCARMA)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSUMMAAndCARMAPredict(t *testing.T) {
+	su := predict(t, spec(50000, 50000, 50000, 1024, AlgSUMMA))
+	ca := predict(t, spec(50000, 50000, 50000, 1024, AlgCA3DMM))
+	if su.Total <= 0 || ca.Total <= 0 {
+		t.Fatal("non-positive estimates")
+	}
+	// 3D beats 2D at scale on square problems.
+	if ca.Total >= su.Total {
+		t.Fatalf("CA3DMM %.3fs should beat SUMMA %.3fs at 1024 procs", ca.Total, su.Total)
+	}
+}

@@ -1,0 +1,148 @@
+// Package summa implements the SUMMA algorithm (van de Geijn & Watts,
+// 1997), the most widely used 2D parallel matrix multiplication and
+// the algorithm inside ScaLAPACK's PDGEMM.
+//
+// It serves three roles in this repository: the classical 2D baseline,
+// the inner kernel of the CA3DMM-S variant (paper Section III-E), and
+// the latency comparison target for Cannon's algorithm (SUMMA
+// broadcasts k-panels along process rows and columns, costing
+// pm(log2(pm) + pm - 1) messages against Cannon's pm + log-terms).
+//
+// The process grid is Pr x Pc, rank = row*Pc + col. A, B, and C are
+// partitioned into balanced contiguous 2D blocks (dist.BlockRange in
+// both dimensions).
+package summa
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Config describes one SUMMA multiplication C(MxN) = A(MxK)·B(KxN) on
+// a Pr x Pc grid.
+type Config struct {
+	Pr, Pc  int
+	M, K, N int
+	// Panel caps the broadcast panel width. Zero uses the full owner
+	// block (the "largest possible panel sizes" of the paper's
+	// Section III-E analysis, which minimizes the message count).
+	Panel int
+}
+
+// Timings splits the wall time into broadcast communication and local
+// compute.
+type Timings struct {
+	Comm    time.Duration
+	Compute time.Duration
+}
+
+// ABlock returns the global rectangle of A owned by grid position
+// (row, col).
+func (cfg Config) ABlock(row, col int) (r0, c0, rows, cols int) {
+	rlo, rhi := dist.BlockRange(cfg.M, cfg.Pr, row)
+	clo, chi := dist.BlockRange(cfg.K, cfg.Pc, col)
+	return rlo, clo, rhi - rlo, chi - clo
+}
+
+// BBlock returns the global rectangle of B owned by (row, col).
+func (cfg Config) BBlock(row, col int) (r0, c0, rows, cols int) {
+	rlo, rhi := dist.BlockRange(cfg.K, cfg.Pr, row)
+	clo, chi := dist.BlockRange(cfg.N, cfg.Pc, col)
+	return rlo, clo, rhi - rlo, chi - clo
+}
+
+// CBlock returns the global rectangle of C owned by (row, col).
+func (cfg Config) CBlock(row, col int) (r0, c0, rows, cols int) {
+	rlo, rhi := dist.BlockRange(cfg.M, cfg.Pr, row)
+	clo, chi := dist.BlockRange(cfg.N, cfg.Pc, col)
+	return rlo, clo, rhi - rlo, chi - clo
+}
+
+// Multiply runs SUMMA. The communicator must have exactly Pr*Pc ranks
+// in row-major grid order; a and b are the caller's blocks per ABlock
+// and BBlock. Returns the caller's C block.
+func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
+	var tm Timings
+	if c.Size() != cfg.Pr*cfg.Pc {
+		panic(fmt.Sprintf("summa: communicator size %d != %dx%d", c.Size(), cfg.Pr, cfg.Pc))
+	}
+	row, col := c.Rank()/cfg.Pc, c.Rank()%cfg.Pc
+	_, _, aRows, aCols := cfg.ABlock(row, col)
+	if a.Rows != aRows || a.Cols != aCols {
+		panic(fmt.Sprintf("summa: A block %dx%d, want %dx%d", a.Rows, a.Cols, aRows, aCols))
+	}
+	_, _, bRows, bCols := cfg.BBlock(row, col)
+	if b.Rows != bRows || b.Cols != bCols {
+		panic(fmt.Sprintf("summa: B block %dx%d, want %dx%d", b.Rows, b.Cols, bRows, bCols))
+	}
+	_, _, cRows, cCols := cfg.CBlock(row, col)
+	cLoc := mat.New(cRows, cCols)
+
+	// Row and column communicators for the panel broadcasts.
+	rowComm := c.Split(row, col)
+	colComm := c.Split(col, row)
+
+	aLo, _ := dist.BlockRange(cfg.K, cfg.Pc, col) // my A block's k offset
+	bLo, _ := dist.BlockRange(cfg.K, cfg.Pr, row) // my B block's k offset
+
+	// Walk the k dimension over the union of A-column and B-row block
+	// boundaries so each broadcast panel has a single owner on each
+	// side.
+	t := 0
+	for t < cfg.K {
+		ownA := blockOwner(cfg.K, cfg.Pc, t)
+		ownB := blockOwner(cfg.K, cfg.Pr, t)
+		_, aHi := dist.BlockRange(cfg.K, cfg.Pc, ownA)
+		_, bHi := dist.BlockRange(cfg.K, cfg.Pr, ownB)
+		end := min(aHi, bHi)
+		if cfg.Panel > 0 && end > t+cfg.Panel {
+			end = t + cfg.Panel
+		}
+		w := end - t
+
+		// Broadcast A(:, t:end) within my process row from column ownA.
+		tc := time.Now()
+		aPanel := make([]float64, cRows*w)
+		if col == ownA && cRows > 0 && w > 0 {
+			a.View(0, t-aLo, cRows, w).PackInto(aPanel)
+		}
+		aPanel = rowComm.Bcast(ownA, aPanel)
+
+		// Broadcast B(t:end, :) within my process column from row ownB.
+		bPanel := make([]float64, w*cCols)
+		if row == ownB && w > 0 && cCols > 0 {
+			b.View(t-bLo, 0, w, cCols).PackInto(bPanel)
+		}
+		bPanel = colComm.Bcast(ownB, bPanel)
+		tm.Comm += time.Since(tc)
+
+		tg := time.Now()
+		if cRows > 0 && cCols > 0 && w > 0 {
+			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1,
+				mat.FromSlice(cRows, w, aPanel), mat.FromSlice(w, cCols, bPanel), 1, cLoc)
+		}
+		tm.Compute += time.Since(tg)
+		t = end
+	}
+	return cLoc, tm
+}
+
+// blockOwner returns the index of the balanced block of n items over p
+// parts (dist.BlockRange partition) containing item t.
+func blockOwner(n, p, t int) int {
+	lo, hi := 0, p-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		_, h := dist.BlockRange(n, p, mid)
+		if t < h {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
