@@ -34,6 +34,13 @@ func main() {
 	kp := flag.Int("kp", 0, "force pk")
 	freivalds := flag.Bool("freivalds", false, "validate probabilistically (O(n^2) per trial) instead of the O(n^3) serial reference")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the last run's stage timeline to this file")
+	chaos := flag.Bool("chaos", false, "inject deterministic faults and run through the self-healing executor")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed")
+	chaosCrash := flag.Int("chaos-crash", 1, "number of rank crashes to inject")
+	chaosCorrupt := flag.Int("chaos-corrupt", 1, "number of payload bit-flips to inject")
+	chaosDelay := flag.Float64("chaos-delay", 0, "per-message delay probability (latency chaos)")
+	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
+	retries := flag.Int("retries", 4, "shrink-replan retry budget of the self-healing executor")
 	flag.Parse()
 
 	cfg := ca3dmm.Config{
@@ -74,6 +81,15 @@ func main() {
 	}
 	a := ca3dmm.Random(ar, ac, 1)
 	b := ca3dmm.Random(br, bc, 2)
+
+	if *chaos || *resilient {
+		runChaos(a, b, *p, cfg, chaosOpts{
+			seed: *chaosSeed, crashes: *chaosCrash, corrupts: *chaosCorrupt,
+			delayProb: *chaosDelay, retries: *retries, inject: *chaos,
+			validate: *validate, freivalds: *freivalds,
+		})
+		return
+	}
 
 	var last *ca3dmm.Matrix
 	var sumTotal, sumMatmul, sumRedist, sumRepl, sumComp, sumRed time.Duration
@@ -119,15 +135,99 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := cfg.Trace.WriteChrome(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
-		fmt.Printf("\nstage timeline written to %s (open in chrome://tracing)\n", *traceOut)
-		fmt.Printf("stage totals across ranks and runs:\n%s", cfg.Trace.Summary())
+		writeTrace(cfg, *traceOut)
 	}
+}
+
+type chaosOpts struct {
+	seed                uint64
+	crashes, corrupts   int
+	delayProb           float64
+	retries             int
+	inject              bool
+	validate, freivalds bool
+}
+
+// runChaos executes one multiplication through the self-healing
+// executor, optionally under an injected fault plan, and reports every
+// fault that fired alongside the usual correctness check.
+func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
+	var plan *ca3dmm.FaultPlan
+	if o.inject {
+		plan = &ca3dmm.FaultPlan{Seed: o.seed}
+		for i := 0; i < o.crashes; i++ {
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultCrash, Rank: (int(o.seed) + i) % p, Call: int64(2 + 3*i),
+			})
+		}
+		for i := 0; i < o.corrupts; i++ {
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultCorrupt, Rank: (int(o.seed) + o.crashes + i) % p,
+				Call: int64(i), Bit: 52,
+			})
+		}
+		if o.delayProb > 0 {
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultDelay, Rank: -1, Prob: o.delayProb, Delay: 100 * time.Microsecond,
+			})
+		}
+	}
+	start := time.Now()
+	c, rep, err := ca3dmm.ResilientMultiply(a, b, p, ca3dmm.ResilientConfig{
+		Config:     cfg,
+		MaxRetries: o.retries,
+		VerifySeed: o.seed,
+		Fault:      plan,
+	})
+	elapsed := time.Since(start)
+	fmt.Println()
+	fmt.Printf("================ self-healing executor ================\n")
+	if o.inject {
+		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f\n",
+			o.seed, o.crashes, o.corrupts, o.delayProb)
+	} else {
+		fmt.Printf("  * Fault plan              : none\n")
+	}
+	if err != nil {
+		log.Fatalf("resilient execution failed: %v", err)
+	}
+	fmt.Printf("  * Wall clock              : %v\n", elapsed.Round(time.Microsecond))
+	fired := 0
+	for i := range rep.Ranks {
+		for _, inj := range rep.Ranks[i].Injected {
+			fmt.Printf("  * Injected on rank %-6d : %v\n", i, inj)
+			fired++
+		}
+	}
+	fmt.Printf("  * Faults fired            : %d\n", fired)
+	if o.validate {
+		errs := 0
+		if o.freivalds {
+			if !ca3dmm.Freivalds(a, b, c, cfg.TransA, cfg.TransB, 20, 12345) {
+				errs = 1
+			}
+			fmt.Printf("\nFreivalds check (20 trials, false-accept <= 2^-20)\n")
+		} else {
+			want := ca3dmm.GemmRef(a, b, cfg.TransA, cfg.TransB)
+			diff := ca3dmm.MaxAbsDiff(c, want)
+			if diff > 1e-9*float64(a.Cols) {
+				errs = 1
+			}
+			fmt.Printf("\nmax |C - C_ref| = %.3e\n", diff)
+		}
+		fmt.Printf("self-healing output : %d error(s)\n", errs)
+	}
+}
+
+func writeTrace(cfg ca3dmm.Config, traceOut string) {
+	f, err := os.Create(traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cfg.Trace.WriteChrome(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("\nstage timeline written to %s (open in chrome://tracing)\n", traceOut)
+	fmt.Printf("stage totals across ranks and runs:\n%s", cfg.Trace.Summary())
 }

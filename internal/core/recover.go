@@ -1,0 +1,317 @@
+// Self-healing CA3DMM execution: shrink-replan-retry on rank failure,
+// Freivalds verification against silent corruption.
+//
+// CA3DMM is uniquely suited to shrink-and-replan recovery because its
+// planner already handles arbitrary, non-ideal process counts by
+// idling ranks (paper Section III-E): losing a rank just means
+// replanning for p' = p - 1 survivors, which the grid optimizer treats
+// like any other process count. The recovery loop is the ULFM pattern:
+//
+//  1. checkpoint each rank's input panels to the reliable store,
+//  2. attempt the multiplication; any communication failure
+//     (crashed peer, revoked epoch, timeout) aborts the attempt,
+//  3. verify the output with Freivalds' algorithm (catches payload
+//     corruption that produced a structurally valid but wrong C),
+//  4. agree on the outcome across live ranks; on failure, shrink to
+//     the survivors, replan for p', restore the panels from the
+//     checkpoints, and retry — bounded by a retry budget with
+//     exponential backoff.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// ErrVerifyFailed reports a multiplication whose output failed the
+// Freivalds check even after the retry budget — the run produced
+// detectably corrupt results and never a silently wrong answer.
+var ErrVerifyFailed = errors.New("core: output failed Freivalds verification")
+
+// ErrRetriesExhausted reports a resilient execution that ran out of
+// retry budget before producing a verified result.
+var ErrRetriesExhausted = errors.New("core: resilient execution retries exhausted")
+
+// ResilientOptions tunes ResilientExecute.
+type ResilientOptions struct {
+	// Opt is the planner configuration reused on every (re)plan.
+	Opt Options
+	// TransA/TransB mirror the plan's transpose flags; the layouts
+	// passed to ResilientExecute describe the stored matrices.
+	TransA, TransB bool
+	// MaxRetries bounds the number of shrink-replan retries after the
+	// first attempt (default 3).
+	MaxRetries int
+	// Backoff is the base of the exponential backoff between retries
+	// (default 5ms; attempt i sleeps Backoff << i).
+	Backoff time.Duration
+	// VerifyTrials is the Freivalds trial count (default 16, false
+	// accept probability 2^-16).
+	VerifyTrials int
+	// VerifySeed seeds the verification; each attempt draws a fresh
+	// derived seed.
+	VerifySeed uint64
+	// DisableRecovery turns off shrink-replan and verification
+	// retries: the first failure is returned as a typed error. Used
+	// to demonstrate the failure modes recovery hides.
+	DisableRecovery bool
+}
+
+func (ro *ResilientOptions) retries() int {
+	if ro.MaxRetries > 0 {
+		return ro.MaxRetries
+	}
+	return 3
+}
+
+func (ro *ResilientOptions) backoff(attempt int) time.Duration {
+	base := ro.Backoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	return base << uint(attempt)
+}
+
+func (ro *ResilientOptions) trials() int {
+	if ro.VerifyTrials > 0 {
+		return ro.VerifyTrials
+	}
+	return 16
+}
+
+// ResilientOutput is one rank's share of a recovered multiplication.
+type ResilientOutput struct {
+	// C is the rank's block of the result under a 1D column-block
+	// layout over the final epoch's communicator; ranks that did not
+	// survive to the final epoch hold nil.
+	C *mat.Dense
+	// Row, Col anchor C's block in the global result.
+	Row, Col int
+	// Attempts counts executions (1 = first attempt succeeded).
+	Attempts int
+	// Epochs counts communicator shrinks survived.
+	Epochs int
+}
+
+// ckptName namespaces the store entries of one resilient execution.
+const (
+	ckptA = "resilient/A"
+	ckptB = "resilient/B"
+)
+
+// ResilientExecute multiplies C = op(A)·op(B) on the calling rank with
+// shrink-replan-retry recovery. aLocal/bLocal are the rank's blocks of
+// the stored matrices under aL/bL (spanning the communicator's full
+// size); m, n, k are the op-applied dimensions. Collective over world.
+// On success every surviving rank returns its column block of C; on
+// failure every live rank returns the same class of typed error
+// (wrapping mpi.ErrRankFailed, ErrVerifyFailed, or
+// ErrRetriesExhausted).
+func ResilientExecute(world *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.Layout,
+	bLocal *mat.Dense, bL dist.Layout, ro ResilientOptions) (*ResilientOutput, error) {
+
+	// Checkpoint the input panels before any communication can fail:
+	// local store writes, so even a rank crashed at its very first
+	// message has its panels on reliable storage.
+	world.Checkpoint(ckptA, layoutBlocks(aL, world.Rank(), aLocal))
+	world.Checkpoint(ckptB, layoutBlocks(bL, world.Rank(), bLocal))
+
+	comm := world
+	curA, curB := aLocal, bLocal
+	curAL, curBL := aL, bL
+	epochs := 0
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, row, col, err := attemptMultiply(comm, m, n, k, curA, curAL, curB, curBL, ro, attempt)
+		if err == nil && ro.DisableRecovery {
+			return &ResilientOutput{C: out, Row: row, Col: col, Attempts: attempt + 1, Epochs: epochs}, nil
+		}
+		if err != nil {
+			lastErr = err
+			// Wake peers blocked on ranks that will never answer, so
+			// the whole epoch converges on the Agree quickly.
+			comm.Revoke()
+		}
+		if ro.DisableRecovery {
+			return nil, err
+		}
+		allOK, _ := comm.Agree(err == nil)
+		if allOK {
+			return &ResilientOutput{C: out, Row: row, Col: col, Attempts: attempt + 1, Epochs: epochs}, nil
+		}
+		if attempt >= ro.retries() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: a peer failed in every attempt", mpi.ErrRankFailed)
+			}
+			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrRetriesExhausted, attempt+1, lastErr)
+		}
+		time.Sleep(ro.backoff(attempt))
+
+		// Shrink to the survivors and replan. Shrinking also gives a
+		// fresh message context, so stale traffic from the failed
+		// attempt cannot corrupt the retry even when nobody died
+		// (e.g. a verification failure).
+		shrunk := comm.Shrink()
+		if shrunk.Size() != comm.Size() {
+			epochs++
+		}
+		comm = shrunk
+		// Restore the input panels from the checkpoint store into
+		// canonical column-block layouts over the survivors.
+		curAL, curA = restorePanels(comm, ckptA, aL.GlobalRows(), aL.GlobalCols())
+		curBL, curB = restorePanels(comm, ckptB, bL.GlobalRows(), bL.GlobalCols())
+	}
+}
+
+// attemptMultiply runs one plan-execute-verify attempt, converting any
+// communication failure into an error. Returns the rank's column block
+// of C with its global anchor.
+func attemptMultiply(comm *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.Layout,
+	bLocal *mat.Dense, bL dist.Layout, ro ResilientOptions, attempt int) (
+	out *mat.Dense, row, col int, err error) {
+
+	defer mpi.RecoverComm(&err)
+
+	p := comm.Size()
+	plan, perr := NewPlan(m, n, k, p, ro.TransA, ro.TransB, ro.Opt)
+	if perr != nil {
+		return nil, 0, 0, perr
+	}
+	cL := dist.Block1DCol{R: m, C: n, P: p}
+	c, _ := plan.Execute(comm, aLocal, aL, bLocal, bL, cL)
+	lo, _ := dist.BlockRange(n, p, comm.Rank())
+
+	if verr := verifyAttempt(comm, m, n, k, c, cL, ro, attempt); verr != nil {
+		return nil, 0, 0, verr
+	}
+	return c, 0, lo, nil
+}
+
+// verifyAttempt checks the distributed result with Freivalds'
+// algorithm: every rank deposits its C block in the store, rank 0
+// reassembles A, B, and C from the store and verifies, and the verdict
+// is broadcast. O(trials·n²) work on rank 0 — cheap next to the
+// multiplication it guards.
+func verifyAttempt(comm *mpi.Comm, m, n, k int, c *mat.Dense, cL dist.Layout,
+	ro ResilientOptions, attempt int) error {
+
+	name := fmt.Sprintf("resilient/C/%d/%d", comm.Size(), attempt)
+	comm.Checkpoint(name, layoutBlocks(cL, comm.Rank(), c))
+	comm.Barrier() // all deposits visible before rank 0 reads
+
+	verdict := []float64{0}
+	if comm.Rank() == 0 {
+		ar, ac := m, k
+		if ro.TransA {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if ro.TransB {
+			br, bc = n, k
+		}
+		a := assembleNamed(comm, ckptA, ar, ac)
+		b := assembleNamed(comm, ckptB, br, bc)
+		cc := assembleNamed(comm, name, m, n)
+		ta, tb := mat.NoTrans, mat.NoTrans
+		if ro.TransA {
+			ta = mat.Trans
+		}
+		if ro.TransB {
+			tb = mat.Trans
+		}
+		seed := ro.VerifySeed + uint64(attempt)*0x9e3779b9 + 1
+		if mat.Freivalds(ta, tb, a, b, cc, ro.trials(), seed, 1e-9) {
+			verdict[0] = 1
+		}
+	}
+	verdict = comm.Bcast(0, verdict)
+	comm.ClearCheckpoint(name)
+	if verdict[0] != 1 {
+		return fmt.Errorf("%w (attempt %d, p=%d)", ErrVerifyFailed, attempt, comm.Size())
+	}
+	return nil
+}
+
+// layoutBlocks converts a rank's local matrix into checkpoint blocks
+// using the layout's global piece coordinates.
+func layoutBlocks(l dist.Layout, rank int, local *mat.Dense) []mpi.CkptBlock {
+	pieces := l.Pieces(rank)
+	blocks := make([]mpi.CkptBlock, 0, len(pieces))
+	for _, pc := range pieces {
+		v := local.View(pc.LR, pc.LC, pc.Rows, pc.Cols)
+		blocks = append(blocks, mpi.CkptBlock{
+			R0: pc.R0, C0: pc.C0, Rows: pc.Rows, Cols: pc.Cols, Data: v.Pack(),
+		})
+	}
+	return blocks
+}
+
+// restorePanels rebuilds this rank's share of a checkpointed global
+// matrix under a canonical 1D column-block layout over the current
+// communicator, reading every saved block (from live and dead ranks
+// alike) and copying the overlap — the simulated analogue of a
+// checkpoint/restart read from a parallel file system.
+func restorePanels(comm *mpi.Comm, name string, rows, cols int) (dist.Layout, *mat.Dense) {
+	p := comm.Size()
+	l := dist.Block1DCol{R: rows, C: cols, P: p}
+	lo, hi := dist.BlockRange(cols, p, comm.Rank())
+	local := mat.New(rows, hi-lo)
+	for _, blocks := range comm.Restore(name) {
+		for _, b := range blocks {
+			copyOverlap(local, 0, lo, b)
+		}
+	}
+	return l, local
+}
+
+// assembleNamed rebuilds the full rows x cols global matrix of a
+// checkpoint whose blocks jointly tile it. The dimensions are supplied
+// by the caller: trailing ranks may own empty blocks, so the blocks
+// themselves cannot be trusted to reach the matrix edges.
+func assembleNamed(comm *mpi.Comm, name string, rows, cols int) *mat.Dense {
+	out := mat.New(rows, cols)
+	for _, bs := range comm.Restore(name) {
+		for _, b := range bs {
+			copyOverlap(out, 0, 0, b)
+		}
+	}
+	return out
+}
+
+// copyOverlap copies the intersection of checkpoint block b with the
+// window of the global matrix that dst covers, where dst's (0,0) sits
+// at global (dstR0, dstC0).
+func copyOverlap(dst *mat.Dense, dstR0, dstC0 int, b mpi.CkptBlock) {
+	r0 := max(b.R0, dstR0)
+	r1 := min(b.R0+b.Rows, dstR0+dst.Rows)
+	c0 := max(b.C0, dstC0)
+	c1 := min(b.C0+b.Cols, dstC0+dst.Cols)
+	if r0 >= r1 || c0 >= c1 {
+		return
+	}
+	for i := r0; i < r1; i++ {
+		srcRow := b.Data[(i-b.R0)*b.Cols:]
+		for j := c0; j < c1; j++ {
+			dst.Set(i-dstR0, j-dstC0, srcRow[j-b.C0])
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+package mpi
+
+// The checkpoint store stands in for the reliable storage tier (a
+// parallel file system or a replicated in-memory store) that real
+// fault-tolerant applications checkpoint to: data written here
+// survives the writer's crash and is readable by every rank. The
+// self-healing CA3DMM executor checkpoints each rank's input panels at
+// entry and restores the lost ranks' panels from the store after a
+// shrink, without needing the dead ranks' memory.
+
+// CkptBlock is one contiguous rectangle of a global matrix saved by a
+// rank: row-major Rows x Cols data anchored at (R0, C0) in the global
+// index space.
+type CkptBlock struct {
+	R0, C0     int
+	Rows, Cols int
+	Data       []float64
+}
+
+// Checkpoint durably stores blocks under name for the calling rank,
+// replacing any previous checkpoint of the same name by this rank. The
+// blocks' data slices are copied, so the caller may reuse its buffers.
+func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
+	cp := make([]CkptBlock, len(blocks))
+	for i, b := range blocks {
+		data := make([]float64, len(b.Data))
+		copy(data, b.Data)
+		cp[i] = CkptBlock{R0: b.R0, C0: b.C0, Rows: b.Rows, Cols: b.Cols, Data: data}
+	}
+	w := c.w
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	m := w.ckpt[name]
+	if m == nil {
+		m = make(map[int][]CkptBlock)
+		w.ckpt[name] = m
+	}
+	m[c.worldRank] = cp
+}
+
+// Restore reads every rank's checkpoint stored under name, keyed by
+// world rank — including checkpoints written by ranks that have since
+// crashed. The returned blocks are shared and must not be modified.
+func (c *Comm) Restore(name string) map[int][]CkptBlock {
+	w := c.w
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	out := make(map[int][]CkptBlock, len(w.ckpt[name]))
+	for r, blocks := range w.ckpt[name] {
+		out[r] = blocks
+	}
+	return out
+}
+
+// ClearCheckpoint removes every rank's checkpoint stored under name.
+func (c *Comm) ClearCheckpoint(name string) {
+	c.w.ftMu.Lock()
+	defer c.w.ftMu.Unlock()
+	delete(c.w.ckpt, name)
+}

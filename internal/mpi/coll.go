@@ -14,7 +14,7 @@ import "fmt"
 func (c *Comm) Barrier() {
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("barrier")
+	c.enterColl("barrier")
 	if p == 1 {
 		return
 	}
@@ -34,7 +34,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.checkPeer(root, "Bcast")
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("bcast")
+	c.enterColl("bcast")
 	if p == 1 {
 		return data
 	}
@@ -74,7 +74,7 @@ func (c *Comm) commIndex(r int) int { return r }
 // communicator size is a power of two and a ring otherwise.
 func (c *Comm) Allgather(send []float64) []float64 {
 	p := c.Size()
-	c.stats.addCall("allgather")
+	c.enterColl("allgather")
 	if p == 1 {
 		out := make([]float64, len(send))
 		copy(out, send)
@@ -128,7 +128,7 @@ func (c *Comm) allgatherBruck(send []float64) []float64 {
 // order. Uses a ring.
 func (c *Comm) Allgatherv(send []float64, counts []int) []float64 {
 	p := c.Size()
-	c.stats.addCall("allgather")
+	c.enterColl("allgather")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: Allgatherv counts length %d != comm size %d", c.rank, len(counts), p))
 	}
@@ -196,7 +196,7 @@ func (c *Comm) allgathervRing(send []float64, counts []int) []float64 {
 // Uses the bandwidth-optimal ring algorithm.
 func (c *Comm) ReduceScatter(send []float64, counts []int) []float64 {
 	p := c.Size()
-	c.stats.addCall("reduce_scatter")
+	c.enterColl("reduce_scatter")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: ReduceScatter counts length %d != comm size %d", c.rank, len(counts), p))
 	}
@@ -254,7 +254,7 @@ func (c *Comm) Reduce(root int, send []float64) []float64 {
 	c.checkPeer(root, "Reduce")
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("reduce")
+	c.enterColl("reduce")
 	acc := make([]float64, len(send))
 	copy(acc, send)
 	if p == 1 {
@@ -287,7 +287,7 @@ func (c *Comm) Reduce(root int, send []float64) []float64 {
 // on every rank (binomial reduce to rank 0 followed by binomial
 // broadcast, valid for any communicator size).
 func (c *Comm) Allreduce(send []float64) []float64 {
-	c.stats.addCall("allreduce")
+	c.enterColl("allreduce")
 	total := c.Reduce(0, send)
 	if c.rank != 0 {
 		total = make([]float64, len(send))
@@ -302,7 +302,7 @@ func (c *Comm) Gatherv(root int, send []float64, counts []int) []float64 {
 	c.checkPeer(root, "Gatherv")
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("gatherv")
+	c.enterColl("gatherv")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: Gatherv counts length %d != comm size %d", c.rank, len(counts), p))
 	}
@@ -340,7 +340,7 @@ func (c *Comm) Scatterv(root int, send []float64, counts []int) []float64 {
 	c.checkPeer(root, "Scatterv")
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("scatterv")
+	c.enterColl("scatterv")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: Scatterv counts length %d != comm size %d", c.rank, len(counts), p))
 	}
@@ -381,7 +381,7 @@ func (c *Comm) Scatterv(root int, send []float64, counts []int) []float64 {
 func (c *Comm) NeighborAlltoallv(sendBufs [][]float64, recvLens []int) [][]float64 {
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("alltoallv")
+	c.enterColl("alltoallv")
 	if len(sendBufs) != p || len(recvLens) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: NeighborAlltoallv lengths %d/%d != comm size %d",
 			c.rank, len(sendBufs), len(recvLens), p))
@@ -418,7 +418,7 @@ func (c *Comm) NeighborAlltoallv(sendBufs [][]float64, recvLens []int) [][]float
 func (c *Comm) Alltoallv(sendBufs [][]float64) [][]float64 {
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("alltoallv")
+	c.enterColl("alltoallv")
 	if len(sendBufs) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: Alltoallv sendBufs length %d != comm size %d", c.rank, len(sendBufs), p))
 	}

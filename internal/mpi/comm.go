@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -19,6 +20,27 @@ const maxUserTag = 1 << 20
 // communicator are ordered, so reuse this far apart is safe.
 const collTagWindow = 1 << 12
 
+// revocation is the shared revoked-flag of one communicator epoch:
+// the world communicator and every Shrink result get a fresh one, and
+// Split-derived communicators share their parent's, so revoking any
+// communicator of an epoch wakes blocked operations across the whole
+// epoch (ULFM MPI_Comm_revoke semantics).
+type revocation struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (rv *revocation) revoke() { rv.once.Do(func() { close(rv.ch) }) }
+
+func (rv *revocation) revoked() bool {
+	select {
+	case <-rv.ch:
+		return true
+	default:
+		return false
+	}
+}
+
 // Comm is a communicator: an ordered group of ranks that can exchange
 // point-to-point messages and perform collectives. Each rank holds its
 // own Comm value; Comm methods are called by that rank's goroutine
@@ -33,6 +55,10 @@ type Comm struct {
 	worldRank int
 	collSeq   int // per-rank collective sequence counter
 	splitSeq  int // per-rank split counter
+	agreeSeq  int // per-rank agreement counter
+	shrinkSeq int // per-rank shrink counter
+	inj       *injector
+	rv        *revocation
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -61,6 +87,99 @@ func (c *Comm) checkTag(tag int) {
 	}
 }
 
+// abort unwinds the calling rank with a recoverable communication
+// failure; a self-healing executor catches it with RecoverComm, and
+// otherwise it surfaces from Run as the rank's error.
+func (c *Comm) abort(err error) {
+	panic(commAbort{err})
+}
+
+// opError builds the diagnostic for a failed blocking operation. It
+// names the communicator context, the pending operation, the direction,
+// and the peer's communicator and world ranks, so that a chaos failure
+// deep inside a split communicator can be traced back to a concrete
+// rank and collective.
+func (c *Comm) opError(op, dir string, peer int, sentinel error) error {
+	var why string
+	switch sentinel {
+	case ErrTimeout:
+		why = fmt.Sprintf("timed out after %v (deadlock or mismatched schedule)", c.timeout)
+	case ErrRevoked:
+		why = "communicator revoked"
+	default:
+		why = "peer rank failed"
+		if cause := c.w.causeOf(c.ranks[peer]); cause != nil {
+			why = fmt.Sprintf("peer rank failed (%v)", cause)
+		}
+	}
+	return fmt.Errorf("mpi: rank %d (comm %q): pending %s %s, peer %d (world rank %d): %s: %w",
+		c.rank, c.ctx, op, dir, peer, c.ranks[peer], why, sentinel)
+}
+
+// deliver routes one outgoing message: the fault hook may corrupt,
+// duplicate, stash, delay, or crash on it; whatever payloads remain are
+// enqueued into the destination mailbox. The caller must own data.
+func (c *Comm) deliver(op string, dst, tag int, data []float64) {
+	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
+	for _, payload := range c.event(op, key, data, true) {
+		c.enqueue(op, dst, key, payload)
+	}
+	c.stats.BytesSent += int64(8 * len(data))
+	c.stats.MsgsSent++
+	c.stats.addOp(op, int64(8*len(data)))
+}
+
+// enqueue blocks until the destination mailbox accepts data, failing
+// fast when the destination rank is dead or the epoch is revoked.
+func (c *Comm) enqueue(op string, dst int, key boxKey, data []float64) {
+	if c.w.isDead(key.dst) {
+		c.abort(c.opError(op, "send", dst, ErrRankFailed))
+	}
+	if c.rv.revoked() {
+		c.abort(c.opError(op, "send", dst, ErrRevoked))
+	}
+	select {
+	case c.w.box(key) <- data:
+	case <-c.w.deadCh[key.dst]:
+		c.abort(c.opError(op, "send", dst, ErrRankFailed))
+	case <-c.rv.ch:
+		c.abort(c.opError(op, "send", dst, ErrRevoked))
+	case <-time.After(c.timeout):
+		c.abort(c.opError(op, "send", dst, ErrTimeout))
+	}
+}
+
+// receive blocks until a message from src arrives, failing fast with
+// ErrRankFailed when src has died (after draining anything it sent
+// before dying) or ErrRevoked when the epoch was revoked.
+func (c *Comm) receive(op string, src, tag int) []float64 {
+	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
+	c.event(op, key, nil, false)
+	ch := c.w.box(key)
+	accept := func(data []float64) []float64 {
+		c.stats.BytesRecv += int64(8 * len(data))
+		c.stats.MsgsRecv++
+		return data
+	}
+	select {
+	case data := <-ch:
+		return accept(data)
+	case <-c.w.deadCh[key.src]:
+		// The sender may have enqueued this message before dying.
+		select {
+		case data := <-ch:
+			return accept(data)
+		default:
+			c.abort(c.opError(op, "recv", src, ErrRankFailed))
+		}
+	case <-c.rv.ch:
+		c.abort(c.opError(op, "recv", src, ErrRevoked))
+	case <-time.After(c.timeout):
+		c.abort(c.opError(op, "recv", src, ErrTimeout))
+	}
+	return nil
+}
+
 // Send sends a copy of data to dst with the given tag. It normally
 // completes immediately (eager buffering) and blocks only when the
 // destination queue is full.
@@ -79,17 +198,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 // sendOwned enqueues data without copying; the caller must not touch
 // data afterwards.
 func (c *Comm) sendOwned(dst, tag int, data []float64) {
-	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
-	ch := c.w.box(key)
-	select {
-	case ch <- data:
-	case <-time.After(c.timeout):
-		c.w.fail(fmt.Errorf("mpi: rank %d (%s): send to %d tag %d stalled %v (receiver queue full — likely deadlock)",
-			c.rank, c.ctx, dst, tag, c.timeout))
-	}
-	c.stats.BytesSent += int64(8 * len(data))
-	c.stats.MsgsSent++
-	c.stats.addOp("p2p", int64(8*len(data)))
+	c.deliver("p2p", dst, tag, data)
 }
 
 // Recv receives a message from src with the given tag, returning the
@@ -101,18 +210,7 @@ func (c *Comm) Recv(src, tag int) []float64 {
 }
 
 func (c *Comm) recv(src, tag int) []float64 {
-	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
-	ch := c.w.box(key)
-	select {
-	case data := <-ch:
-		c.stats.BytesRecv += int64(8 * len(data))
-		c.stats.MsgsRecv++
-		return data
-	case <-time.After(c.timeout):
-		c.w.fail(fmt.Errorf("mpi: rank %d (%s): recv from %d tag %d timed out after %v (deadlock or mismatched schedule)",
-			c.rank, c.ctx, src, tag, c.timeout))
-		return nil
-	}
+	return c.receive("p2p", src, tag)
 }
 
 // RecvInto receives from src/tag into buf, which must have exactly the
@@ -136,6 +234,15 @@ func (c *Comm) Sendrecv(dst, src, tag int, sendData []float64) []float64 {
 	return c.recv(src, tag)
 }
 
+// enterColl records a collective call and gives the fault layer an
+// injection point at the collective boundary itself, so a crash or
+// straggle can fire on entry even for collectives whose first action
+// is a receive.
+func (c *Comm) enterColl(op string) {
+	c.stats.addCall(op)
+	c.event(op, boxKey{}, nil, false)
+}
+
 // nextCollTag reserves the tag pair used by the next collective. All
 // members call collectives in the same order, so the sequence numbers
 // agree across ranks.
@@ -150,32 +257,11 @@ func (c *Comm) nextCollTag() int {
 func (c *Comm) csend(dst, tag int, data []float64, op string) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
-	ch := c.w.box(key)
-	select {
-	case ch <- cp:
-	case <-time.After(c.timeout):
-		c.w.fail(fmt.Errorf("mpi: rank %d (%s): %s send to %d stalled %v",
-			c.rank, c.ctx, op, dst, c.timeout))
-	}
-	c.stats.BytesSent += int64(8 * len(data))
-	c.stats.MsgsSent++
-	c.stats.addOp(op, int64(8*len(data)))
+	c.deliver(op, dst, tag, cp)
 }
 
 func (c *Comm) crecv(src, tag int, op string) []float64 {
-	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
-	ch := c.w.box(key)
-	select {
-	case data := <-ch:
-		c.stats.BytesRecv += int64(8 * len(data))
-		c.stats.MsgsRecv++
-		return data
-	case <-time.After(c.timeout):
-		c.w.fail(fmt.Errorf("mpi: rank %d (%s): %s recv from %d timed out after %v (mismatched collective participation?)",
-			c.rank, c.ctx, op, src, c.timeout))
-		return nil
-	}
+	return c.receive(op, src, tag)
 }
 
 // Split partitions the communicator: ranks passing the same color form
@@ -223,6 +309,157 @@ func (c *Comm) Split(color, key int) *Comm {
 		stats:     c.stats,
 		timeout:   c.timeout,
 		worldRank: c.worldRank,
+		inj:       c.inj,
+		rv:        c.rv, // same epoch: a revoke reaches split comms too
+	}
+}
+
+// Revoke marks the communicator's epoch as revoked: every blocked or
+// future operation on this communicator and any communicator split
+// from it aborts with ErrRevoked (ULFM MPI_Comm_revoke). A rank that
+// observes a failure revokes the epoch so that peers blocked on
+// third-party ranks do not have to wait out the timeout before joining
+// recovery.
+func (c *Comm) Revoke() { c.rv.revoke() }
+
+// revocationFor returns the shared revocation of a shrink epoch,
+// creating it on first use. Every survivor of a Shrink derives the
+// same epoch ctx, so they all resolve to the same instance.
+func (w *world) revocationFor(ctx string) *revocation {
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	rv := w.rvs[ctx]
+	if rv == nil {
+		rv = &revocation{ch: make(chan struct{})}
+		w.rvs[ctx] = rv
+	}
+	return rv
+}
+
+// agreeState is one in-progress agreement rendezvous, keyed by
+// (communicator ctx, agreement sequence number) in world.agrees.
+type agreeState struct {
+	flags map[int]bool // arrived world ranks and their flags
+	res   *agreeResult
+}
+
+type agreeResult struct {
+	allOK     bool
+	survivors []int // live arrived members, in communicator order
+}
+
+// Agree is a fault-tolerant agreement over the communicator's live
+// members (ULFM MPI_Comm_agree analogue): it returns the logical AND
+// of the flags contributed by the members that are still alive,
+// together with their world ranks in communicator order. Dead members
+// are excluded and force the result to false, so a true result
+// guarantees that every member is alive and contributed true. Unlike
+// the regular collectives, Agree completes even when members have
+// died, making it the safe rendezvous point after a failed
+// communication phase. All live members must call Agree the same
+// number of times on the same communicator.
+func (c *Comm) Agree(ok bool) (bool, []int) {
+	key := fmt.Sprintf("%s#a%d", c.ctx, c.agreeSeq)
+	c.agreeSeq++
+	res := c.w.agree(c, key, ok)
+	if res == nil {
+		c.abort(c.opError("agree", "rendezvous", c.rank, ErrTimeout))
+	}
+	return res.allOK, append([]int(nil), res.survivors...)
+}
+
+// agree runs the shared-state rendezvous for one Agree call: the last
+// arriving live member computes the result once, and everyone returns
+// the same snapshot. Returns nil on timeout.
+func (w *world) agree(c *Comm, key string, ok bool) *agreeResult {
+	deadline := time.Now().Add(c.timeout)
+	timer := time.AfterFunc(c.timeout, func() {
+		w.ftMu.Lock()
+		w.ftCond.Broadcast()
+		w.ftMu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	st := w.agrees[key]
+	if st == nil {
+		st = &agreeState{flags: make(map[int]bool)}
+		w.agrees[key] = st
+	}
+	st.flags[c.worldRank] = ok
+	w.ftCond.Broadcast()
+	for {
+		if st.res == nil {
+			complete, allOK := true, true
+			var survivors []int
+			for _, r := range c.ranks {
+				if w.deadCause[r] != nil {
+					allOK = false
+					continue
+				}
+				flag, arrived := st.flags[r]
+				if !arrived {
+					complete = false
+					break
+				}
+				if !flag {
+					allOK = false
+				}
+				survivors = append(survivors, r)
+			}
+			if complete {
+				st.res = &agreeResult{allOK: allOK, survivors: survivors}
+				w.ftCond.Broadcast()
+			}
+		}
+		if st.res != nil {
+			return st.res
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		w.ftCond.Wait()
+	}
+}
+
+// Shrink builds a new communicator from the surviving members (ULFM
+// MPI_Comm_shrink analogue) and absolves the injected crashes of the
+// dead ones, so a successfully recovered run is not reported as
+// failed. The result is a fresh epoch: it has a clean revocation flag
+// and a new message context, so stale traffic from the failed epoch
+// cannot leak into it. All surviving members must call Shrink
+// together; it is itself fault-tolerant (a member dying during the
+// shrink is simply excluded).
+func (c *Comm) Shrink() *Comm {
+	key := fmt.Sprintf("%s#s%d", c.ctx, c.shrinkSeq)
+	c.shrinkSeq++
+	res := c.w.agree(c, key, true)
+	if res == nil {
+		c.abort(c.opError("shrink", "rendezvous", c.rank, ErrTimeout))
+	}
+	c.w.absolveDead(c.ranks)
+	myNew := -1
+	for i, r := range res.survivors {
+		if r == c.worldRank {
+			myNew = i
+		}
+	}
+	ctx := fmt.Sprintf("%s!%d", c.ctx, c.shrinkSeq)
+	return &Comm{
+		w:         c.w,
+		ctx:       ctx,
+		rank:      myNew,
+		ranks:     res.survivors,
+		stats:     c.stats,
+		timeout:   c.timeout,
+		worldRank: c.worldRank,
+		inj:       c.inj,
+		// The epoch's revocation must be the SAME instance on every
+		// survivor — a revoke only wakes peers if they select on the
+		// same channel — so it is registered in the world under the
+		// epoch's ctx, which all survivors compute identically.
+		rv: c.w.revocationFor(ctx),
 	}
 }
 

@@ -1,0 +1,370 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// This file is the deterministic fault-injection layer of the runtime.
+// A FaultPlan attached to Options hooks the message router: per seeded
+// RNG and per-rank/op/call-count predicates it can delay, duplicate,
+// reorder, or bit-flip messages, crash a rank outright, or turn it into
+// a persistent straggler. Every injection that fires is recorded in the
+// afflicted rank's Stats, so chaos tests can assert exactly which
+// faults fired. Because each rank's decision stream depends only on
+// (plan seed, world rank, the rank's own op call order), injection
+// decisions are reproducible across runs regardless of goroutine
+// interleaving.
+
+// Typed fault-tolerance errors. Operations touching a crashed rank
+// abort with an error wrapping ErrRankFailed instead of waiting for the
+// deadlock timeout; operations on a revoked communicator abort with an
+// error wrapping ErrRevoked (which itself wraps ErrRankFailed, since
+// revocation is how failure news spreads).
+var (
+	// ErrRankFailed reports that a rank of the communicator has
+	// failed (ULFM MPI_ERR_PROC_FAILED analogue).
+	ErrRankFailed = errors.New("mpi: rank failed")
+	// ErrRevoked reports that the communicator was revoked by some
+	// rank after it observed a failure (ULFM MPI_ERR_REVOKED).
+	ErrRevoked = fmt.Errorf("mpi: communicator revoked: %w", ErrRankFailed)
+	// ErrTimeout reports a blocking operation that exceeded the
+	// run's deadlock timeout.
+	ErrTimeout = errors.New("mpi: operation timed out")
+)
+
+// RankFailure is the typed error carried by an injected rank crash: the
+// rank's goroutine unwinds with it, peers observe it as the cause
+// behind their ErrRankFailed aborts, and Run reports it when the
+// failure was never absorbed by a Shrink.
+type RankFailure struct {
+	Rank int    // world rank that crashed
+	Op   string // operation during which the crash fired
+	Call int64  // the rank's op-event index at the crash
+}
+
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("mpi: rank %d crashed during %s (op event %d)", e.Rank, e.Op, e.Call)
+}
+
+// Unwrap lets errors.Is(err, ErrRankFailed) match an injected crash.
+func (e *RankFailure) Unwrap() error { return ErrRankFailed }
+
+// FaultKind enumerates the injectable fault types.
+type FaultKind int
+
+// The fault vocabulary.
+const (
+	// FaultCrash unwinds the rank's goroutine with a RankFailure,
+	// simulating a process loss.
+	FaultCrash FaultKind = iota
+	// FaultCorrupt flips one bit of one element of an outgoing
+	// message payload (silent data corruption).
+	FaultCorrupt
+	// FaultDelay delivers an outgoing message asynchronously after
+	// Delay, letting later traffic overtake it.
+	FaultDelay
+	// FaultDuplicate enqueues an outgoing message twice.
+	FaultDuplicate
+	// FaultReorder holds an outgoing message back and swaps it with
+	// the rank's next outgoing message.
+	FaultReorder
+	// FaultStraggle makes the rank sleep Delay before every
+	// subsequent communication event (persistent slow rank).
+	FaultStraggle
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultReorder:
+		return "reorder"
+	case FaultStraggle:
+		return "straggle"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultSpec is one injection rule. A rule matches a communication event
+// (a point-to-point send or receive, or a collective call) on a rank
+// when the rank, the operation name, and the firing predicate all
+// match. Firing is either deterministic-by-index (Prob == 0: fire at
+// the rank's Call-th matching event, exactly once) or probabilistic
+// (Prob > 0: fire with probability Prob at every matching event, drawn
+// from the plan's seeded per-rank RNG — still reproducible for a fixed
+// seed).
+type FaultSpec struct {
+	Kind FaultKind
+	// Rank is the afflicted world rank; -1 afflicts every rank.
+	Rank int
+	// Op filters by operation name ("p2p", "allgather",
+	// "reduce_scatter", ...); empty matches every operation.
+	Op string
+	// Call is the 0-based per-rank matching-event index at which the
+	// rule fires when Prob is zero.
+	Call int64
+	// Prob, when positive, fires the rule probabilistically at every
+	// matching event instead of by index.
+	Prob float64
+	// Delay is the magnitude for FaultDelay and FaultStraggle
+	// (default 1ms when zero).
+	Delay time.Duration
+	// Bit is the bit index (0-63) flipped by FaultCorrupt.
+	Bit int
+}
+
+// FaultPlan is a seeded set of injection rules, attached via
+// Options.Fault. The zero plan injects nothing.
+type FaultPlan struct {
+	Seed  uint64
+	Specs []FaultSpec
+}
+
+// Injection records one fired fault in the afflicted rank's Stats.
+type Injection struct {
+	Kind FaultKind
+	Op   string // operation the fault fired on
+	Call int64  // the rank's op-event index when it fired
+	Peer int    // destination world rank for message faults (-1 otherwise)
+}
+
+func (i Injection) String() string {
+	return fmt.Sprintf("%s@%s#%d->%d", i.Kind, i.Op, i.Call, i.Peer)
+}
+
+const defaultFaultDelay = time.Millisecond
+
+// injector is the per-rank fault engine. It is owned by the rank's
+// goroutine (single-threaded) and shared by every Comm the rank
+// derives, so call counts span communicators.
+type injector struct {
+	plan  *FaultPlan
+	rank  int
+	rng   *rand.Rand
+	calls int64 // communication events observed so far (all ops)
+	fired []bool
+	seen  []int64       // per-spec count of matching events observed
+	slow  time.Duration // nonzero after a straggle fault fires
+
+	// reorder stash: one held-back message waiting to be swapped with
+	// the rank's next send.
+	pending    []float64
+	pendingKey boxKey
+	pendingOp  string
+	hasPending bool
+}
+
+func newInjector(plan *FaultPlan, rank int) *injector {
+	if plan == nil || len(plan.Specs) == 0 {
+		return nil
+	}
+	// Derive a distinct, stable stream per rank so decisions do not
+	// depend on cross-rank scheduling.
+	return &injector{
+		plan:  plan,
+		rank:  rank,
+		rng:   rand.New(rand.NewPCG(plan.Seed, 0x9e3779b97f4a7c15^uint64(rank))),
+		fired: make([]bool, len(plan.Specs)),
+		seen:  make([]int64, len(plan.Specs)),
+	}
+}
+
+// match reports the index of the first spec firing at this event, or
+// -1. A spec's Call index counts that spec's own matching events on
+// this rank (so {Op: "allreduce", Call: 2} fires at the rank's third
+// allreduce, regardless of interleaved traffic). Every matching
+// probabilistic spec consumes one RNG draw whether or not it fires,
+// keeping the stream aligned with the event sequence.
+func (in *injector) match(op string, send bool) int {
+	hit := -1
+	for i := range in.plan.Specs {
+		s := &in.plan.Specs[i]
+		if s.Rank != -1 && s.Rank != in.rank {
+			continue
+		}
+		if s.Op != "" && s.Op != op {
+			continue
+		}
+		// Message-mutating faults only make sense on send events; do
+		// not let receives consume their firing predicate.
+		switch s.Kind {
+		case FaultCorrupt, FaultDuplicate, FaultReorder:
+			if !send {
+				continue
+			}
+		}
+		idx := in.seen[i]
+		in.seen[i]++
+		if s.Prob > 0 {
+			if in.rng.Float64() < s.Prob && hit < 0 {
+				hit = i
+			}
+			continue
+		}
+		if !in.fired[i] && s.Call == idx && hit < 0 {
+			hit = i
+			in.fired[i] = true
+		}
+	}
+	return hit
+}
+
+func (s *FaultSpec) delay() time.Duration {
+	if s.Delay > 0 {
+		return s.Delay
+	}
+	return defaultFaultDelay
+}
+
+// event is called by the router at every communication event of the
+// rank. For send events (payload non-nil) it returns the list of
+// payloads to enqueue now — usually {payload}, more after duplication
+// or a released reorder stash, none when the payload was stashed or
+// handed to an async delayed delivery. It panics with a rank crash when
+// a FaultCrash rule fires.
+func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]float64 {
+	in := c.inj
+	out := [][]float64{payload}
+	if !send {
+		out = nil
+	}
+	if in == nil {
+		return out
+	}
+	call := in.calls
+	in.calls++
+	if in.slow > 0 {
+		time.Sleep(in.slow)
+	}
+	// A stashed reordered message may only wait for the very next send
+	// to the same mailbox. Before any other event — including a receive
+	// this rank could block on forever — flush it, or the stash turns a
+	// benign reordering into a deadlock.
+	if in.hasPending && !(send && key == in.pendingKey) {
+		c.flushStash()
+	}
+	si := in.match(op, send)
+	if si < 0 {
+		return c.releasePending(key, out)
+	}
+	spec := &in.plan.Specs[si]
+	rec := Injection{Kind: spec.Kind, Op: op, Call: call, Peer: -1}
+	if send {
+		rec.Peer = key.dst
+	}
+	switch spec.Kind {
+	case FaultCrash:
+		c.stats.addInjection(rec)
+		panic(rankCrash{&RankFailure{Rank: c.worldRank, Op: op, Call: call}})
+	case FaultStraggle:
+		c.stats.addInjection(rec)
+		in.slow = spec.delay()
+		time.Sleep(in.slow)
+	case FaultDelay:
+		c.stats.addInjection(rec)
+		if send {
+			c.deliverAfter(key, payload, spec.delay())
+			out = nil
+		} else {
+			time.Sleep(spec.delay())
+		}
+	case FaultCorrupt:
+		if send && len(payload) > 0 {
+			c.stats.addInjection(rec)
+			i := in.rng.IntN(len(payload))
+			payload[i] = flipBit(payload[i], spec.Bit)
+		}
+	case FaultDuplicate:
+		if send {
+			c.stats.addInjection(rec)
+			dup := make([]float64, len(payload))
+			copy(dup, payload)
+			out = [][]float64{payload, dup}
+		}
+	case FaultReorder:
+		if send && !in.hasPending {
+			c.stats.addInjection(rec)
+			in.pending, in.pendingKey, in.pendingOp = payload, key, op
+			in.hasPending = true
+			out = nil
+		}
+	}
+	return c.releasePending(key, out)
+}
+
+// releasePending appends the reorder stash after the current payloads
+// when this is a send event, completing the swap: the newer message
+// overtakes the stashed one.
+func (c *Comm) releasePending(key boxKey, out [][]float64) [][]float64 {
+	in := c.inj
+	if in == nil || !in.hasPending || out == nil {
+		return out
+	}
+	// Only swap within the same mailbox: cross-box ordering is
+	// unobservable, and flushing into a different box here would
+	// misroute the stashed payload.
+	if key != in.pendingKey {
+		return out
+	}
+	out = append(out, in.pending)
+	in.hasPending = false
+	in.pending = nil
+	return out
+}
+
+// flushStash delivers the stashed reordered message now, falling back
+// to an async delivery if the box is momentarily full.
+func (c *Comm) flushStash() {
+	in := c.inj
+	select {
+	case c.w.box(in.pendingKey) <- in.pending:
+	default:
+		c.deliverAfter(in.pendingKey, in.pending, 0)
+	}
+	in.hasPending = false
+	in.pending = nil
+}
+
+// flush delivers a still-stashed reordered message best-effort when
+// the rank finishes: the payload must not silently vanish while the
+// box has room.
+func (in *injector) flush(w *world) {
+	if in == nil || !in.hasPending {
+		return
+	}
+	select {
+	case w.box(in.pendingKey) <- in.pending:
+	default:
+	}
+	in.hasPending = false
+	in.pending = nil
+}
+
+// deliverAfter enqueues payload into key's box after d, dropping it if
+// the destination dies or the box stays full past the run timeout.
+func (c *Comm) deliverAfter(key boxKey, payload []float64, d time.Duration) {
+	w, timeout := c.w, c.timeout
+	go func() {
+		time.Sleep(d)
+		select {
+		case w.box(key) <- payload:
+		case <-w.deadCh[key.dst]:
+		case <-time.After(timeout):
+		}
+	}()
+}
+
+func flipBit(v float64, bit int) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << (uint(bit) & 63)))
+}

@@ -20,7 +20,6 @@
 package mpi
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +36,9 @@ type Options struct {
 	// full, which for the algorithms in this repository indicates a
 	// schedule bug; blocked sends are subject to Timeout too.
 	ChanCap int
+	// Fault attaches a deterministic fault-injection plan to the run;
+	// nil injects nothing. See FaultPlan.
+	Fault *FaultPlan
 }
 
 const (
@@ -44,8 +46,9 @@ const (
 	defaultChanCap = 256
 )
 
-// world is the shared state of one Run: the message router and the
-// per-rank statistics.
+// world is the shared state of one Run: the message router, the
+// per-rank statistics, and the fault-tolerance state (dead-rank set,
+// agreement rendezvous, checkpoint store).
 type world struct {
 	size    int
 	opt     Options
@@ -54,6 +57,98 @@ type world struct {
 	stats   []Stats
 	failMu  sync.Mutex
 	failure error
+
+	// deadCh[r] is closed when world rank r's goroutine unwinds; the
+	// slice itself is immutable after Run starts, so lookups are
+	// lock-free. Blocked operations select on their peer's channel to
+	// fail fast with ErrRankFailed instead of waiting for the timeout.
+	deadCh []chan struct{}
+
+	// ftMu guards the remaining fault-tolerance state.
+	ftMu      sync.Mutex
+	ftCond    *sync.Cond     // broadcast on deaths and agreement arrivals
+	deadCause []error        // per world rank; non-nil once dead
+	crashed   []*RankFailure // injected crashes, in detection order
+	absolved  []bool         // crash was absorbed by a Shrink
+	agrees    map[string]*agreeState
+	rvs       map[string]*revocation         // shared revocation per shrink epoch
+	ckpt      map[string]map[int][]CkptBlock // name -> world rank -> blocks
+}
+
+// markDead records rank r's departure with its cause and wakes every
+// blocked peer and agreement waiter.
+func (w *world) markDead(r int, cause error) {
+	w.ftMu.Lock()
+	already := w.deadCause[r] != nil
+	if !already {
+		w.deadCause[r] = cause
+	}
+	w.ftMu.Unlock()
+	if !already {
+		close(w.deadCh[r])
+		w.ftMu.Lock()
+		w.ftCond.Broadcast()
+		w.ftMu.Unlock()
+	}
+}
+
+// isDead reports whether rank r's goroutine has unwound (lock-free).
+func (w *world) isDead(r int) bool {
+	select {
+	case <-w.deadCh[r]:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *world) causeOf(r int) error {
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	return w.deadCause[r]
+}
+
+// noteCrash registers an injected rank crash. Crashes are not run
+// errors by themselves: a Shrink by the survivors absolves them, and
+// only unabsolved crashes surface from Run.
+func (w *world) noteCrash(f *RankFailure) {
+	w.ftMu.Lock()
+	w.crashed = append(w.crashed, f)
+	w.absolved = append(w.absolved, false)
+	w.ftMu.Unlock()
+}
+
+// absolveDead marks the injected crashes of every dead rank in ranks
+// as handled: the survivors have shrunk around them, so the crashes
+// are no longer run errors.
+func (w *world) absolveDead(ranks []int) {
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	for _, r := range ranks {
+		if w.deadCause[r] == nil {
+			continue
+		}
+		for i, f := range w.crashed {
+			if f.Rank == r {
+				w.absolved[i] = true
+			}
+		}
+	}
+}
+
+// recordFailure notes the first failure of the run; later failures are
+// kept per rank and reported as secondary.
+func (w *world) recordFailure(err error) {
+	w.failMu.Lock()
+	if w.failure == nil {
+		w.failure = err
+	}
+	w.failMu.Unlock()
+}
+
+func (w *world) fail(err error) {
+	w.recordFailure(err)
+	panic(runAbort{err})
 }
 
 type boxKey struct {
@@ -73,17 +168,41 @@ func (w *world) box(k boxKey) chan []float64 {
 	return ch
 }
 
-func (w *world) fail(err error) {
-	w.failMu.Lock()
-	if w.failure == nil {
-		w.failure = err
-	}
-	w.failMu.Unlock()
-	panic(runAbort{err})
-}
-
-// runAbort wraps an error used to unwind a rank goroutine.
+// runAbort wraps an unrecoverable error (runtime misuse, programming
+// bug) used to unwind a rank goroutine. It is never caught by the
+// resilient execution path.
 type runAbort struct{ err error }
+
+// commAbort wraps a recoverable communication failure (dead peer,
+// revoked communicator, timeout). The resilient execution path catches
+// it via RecoverComm; otherwise it surfaces from Run like any failure.
+type commAbort struct{ err error }
+
+// rankCrash unwinds a rank hit by an injected FaultCrash.
+type rankCrash struct{ failure *RankFailure }
+
+// RecoverComm converts an in-flight communication failure into an
+// error: deferred inside an attempt, it catches commAbort panics
+// (ErrRankFailed / ErrRevoked / ErrTimeout) and stores the error in
+// *errp, re-panicking everything else (misuse aborts, injected
+// crashes, user panics). It is the building block for self-healing
+// executors:
+//
+//	func attempt(c *mpi.Comm) (err error) {
+//		defer mpi.RecoverComm(&err)
+//		... collectives that may fail ...
+//	}
+func RecoverComm(errp *error) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if ab, ok := rec.(commAbort); ok {
+		*errp = ab.err
+		return
+	}
+	panic(rec)
+}
 
 // Report holds the outcome of a Run: per-rank communication
 // statistics indexed by world rank.
@@ -136,6 +255,28 @@ func (r *Report) MaxPeakAlloc() int64 {
 	return m
 }
 
+// RunError is the failure report of a Run. First is the earliest
+// failure recorded anywhere in the run — the root cause — and
+// Secondary holds the other ranks' failures (typically cascades: peers
+// of the first failed rank aborting with ErrRankFailed or timing out).
+// errors.Is and errors.As traverse every contained error.
+type RunError struct {
+	First     error
+	Secondary []error
+}
+
+func (e *RunError) Error() string {
+	if len(e.Secondary) == 0 {
+		return e.First.Error()
+	}
+	return fmt.Sprintf("%v (and %d secondary rank failure(s))", e.First, len(e.Secondary))
+}
+
+// Unwrap exposes every failure to errors.Is/errors.As.
+func (e *RunError) Unwrap() []error {
+	return append([]error{e.First}, e.Secondary...)
+}
+
 // Run executes fn on p goroutine ranks with default options and waits
 // for all of them. It returns per-rank communication statistics. A
 // panic in any rank, a receive timeout, or a runtime-detected misuse
@@ -156,15 +297,25 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		opt.ChanCap = defaultChanCap
 	}
 	w := &world{
-		size:  p,
-		opt:   opt,
-		boxes: make(map[boxKey]chan []float64),
-		stats: make([]Stats, p),
+		size:      p,
+		opt:       opt,
+		boxes:     make(map[boxKey]chan []float64),
+		stats:     make([]Stats, p),
+		deadCh:    make([]chan struct{}, p),
+		deadCause: make([]error, p),
+		agrees:    make(map[string]*agreeState),
+		rvs:       make(map[string]*revocation),
+		ckpt:      make(map[string]map[int][]CkptBlock),
+	}
+	w.ftCond = sync.NewCond(&w.ftMu)
+	for r := range w.deadCh {
+		w.deadCh[r] = make(chan struct{})
 	}
 	worldRanks := make([]int, p)
 	for i := range worldRanks {
 		worldRanks[i] = i
 	}
+	worldRv := &revocation{ch: make(chan struct{})}
 
 	var wg sync.WaitGroup
 	errs := make([]error, p)
@@ -172,13 +323,32 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			inj := newInjector(opt.Fault, rank)
 			defer func() {
-				if rec := recover(); rec != nil {
-					if ab, ok := rec.(runAbort); ok {
-						errs[rank] = ab.err
-						return
-					}
+				rec := recover()
+				inj.flush(w)
+				switch ab := rec.(type) {
+				case nil:
+					// Normal return: the rank is done, but peers may
+					// legitimately still hold buffered messages from
+					// it, so it is not marked dead.
+					return
+				case rankCrash:
+					// Injected process loss: not a run error by
+					// itself — survivors may shrink around it.
+					w.noteCrash(ab.failure)
+					w.markDead(rank, ab.failure)
+				case runAbort:
+					errs[rank] = ab.err
+					w.markDead(rank, ab.err)
+				case commAbort:
+					errs[rank] = ab.err
+					w.recordFailure(ab.err)
+					w.markDead(rank, ab.err)
+				default:
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+					w.recordFailure(errs[rank])
+					w.markDead(rank, errs[rank])
 				}
 			}()
 			c := &Comm{
@@ -189,20 +359,58 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 				stats:     &w.stats[rank],
 				timeout:   opt.Timeout,
 				worldRank: rank,
+				inj:       inj,
+				rv:        worldRv,
 			}
 			fn(c)
 		}(r)
 	}
 	wg.Wait()
+	return w.finish(errs)
+}
 
-	// Report every rank's failure: a panic in one rank leaves its
-	// peers timing out, and the root cause must not be masked by a
-	// lower-numbered rank's secondary timeout.
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+// finish assembles the run outcome: the first recorded failure becomes
+// the primary error, every other rank failure (including unabsolved
+// injected crashes) is reported as secondary, and a run whose only
+// casualties were crashes absolved by a Shrink succeeds.
+func (w *world) finish(errs []error) (*Report, error) {
+	var all []error
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
 	}
-	if w.failure != nil {
-		return nil, w.failure
+	w.ftMu.Lock()
+	var unabsolved []*RankFailure
+	for i, f := range w.crashed {
+		if !w.absolved[i] {
+			unabsolved = append(unabsolved, f)
+		}
 	}
-	return &Report{Ranks: w.stats}, nil
+	w.ftMu.Unlock()
+	first := w.failure
+	if len(unabsolved) > 0 {
+		// An unabsolved crash is the root cause of every cascade that
+		// followed; report the earliest one first.
+		first = unabsolved[0]
+		for _, f := range unabsolved[1:] {
+			all = append(all, f)
+		}
+	}
+	if first == nil && len(all) > 0 {
+		first = all[0]
+	}
+	if first == nil {
+		return &Report{Ranks: w.stats}, nil
+	}
+	var secondary []error
+	seenFirst := false
+	for _, e := range all {
+		if e == first && !seenFirst {
+			seenFirst = true
+			continue
+		}
+		secondary = append(secondary, e)
+	}
+	return nil, &RunError{First: first, Secondary: secondary}
 }

@@ -55,7 +55,7 @@ func (c *Comm) ReduceWith(root int, op ReduceOp, send []float64) []float64 {
 	c.checkPeer(root, "Reduce")
 	p := c.Size()
 	tag := c.nextCollTag()
-	c.stats.addCall("reduce")
+	c.enterColl("reduce")
 	acc := make([]float64, len(send))
 	copy(acc, send)
 	if p == 1 {
@@ -84,7 +84,7 @@ func (c *Comm) ReduceWith(root int, op ReduceOp, send []float64) []float64 {
 
 // AllreduceWith is Allreduce with an explicit operator.
 func (c *Comm) AllreduceWith(op ReduceOp, send []float64) []float64 {
-	c.stats.addCall("allreduce")
+	c.enterColl("allreduce")
 	total := c.ReduceWith(0, op, send)
 	if c.rank != 0 {
 		total = make([]float64, len(send))

@@ -17,8 +17,15 @@ type Request struct {
 	isRecv bool
 	done   bool
 	// receive plumbing
-	payload chan []float64
+	payload chan irecvResult
 	src     int
+}
+
+// irecvResult carries the outcome of a background receive to Wait;
+// sentinel is nil on success and names the failure mode otherwise.
+type irecvResult struct {
+	data     []float64
+	sentinel error
 }
 
 // Isend starts a nonblocking send. In this runtime sends are eager
@@ -34,26 +41,40 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 func (c *Comm) Irecv(src, tag int) *Request {
 	c.checkPeer(src, "Irecv")
 	c.checkTag(tag)
-	r := &Request{c: c, isRecv: true, payload: make(chan []float64, 1), src: src}
+	c.event("p2p", boxKey{}, nil, false)
+	r := &Request{c: c, isRecv: true, payload: make(chan irecvResult, 1), src: src}
 	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
 	box := c.w.box(key)
 	timeout := c.timeout
+	deadCh := c.w.deadCh[key.src]
+	rvCh := c.rv.ch
 	// The background goroutine only moves the payload; statistics are
 	// recorded in the owning rank's goroutine inside Wait, keeping the
 	// per-rank Stats single-writer.
 	go func() {
 		select {
 		case data := <-box:
-			r.payload <- data
+			r.payload <- irecvResult{data: data}
+		case <-deadCh:
+			// The sender may have enqueued the message before dying.
+			select {
+			case data := <-box:
+				r.payload <- irecvResult{data: data}
+			default:
+				r.payload <- irecvResult{sentinel: ErrRankFailed}
+			}
+		case <-rvCh:
+			r.payload <- irecvResult{sentinel: ErrRevoked}
 		case <-time.After(timeout):
-			r.payload <- nil
+			r.payload <- irecvResult{sentinel: ErrTimeout}
 		}
 	}()
 	return r
 }
 
 // Wait completes the request. For receives it returns the payload; a
-// timed-out receive aborts the run like a blocking Recv would.
+// timed-out receive or a failed sender aborts like a blocking Recv
+// would (catchable via RecoverComm).
 func (r *Request) Wait() []float64 {
 	if r.done {
 		r.c.w.fail(fmt.Errorf("mpi: rank %d: Wait called twice on the same request", r.c.rank))
@@ -62,14 +83,13 @@ func (r *Request) Wait() []float64 {
 	if !r.isRecv {
 		return nil
 	}
-	data := <-r.payload
-	if data == nil {
-		r.c.w.fail(fmt.Errorf("mpi: rank %d: Irecv from %d timed out after %v",
-			r.c.rank, r.src, r.c.timeout))
+	res := <-r.payload
+	if res.sentinel != nil {
+		r.c.abort(r.c.opError("p2p", "irecv", r.src, res.sentinel))
 	}
-	r.c.stats.BytesRecv += int64(8 * len(data))
+	r.c.stats.BytesRecv += int64(8 * len(res.data))
 	r.c.stats.MsgsRecv++
-	return data
+	return res.data
 }
 
 // WaitAll completes a set of requests in order, returning the payloads

@@ -18,6 +18,10 @@ type Stats struct {
 	// Comm.RecordAlloc for the memory-usage comparison (Table I).
 	CurAlloc  int64
 	PeakAlloc int64
+
+	// Injected lists every fault the run's FaultPlan fired on this
+	// rank, in firing order; chaos tests assert against it.
+	Injected []Injection
 }
 
 // OpStats is the per-operation slice of a rank's traffic.
@@ -35,6 +39,10 @@ func (s *Stats) addOp(op string, bytes int64) {
 	e.Bytes += bytes
 	e.Msgs++
 	s.PerOp[op] = e
+}
+
+func (s *Stats) addInjection(rec Injection) {
+	s.Injected = append(s.Injected, rec)
 }
 
 func (s *Stats) addCall(op string) {

@@ -1,0 +1,260 @@
+package ca3dmm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Chaos suite for the self-healing execution path. Every test runs a
+// fault-injected multiplication to completion under a hard wall-clock
+// guard: the contract is that CA3DMM under chaos either returns a
+// Freivalds-verified C or a typed error — never a hang and never a
+// silently wrong answer.
+
+const (
+	chaosM = 45
+	chaosN = 38
+	chaosK = 29
+	// chaosP is deliberately non-ideal (prime): the planner idles
+	// ranks, and shrink-replan drops it to 6, 5, ... survivors.
+	chaosP = 7
+
+	chaosOpTimeout  = 5 * time.Second
+	chaosWallClock  = 60 * time.Second
+	chaosAccuracy   = 1e-9
+	chaosSweepSeeds = 20
+)
+
+// runGuarded fails the test if fn does not complete within the wall
+// clock — the "zero hangs" assertion.
+func runGuarded(t *testing.T, name string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(chaosWallClock):
+		t.Fatalf("%s: hung past %v", name, chaosWallClock)
+	}
+}
+
+func chaosConfig(fault *FaultPlan, seed uint64) ResilientConfig {
+	return ResilientConfig{
+		MaxRetries:   4,
+		Backoff:      time.Millisecond,
+		VerifyTrials: 20,
+		VerifySeed:   seed,
+		Timeout:      chaosOpTimeout,
+		Fault:        fault,
+	}
+}
+
+// crashPlusCorruptPlan injects one rank crash and one payload bit-flip,
+// both deterministic in seed: the acceptance scenario of the
+// self-healing loop (shrink around the crash, catch the corruption via
+// Freivalds, retry).
+func crashPlusCorruptPlan(seed uint64, p int) *FaultPlan {
+	return &FaultPlan{
+		Seed: seed,
+		Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: int(seed) % p, Call: int64(2 + seed%5)},
+			{Kind: FaultCorrupt, Rank: int(seed+3) % p, Call: int64(seed % 3), Bit: 52},
+		},
+	}
+}
+
+// TestResilientChaosSweep is the headline acceptance sweep: 20 seeds,
+// each injecting one rank crash and one payload corruption into a
+// CA3DMM run on a non-ideal process count. Every seed must produce a
+// verified, correct C through shrink-and-replan.
+func TestResilientChaosSweep(t *testing.T) {
+	a := Random(chaosM, chaosK, 1)
+	b := Random(chaosK, chaosN, 2)
+	want := GemmRef(a, b, false, false)
+	for seed := uint64(0); seed < chaosSweepSeeds; seed++ {
+		seed := seed
+		runGuarded(t, "sweep", func() {
+			plan := crashPlusCorruptPlan(seed, chaosP)
+			c, rep, err := ResilientMultiply(a, b, chaosP, chaosConfig(plan, seed))
+			if err != nil {
+				t.Errorf("seed %d: recovery failed: %v", seed, err)
+				return
+			}
+			if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+				t.Errorf("seed %d: silently wrong result, max diff %g", seed, d)
+			}
+			injected := 0
+			for i := range rep.Ranks {
+				injected += len(rep.Ranks[i].Injected)
+			}
+			if injected == 0 {
+				t.Errorf("seed %d: no fault fired; the sweep is not exercising recovery", seed)
+			}
+		})
+	}
+}
+
+// TestChaosNoRecoveryTypedErrors is the control sweep: the same fault
+// plans with recovery disabled must fail with typed errors — a rank
+// failure or a verification failure — and never with a deadlock
+// timeout.
+func TestChaosNoRecoveryTypedErrors(t *testing.T) {
+	a := Random(chaosM, chaosK, 1)
+	b := Random(chaosK, chaosN, 2)
+	for seed := uint64(0); seed < chaosSweepSeeds; seed++ {
+		seed := seed
+		runGuarded(t, "control", func() {
+			plan := crashPlusCorruptPlan(seed, chaosP)
+			cfg := chaosConfig(plan, seed)
+			cfg.DisableRecovery = true
+			_, _, err := ResilientMultiply(a, b, chaosP, cfg)
+			if err == nil {
+				t.Errorf("seed %d: succeeded with recovery disabled despite injected crash", seed)
+				return
+			}
+			if !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrVerifyFailed) {
+				t.Errorf("seed %d: untyped failure: %v", seed, err)
+			}
+			if errors.Is(err, mpi.ErrTimeout) {
+				t.Errorf("seed %d: failure surfaced as a timeout: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestResilientChaosMatrix sweeps fault classes against problem shapes:
+// 1D-degenerate, cubic 3D, and non-ideal process counts.
+func TestResilientChaosMatrix(t *testing.T) {
+	shapes := []struct {
+		name    string
+		m, n, k int
+		p       int
+	}{
+		{"1d", 240, 24, 12, 6},
+		{"3d", 32, 32, 32, 8},
+		{"non-ideal-p", chaosM, chaosN, chaosK, chaosP},
+	}
+	faults := []struct {
+		name string
+		plan func(seed uint64, p int) *FaultPlan
+	}{
+		{"crash", func(seed uint64, p int) *FaultPlan {
+			return &FaultPlan{Seed: seed, Specs: []FaultSpec{
+				{Kind: FaultCrash, Rank: int(seed) % p, Call: int64(1 + seed%4)},
+			}}
+		}},
+		{"corrupt", func(seed uint64, p int) *FaultPlan {
+			return &FaultPlan{Seed: seed, Specs: []FaultSpec{
+				{Kind: FaultCorrupt, Rank: int(seed) % p, Call: int64(seed % 3), Bit: 52},
+			}}
+		}},
+		{"delay", func(seed uint64, p int) *FaultPlan {
+			return &FaultPlan{Seed: seed, Specs: []FaultSpec{
+				{Kind: FaultDelay, Rank: -1, Prob: 0.05, Delay: 100 * time.Microsecond},
+				{Kind: FaultStraggle, Rank: int(seed) % p, Call: 0, Delay: 100 * time.Microsecond},
+			}}
+		}},
+	}
+	for _, sh := range shapes {
+		for _, fl := range faults {
+			sh, fl := sh, fl
+			t.Run(sh.name+"/"+fl.name, func(t *testing.T) {
+				a := Random(sh.m, sh.k, 3)
+				b := Random(sh.k, sh.n, 4)
+				want := GemmRef(a, b, false, false)
+				for seed := uint64(0); seed < 5; seed++ {
+					seed := seed
+					runGuarded(t, sh.name+"/"+fl.name, func() {
+						plan := fl.plan(seed, sh.p)
+						c, _, err := ResilientMultiply(a, b, sh.p, chaosConfig(plan, seed))
+						if err != nil {
+							t.Errorf("seed %d: %v", seed, err)
+							return
+						}
+						if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+							t.Errorf("seed %d: max diff %g", seed, d)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestResilientCascadingCrashes: staggered crashes keep firing in
+// successive epochs, so the run shrinks more than once. Regression for
+// the post-shrink revocation: survivors of a shrink must share one
+// revocation instance per epoch, or a second-epoch failure leaves
+// peers blocked in the retry until the deadlock timer.
+func TestResilientCascadingCrashes(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 9)
+	b := Random(chaosK, chaosN, 10)
+	want := GemmRef(a, b, false, false)
+	for seed := uint64(0); seed < 5; seed++ {
+		seed := seed
+		runGuarded(t, "cascade", func() {
+			plan := &FaultPlan{Seed: seed}
+			for i := 0; i < 3; i++ {
+				plan.Specs = append(plan.Specs, FaultSpec{
+					Kind: FaultCrash, Rank: (int(seed) + 5 + i) % p, Call: int64(2 + 3*i),
+				})
+			}
+			cfg := chaosConfig(plan, seed)
+			cfg.MaxRetries = 5
+			c, _, err := ResilientMultiply(a, b, p, cfg)
+			if err != nil {
+				t.Errorf("seed %d: cascading recovery failed: %v", seed, err)
+				return
+			}
+			if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+				t.Errorf("seed %d: max diff %g", seed, d)
+			}
+		})
+	}
+}
+
+// TestResilientCleanRun: with no faults the resilient path must match
+// the plain path on the first attempt.
+func TestResilientCleanRun(t *testing.T) {
+	a := Random(chaosM, chaosK, 5)
+	b := Random(chaosK, chaosN, 6)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "clean", func() {
+		c, _, err := ResilientMultiply(a, b, chaosP, chaosConfig(nil, 0))
+		if err != nil {
+			t.Fatalf("clean resilient run failed: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("clean resilient run wrong: max diff %g", d)
+		}
+	})
+}
+
+// TestResilientTransposed: recovery must respect transpose flags (the
+// checkpoints hold the stored matrices, not op(A)/op(B)).
+func TestResilientTransposed(t *testing.T) {
+	a := Random(chaosK, chaosM, 7) // stored k x m, op(A) = Aᵀ
+	b := Random(chaosN, chaosK, 8) // stored n x k, op(B) = Bᵀ
+	want := GemmRef(a, b, true, true)
+	runGuarded(t, "transposed", func() {
+		plan := &FaultPlan{Seed: 99, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 2, Call: 3},
+		}}
+		cfg := chaosConfig(plan, 99)
+		cfg.TransA, cfg.TransB = true, true
+		c, _, err := ResilientMultiply(a, b, chaosP, cfg)
+		if err != nil {
+			t.Fatalf("transposed recovery failed: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("transposed recovery wrong: max diff %g", d)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package ca3dmm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+)
+
+// Fault-injection vocabulary, re-exported from the runtime. A
+// FaultPlan attached to ResilientConfig.Fault deterministically
+// injects crashes, payload corruption, delays, duplicates, reordering,
+// and stragglers into a run; see internal/mpi/fault.go.
+type (
+	// FaultPlan is a seeded, declarative fault-injection schedule.
+	FaultPlan = mpi.FaultPlan
+	// FaultSpec is one injection rule of a FaultPlan.
+	FaultSpec = mpi.FaultSpec
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = mpi.FaultKind
+	// RankFailure describes one injected rank crash.
+	RankFailure = mpi.RankFailure
+	// Injection records one fired fault (see Report stats).
+	Injection = mpi.Injection
+)
+
+// Injectable fault classes.
+const (
+	FaultCrash     = mpi.FaultCrash
+	FaultCorrupt   = mpi.FaultCorrupt
+	FaultDelay     = mpi.FaultDelay
+	FaultDuplicate = mpi.FaultDuplicate
+	FaultReorder   = mpi.FaultReorder
+	FaultStraggle  = mpi.FaultStraggle
+)
+
+// Typed failure sentinels; match with errors.Is.
+var (
+	// ErrRankFailed marks any error caused by a crashed rank.
+	ErrRankFailed = mpi.ErrRankFailed
+	// ErrVerifyFailed marks output that failed Freivalds verification.
+	ErrVerifyFailed = core.ErrVerifyFailed
+	// ErrRetriesExhausted marks a resilient run that ran out of budget.
+	ErrRetriesExhausted = core.ErrRetriesExhausted
+)
+
+// ResilientConfig tunes ResilientMultiply.
+type ResilientConfig struct {
+	// Config selects the plan options (Algorithm must be CA3DMM or
+	// CA3DMM-S; the recovery path replans through the CA3DMM planner).
+	Config
+	// MaxRetries bounds shrink-replan retries inside one run
+	// (default 3).
+	MaxRetries int
+	// MaxRunRetries bounds whole-run restarts after an unrecoverable
+	// run failure (default 1, i.e. no restart). Each restart derives a
+	// fresh fault seed, modeling chaos that does not replay.
+	MaxRunRetries int
+	// Backoff is the base of the exponential backoff between retries.
+	Backoff time.Duration
+	// VerifyTrials is the Freivalds trial count per verification
+	// (default 16).
+	VerifyTrials int
+	// VerifySeed seeds verification randomness.
+	VerifySeed uint64
+	// Timeout bounds any single blocked receive (default 60s; chaos
+	// tests lower it so detected deadlocks fail fast).
+	Timeout time.Duration
+	// Fault optionally injects deterministic faults into the run.
+	Fault *FaultPlan
+	// DisableRecovery turns the self-healing loop off: the first
+	// failure surfaces as a typed error instead of being retried.
+	DisableRecovery bool
+}
+
+// ResilientMultiply is Multiply with the self-healing execution loop:
+// it distributes a and b over p simulated ranks, multiplies with
+// CA3DMM, and recovers from injected rank crashes and payload
+// corruption by shrinking the world to the survivors, replanning for
+// the reduced process count, restoring the inputs from in-run
+// checkpoints, and re-executing — verifying every candidate result
+// with Freivalds' algorithm so corruption is never returned silently.
+// On success the returned C is additionally Freivalds-checked against
+// the original inputs on the driver. On failure the error wraps
+// ErrRankFailed, ErrVerifyFailed, or ErrRetriesExhausted.
+func ResilientMultiply(a, b *Matrix, p int, rc ResilientConfig) (*Matrix, *mpi.Report, error) {
+	switch rc.Algorithm {
+	case "", CA3DMM, CA3DMMSumma:
+	default:
+		return nil, nil, fmt.Errorf("ca3dmm: resilient execution supports only the CA3DMM algorithms, not %q", rc.Algorithm)
+	}
+	m, k := a.Rows, a.Cols
+	if rc.TransA {
+		m, k = k, m
+	}
+	k2, n := b.Rows, b.Cols
+	if rc.TransB {
+		k2, n = n, k2
+	}
+	if k != k2 {
+		return nil, nil, fmt.Errorf("ca3dmm: inner dimensions %d and %d differ", k, k2)
+	}
+	runs := rc.MaxRunRetries
+	if runs <= 0 {
+		runs = 1
+	}
+	var lastErr error
+	for run := 0; run < runs; run++ {
+		fault := rc.Fault
+		if fault != nil && run > 0 {
+			// Chaos does not replay across restarts: a re-run under the
+			// identical seed would deterministically hit the identical
+			// faults and fail the identical way.
+			reseeded := *fault
+			reseeded.Seed += uint64(run)
+			fault = &reseeded
+		}
+		c, rep, err := resilientRun(a, b, m, n, k, p, rc, fault)
+		if err == nil {
+			if !Freivalds(a, b, c, rc.TransA, rc.TransB, verifyTrials(rc.VerifyTrials), rc.VerifySeed+0xd1fa) {
+				err = fmt.Errorf("ca3dmm: driver-side check: %w", ErrVerifyFailed)
+			} else {
+				return c, rep, nil
+			}
+		}
+		lastErr = err
+		if rc.DisableRecovery {
+			break
+		}
+	}
+	return nil, nil, lastErr
+}
+
+func verifyTrials(t int) int {
+	if t > 0 {
+		return t
+	}
+	return 16
+}
+
+// resilientRun executes one full mpi.Run of the self-healing loop and
+// assembles the surviving ranks' C blocks.
+func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *FaultPlan) (*Matrix, *mpi.Report, error) {
+	aL := ColBlocks(a.Rows, a.Cols, p)
+	bL := ColBlocks(b.Rows, b.Cols, p)
+	aLocs := dist.Scatter(a, aL)
+	bLocs := dist.Scatter(b, bL)
+
+	ro := core.ResilientOptions{
+		Opt: core.Options{
+			Grid:             rc.Grid,
+			LowerUtil:        rc.LowerUtil,
+			DualBuffer:       rc.DualBuffer,
+			MultiShift:       rc.MultiShift,
+			UseSUMMA:         rc.Algorithm == CA3DMMSumma,
+			SUMMAPanel:       rc.SUMMAPanel,
+			MaxPk:            rc.MaxPk,
+			MemoryLimitBytes: rc.MemoryLimitBytes,
+			Trace:            rc.Trace,
+		},
+		TransA:          rc.TransA,
+		TransB:          rc.TransB,
+		MaxRetries:      rc.MaxRetries,
+		Backoff:         rc.Backoff,
+		VerifyTrials:    rc.VerifyTrials,
+		VerifySeed:      rc.VerifySeed,
+		DisableRecovery: rc.DisableRecovery,
+	}
+
+	cGlobal := NewMatrix(m, n)
+	var (
+		mu      sync.Mutex
+		rankErr error
+	)
+	rep, err := mpi.RunOpt(p, mpi.Options{Timeout: rc.Timeout, Fault: fault}, func(c *Comm) {
+		out, rerr := core.ResilientExecute(c, m, n, k, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, ro)
+		mu.Lock()
+		defer mu.Unlock()
+		if rerr != nil {
+			if rankErr == nil {
+				rankErr = rerr
+			}
+			return
+		}
+		// Copy this survivor's column block into the global result.
+		// Survivors of the final epoch jointly tile C, so the copies
+		// are disjoint.
+		for i := 0; i < out.C.Rows; i++ {
+			for j := 0; j < out.C.Cols; j++ {
+				cGlobal.Set(out.Row+i, out.Col+j, out.C.At(i, j))
+			}
+		}
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	if rankErr != nil {
+		return nil, rep, rankErr
+	}
+	return cGlobal, rep, nil
+}
