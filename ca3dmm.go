@@ -62,6 +62,32 @@ func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
 // deterministic in seed.
 func Random(r, c int, seed uint64) *Matrix { return mat.Random(r, c, seed) }
 
+// SetGemmThreads sets the worker count of the local GEMM engine (the
+// OMP_NUM_THREADS analogue for hybrid "1 rank x t threads" modes) and
+// returns the previous value. n < 1 is treated as 1. Safe to call
+// concurrently with in-flight multiplications; results are
+// bit-identical for every thread count. Distributed ranks always use
+// the serial path, so this only affects direct Gemm calls.
+func SetGemmThreads(n int) int { return mat.SetGemmThreads(n) }
+
+// GemmThreads returns the current local GEMM worker count.
+func GemmThreads() int { return mat.GemmThreads() }
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C locally on the packed
+// engine, parallelized over GemmThreads() workers — the library's
+// shared-memory fast path for callers that do not need distributed
+// execution.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	ta, tb := mat.NoTrans, mat.NoTrans
+	if transA {
+		ta = mat.Trans
+	}
+	if transB {
+		tb = mat.Trans
+	}
+	mat.Gemm(ta, tb, alpha, a, b, beta, c)
+}
+
 // Run starts a p-rank world and executes fn on every rank, returning
 // per-rank communication statistics.
 func Run(p int, fn func(*Comm)) (*mpi.Report, error) { return mpi.Run(p, fn) }

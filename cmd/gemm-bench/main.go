@@ -1,0 +1,149 @@
+// gemm-bench measures the local GEMM engine — the packed BLIS-style
+// kernel against the retained seed kernel, serial and parallel — and
+// writes a machine-readable perf record so successive PRs can track
+// the local-compute trajectory (the dominant CA3DMM stage at
+// low-to-moderate process counts, cf. the paper's Fig. 5 breakdown).
+//
+// Usage:
+//
+//	gemm-bench [-out BENCH_gemm.json] [-reps 3] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/mat"
+)
+
+type result struct {
+	Kernel  string  `json:"kernel"` // "packed" or "seed"
+	Shape   string  `json:"shape"`  // "MxNxK"
+	Mode    string  `json:"mode"`   // "serial" or "parallel"
+	Threads int     `json:"threads"`
+	Seconds float64 `json:"seconds"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+type record struct {
+	GOOS            string   `json:"goos"`
+	GOARCH          string   `json:"goarch"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	Reps            int      `json:"reps"`
+	Results         []result `json:"results"`
+	SpeedupSerial   float64  `json:"speedup_serial_1024"`
+	SpeedupParallel float64  `json:"speedup_parallel_1024"`
+}
+
+type shape struct{ m, n, k int }
+
+func (s shape) String() string { return fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k) }
+
+func measure(fn func(ta, tb mat.Op, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense),
+	s shape, threads, reps int) (secs, gflops float64) {
+	old := mat.SetGemmThreads(threads)
+	defer mat.SetGemmThreads(old)
+	a := mat.Random(s.m, s.k, 1)
+	b := mat.Random(s.k, s.n, 2)
+	c := mat.New(s.m, s.n)
+	fn(mat.NoTrans, mat.NoTrans, 1, a, b, 0, c) // warm up pools and caches
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn(mat.NoTrans, mat.NoTrans, 1, a, b, 0, c)
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	secs = best.Seconds()
+	gflops = 2 * float64(s.m) * float64(s.n) * float64(s.k) / secs / 1e9
+	return secs, gflops
+}
+
+func main() {
+	out := flag.String("out", "BENCH_gemm.json", "output file (- for stdout only)")
+	reps := flag.Int("reps", 3, "timed repetitions per configuration (best kept)")
+	quick := flag.Bool("quick", false, "drop the 1024-cubed shapes for a fast smoke run")
+	flag.Parse()
+
+	shapes := []shape{
+		{256, 256, 256},
+		{512, 512, 512},
+		{1024, 1024, 1024},
+		{1024, 1024, 64}, // skinny-k panel update
+		{64, 1024, 1024}, // short-and-fat output
+	}
+	if *quick {
+		shapes = shapes[:2]
+	}
+	parThreads := runtime.GOMAXPROCS(0)
+	if parThreads < 2 {
+		parThreads = 4
+	}
+	kernels := []struct {
+		name string
+		fn   func(ta, tb mat.Op, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense)
+	}{
+		{"packed", mat.Gemm},
+		{"seed", mat.GemmSeed},
+	}
+
+	rec := record{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+	}
+	serial := map[string]float64{}
+	parallel := map[string]float64{}
+	for _, s := range shapes {
+		for _, krn := range kernels {
+			for _, mode := range []struct {
+				name    string
+				threads int
+			}{{"serial", 1}, {"parallel", parThreads}} {
+				secs, gf := measure(krn.fn, s, mode.threads, *reps)
+				rec.Results = append(rec.Results, result{
+					Kernel: krn.name, Shape: s.String(), Mode: mode.name,
+					Threads: mode.threads, Seconds: secs, GFLOPS: gf,
+				})
+				fmt.Printf("%-7s %-14s %-8s threads=%-2d %8.3fs %8.2f GFLOP/s\n",
+					krn.name, s, mode.name, mode.threads, secs, gf)
+				if s == (shape{1024, 1024, 1024}) {
+					if mode.name == "serial" {
+						serial[krn.name] = gf
+					} else {
+						parallel[krn.name] = gf
+					}
+				}
+			}
+		}
+	}
+	if serial["seed"] > 0 {
+		rec.SpeedupSerial = serial["packed"] / serial["seed"]
+	}
+	if parallel["seed"] > 0 {
+		rec.SpeedupParallel = parallel["packed"] / parallel["seed"]
+	}
+	if rec.SpeedupSerial > 0 {
+		fmt.Printf("packed/seed serial speedup at 1024^3: %.2fx\n", rec.SpeedupSerial)
+	}
+
+	if *out != "-" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gemm-bench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gemm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

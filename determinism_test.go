@@ -1,0 +1,76 @@
+package ca3dmm
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// bitIdentical reports whether two matrices agree element-for-element
+// under float64 equality (no tolerance).
+func bitIdentical(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMultiplyDeterministicAcrossRunsAndThreads pins down the
+// reproducibility contract of every distributed algorithm: with the
+// same seeded inputs, Multiply must return a bit-identical C on
+// repeated runs and under different local-GEMM thread counts. The
+// packed engine makes this hold by construction — each C element
+// belongs to exactly one (MC, NC) tile whose k-panel accumulation
+// order is fixed regardless of which worker claims the tile — and
+// the distributed reductions combine partial C blocks in rank order,
+// which goroutine scheduling does not perturb.
+func TestMultiplyDeterministicAcrossRunsAndThreads(t *testing.T) {
+	a := Random(37, 29, 11)
+	b := Random(29, 23, 12)
+	for _, alg := range Algorithms() {
+		p := 6
+		if alg == CARMA {
+			p = 8 // power-of-two restriction
+		}
+		run := func(threads int) *Matrix {
+			old := mat.SetGemmThreads(threads)
+			defer mat.SetGemmThreads(old)
+			got, _, _, err := Multiply(a, b, p, Config{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			return got
+		}
+		base := run(1)
+		if again := run(1); !bitIdentical(base, again) {
+			t.Errorf("%s: repeated single-thread runs differ bitwise", alg)
+		}
+		if wide := run(4); !bitIdentical(base, wide) {
+			t.Errorf("%s: gemmThreads=4 differs bitwise from gemmThreads=1", alg)
+		}
+	}
+}
+
+// TestResilientMultiplyDeterministic extends the contract to the
+// self-healing executor in the fault-free case.
+func TestResilientMultiplyDeterministic(t *testing.T) {
+	a := Random(31, 26, 21)
+	b := Random(26, 19, 22)
+	run := func() *Matrix {
+		got, _, err := ResilientMultiply(a, b, 6, ResilientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !bitIdentical(run(), run()) {
+		t.Error("fault-free ResilientMultiply runs differ bitwise")
+	}
+}

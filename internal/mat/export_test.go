@@ -1,0 +1,23 @@
+package mat
+
+// Test-only exports: the conformance suite sweeps shapes around the
+// register-tile boundaries and forces the portable micro-kernel so
+// both code paths are exercised even on machines where the assembly
+// kernel is active.
+
+const (
+	MRForTest = gemmMR
+	NRForTest = gemmNR
+	MCForTest = gemmMC
+	NCForTest = gemmNC
+	KCForTest = gemmKC
+)
+
+// ForceGenericKernel swaps in the portable micro-kernel and returns a
+// restore function. Not safe to use concurrently with other Gemm
+// calls; tests that use it must not run in parallel.
+func ForceGenericKernel() (restore func()) {
+	prev := microKernel
+	microKernel = microKernelGeneric
+	return func() { microKernel = prev }
+}

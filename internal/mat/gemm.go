@@ -3,7 +3,7 @@ package mat
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 )
 
 // Op selects whether an input operand of a multiplication is used
@@ -28,25 +28,34 @@ func (o Op) String() string {
 // gemmThreads controls the number of worker goroutines used by Gemm.
 // It stands in for OMP_NUM_THREADS: distributed ranks that emulate
 // "one core per MPI process" set it to 1 via GemmSerial, while the
-// hybrid MPI+OpenMP mode uses the full machine.
-var gemmThreads = runtime.GOMAXPROCS(0)
+// hybrid MPI+OpenMP mode uses the full machine. Atomic because
+// SetGemmThreads may race with concurrent Gemm calls (each call reads
+// the value exactly once).
+var gemmThreads atomic.Int64
+
+func init() {
+	gemmThreads.Store(int64(runtime.GOMAXPROCS(0)))
+}
 
 // SetGemmThreads sets the worker count used by Gemm and returns the
-// previous value. n < 1 is treated as 1.
+// previous value. n < 1 is treated as 1. Safe to call concurrently
+// with Gemm: in-flight calls keep the thread count they started with.
 func SetGemmThreads(n int) int {
-	old := gemmThreads
 	if n < 1 {
 		n = 1
 	}
-	gemmThreads = n
-	return old
+	return int(gemmThreads.Swap(int64(n)))
 }
 
-// Gemm computes C = alpha*op(A)*op(B) + beta*C using a blocked,
-// goroutine-parallel kernel. Panics if the operand shapes are
+// GemmThreads returns the current Gemm worker count.
+func GemmThreads() int { return int(gemmThreads.Load()) }
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C using the packed,
+// cache-blocked engine, parallelized over (MC, NC) macro-tiles on the
+// persistent worker pool. Panics if the operand shapes are
 // inconsistent.
 func Gemm(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense) {
-	gemm(transA, transB, alpha, a, b, beta, c, gemmThreads)
+	gemm(transA, transB, alpha, a, b, beta, c, int(gemmThreads.Load()))
 }
 
 // GemmSerial is Gemm restricted to the calling goroutine. Distributed
@@ -68,14 +77,19 @@ func gemmDims(transA, transB Op, a, b *Dense) (m, n, k, kb int) {
 	return
 }
 
-func gemm(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense, threads int) {
+func gemmCheck(name string, transA, transB Op, a, b *Dense, c *Dense) (m, n, k int) {
 	m, n, k, kb := gemmDims(transA, transB, a, b)
 	if k != kb {
-		panic(fmt.Sprintf("mat: gemm inner dimension mismatch %d vs %d", k, kb))
+		panic(fmt.Sprintf("mat: %s inner dimension mismatch %d vs %d", name, k, kb))
 	}
 	if c.Rows != m || c.Cols != n {
-		panic(fmt.Sprintf("mat: gemm output shape %dx%d, want %dx%d", c.Rows, c.Cols, m, n))
+		panic(fmt.Sprintf("mat: %s output shape %dx%d, want %dx%d", name, c.Rows, c.Cols, m, n))
 	}
+	return m, n, k
+}
+
+func gemm(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense, threads int) {
+	m, n, k := gemmCheck("gemm", transA, transB, a, b, c)
 	if beta != 1 {
 		if beta == 0 {
 			c.Zero()
@@ -89,133 +103,5 @@ func gemm(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense,
 	if k == 0 || alpha == 0 {
 		return
 	}
-
-	// Normalize to the NoTrans/NoTrans inner kernel. Transposing a
-	// copy is O(mk + kn) against the O(mnk) multiply, and keeps the
-	// hot loop stride-1 in both operands.
-	if transA == Trans {
-		a = a.Transpose()
-	}
-	if transB == Trans {
-		b = b.Transpose()
-	}
-
-	if threads <= 1 || m < 2*blockM {
-		gemmRange(alpha, a, b, c, 0, m)
-		return
-	}
-	if threads > m {
-		threads = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := min(lo+chunk, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRange(alpha, a, b, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// Cache-blocking parameters. Tuned for ~32 KiB L1 / 1 MiB L2 float64
-// working sets; exact values matter little for reproduction purposes.
-const (
-	blockM = 64
-	blockN = 256
-	blockK = 256
-)
-
-// gemmRange computes rows [rowLo,rowHi) of C += alpha*A*B with A, B in
-// plain row-major NoTrans form.
-func gemmRange(alpha float64, a, b *Dense, c *Dense, rowLo, rowHi int) {
-	n := c.Cols
-	k := a.Cols
-	for i0 := rowLo; i0 < rowHi; i0 += blockM {
-		iMax := min(i0+blockM, rowHi)
-		for k0 := 0; k0 < k; k0 += blockK {
-			kMax := min(k0+blockK, k)
-			for j0 := 0; j0 < n; j0 += blockN {
-				jMax := min(j0+blockN, n)
-				gemmKernel(alpha, a, b, c, i0, iMax, k0, kMax, j0, jMax)
-			}
-		}
-	}
-}
-
-// gemmKernel is the register-friendly micro kernel: for each (i, l) it
-// performs an AXPY of B's row l into C's row i. Unrolled by 4 over the
-// k loop to expose instruction-level parallelism.
-func gemmKernel(alpha float64, a, b, c *Dense, i0, iMax, k0, kMax, j0, jMax int) {
-	for i := i0; i < iMax; i++ {
-		ci := c.Data[i*c.Stride+j0 : i*c.Stride+jMax]
-		ai := a.Data[i*a.Stride:]
-		l := k0
-		for ; l+3 < kMax; l += 4 {
-			a0 := alpha * ai[l]
-			a1 := alpha * ai[l+1]
-			a2 := alpha * ai[l+2]
-			a3 := alpha * ai[l+3]
-			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-				continue
-			}
-			b0 := b.Data[l*b.Stride+j0 : l*b.Stride+jMax]
-			b1 := b.Data[(l+1)*b.Stride+j0 : (l+1)*b.Stride+jMax]
-			b2 := b.Data[(l+2)*b.Stride+j0 : (l+2)*b.Stride+jMax]
-			b3 := b.Data[(l+3)*b.Stride+j0 : (l+3)*b.Stride+jMax]
-			for j := range ci {
-				ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
-		}
-		for ; l < kMax; l++ {
-			av := alpha * ai[l]
-			if av == 0 {
-				continue
-			}
-			bl := b.Data[l*b.Stride+j0 : l*b.Stride+jMax]
-			for j := range ci {
-				ci[j] += av * bl[j]
-			}
-		}
-	}
-}
-
-// GemmRef is a straightforward triple-loop reference multiplication
-// C = alpha*op(A)*op(B) + beta*C used as the correctness oracle in
-// tests. It shares no code with Gemm.
-func GemmRef(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense) {
-	m, n, k, kb := gemmDims(transA, transB, a, b)
-	if k != kb {
-		panic(fmt.Sprintf("mat: gemmref inner dimension mismatch %d vs %d", k, kb))
-	}
-	if c.Rows != m || c.Cols != n {
-		panic(fmt.Sprintf("mat: gemmref output shape %dx%d, want %dx%d", c.Rows, c.Cols, m, n))
-	}
-	at := func(i, l int) float64 {
-		if transA == Trans {
-			return a.At(l, i)
-		}
-		return a.At(i, l)
-	}
-	bt := func(l, j int) float64 {
-		if transB == Trans {
-			return b.At(j, l)
-		}
-		return b.At(l, j)
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for l := 0; l < k; l++ {
-				s += at(i, l) * bt(l, j)
-			}
-			c.Set(i, j, alpha*s+beta*c.At(i, j))
-		}
-	}
+	gemmPacked(transA, transB, alpha, a, b, c, threads)
 }

@@ -1,0 +1,63 @@
+package mat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// Benchmarks comparing the packed BLIS-style engine against the
+// retained seed kernel over the shapes CA3DMM's local multiplies
+// actually see: square tiles and skinny-k panels, serial (one rank
+// per core) and parallel (hybrid mode). cmd/gemm-bench runs the same
+// comparison standalone and writes BENCH_gemm.json.
+
+type benchShape struct{ m, n, k int }
+
+func benchShapes() []benchShape {
+	return []benchShape{
+		{256, 256, 256},
+		{512, 512, 512},
+		{1024, 1024, 1024},
+		{1024, 1024, 64}, // skinny-k panel update
+	}
+}
+
+func benchGemm(b *testing.B, fn gemmFunc, s benchShape, threads int) {
+	old := mat.SetGemmThreads(threads)
+	defer mat.SetGemmThreads(old)
+	a := mat.Random(s.m, s.k, 1)
+	bb := mat.Random(s.k, s.n, 2)
+	c := mat.New(s.m, s.n)
+	flops := 2 * float64(s.m) * float64(s.n) * float64(s.k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(mat.NoTrans, mat.NoTrans, 1, a, bb, 0, c)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func runKernelBench(b *testing.B, fn gemmFunc) {
+	for _, s := range benchShapes() {
+		for _, mode := range []struct {
+			name    string
+			threads int
+		}{{"serial", 1}, {"parallel", 0}} {
+			threads := mode.threads
+			if threads == 0 {
+				threads = mat.GemmThreads()
+				if threads < 2 {
+					threads = 4
+				}
+			}
+			b.Run(fmt.Sprintf("%dx%dx%d/%s", s.m, s.n, s.k, mode.name), func(b *testing.B) {
+				benchGemm(b, fn, s, threads)
+			})
+		}
+	}
+}
+
+func BenchmarkGemmPacked(b *testing.B) { runKernelBench(b, mat.Gemm) }
+func BenchmarkGemmSeed(b *testing.B)   { runKernelBench(b, mat.GemmSeed) }

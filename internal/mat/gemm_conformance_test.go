@@ -1,0 +1,191 @@
+package mat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// The kernel-conformance suite: every GEMM implementation in the
+// package is checked against the naive triple-loop oracle GemmRef
+// over randomized shapes (biased toward register-tile and cache-block
+// boundaries), all four transA/transB combinations, non-tight strides
+// from View, and the alpha/beta values the distributed algorithms
+// actually use. Including GemmSeed validates the oracle itself: two
+// independent implementations agreeing with GemmRef would both have
+// to share its bug for a defect to slip through.
+
+type gemmFunc func(ta, tb mat.Op, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense)
+
+func gemmImpls() map[string]gemmFunc {
+	return map[string]gemmFunc{
+		"packed":        mat.Gemm,
+		"packed-serial": mat.GemmSerial,
+		"seed":          mat.GemmSeed,
+		"seed-serial":   mat.GemmSeedSerial,
+	}
+}
+
+// gemmCase is one conformance trial.
+type gemmCase struct {
+	m, n, k          int
+	ta, tb           mat.Op
+	alpha, beta      float64
+	padA, padB, padC int // extra columns behind each View → non-tight strides
+	seed             uint64
+}
+
+func (cs gemmCase) String() string {
+	return fmt.Sprintf("m=%d n=%d k=%d op=%v%v alpha=%g beta=%g pads=%d,%d,%d",
+		cs.m, cs.n, cs.k, cs.ta, cs.tb, cs.alpha, cs.beta, cs.padA, cs.padB, cs.padC)
+}
+
+// buildOperand returns an r x c matrix that is a view into a larger
+// allocation when pad > 0, so Stride > Cols.
+func buildOperand(r, c, pad int, seed uint64) *mat.Dense {
+	if pad == 0 {
+		return mat.Random(r, c, seed)
+	}
+	big := mat.Random(r+1, c+pad, seed)
+	return big.View(1, pad/2, r, c)
+}
+
+// runCase executes one implementation on one case and compares with
+// the oracle under an element-count-scaled tolerance.
+func runCase(t *testing.T, name string, fn gemmFunc, cs gemmCase) {
+	t.Helper()
+	ar, ac := cs.m, cs.k
+	if cs.ta == mat.Trans {
+		ar, ac = cs.k, cs.m
+	}
+	br, bc := cs.k, cs.n
+	if cs.tb == mat.Trans {
+		br, bc = cs.n, cs.k
+	}
+	a := buildOperand(ar, ac, cs.padA, cs.seed+1)
+	b := buildOperand(br, bc, cs.padB, cs.seed+2)
+	c := buildOperand(cs.m, cs.n, cs.padC, cs.seed+3)
+	want := c.Clone()
+	fn(cs.ta, cs.tb, cs.alpha, a, b, cs.beta, c)
+	mat.GemmRef(cs.ta, cs.tb, cs.alpha, a.Clone(), b.Clone(), cs.beta, want)
+	// Entries are in [-1,1), so each dot product accumulates k terms
+	// of O(1): scale the tolerance by the accumulation length.
+	tol := 1e-14 * float64(cs.k+2)
+	if d := mat.MaxAbsDiff(c.Clone(), want); d > tol {
+		t.Fatalf("%s: %v: diff %g > tol %g", name, cs, d, tol)
+	}
+}
+
+// boundaryDims are the shape values the suite is biased toward:
+// degenerate sizes, the MR/NR register-tile edges, and cache-block
+// edges.
+func boundaryDims() []int {
+	mr, nr := mat.MRForTest, mat.NRForTest
+	dims := []int{0, 1, 2, mr - 1, mr, mr + 1, nr - 1, nr, nr + 1,
+		2*mr + 1, 3*nr - 1, 31, 63}
+	return dims
+}
+
+func conformanceCases(count int, seed uint64) []gemmCase {
+	rng := mat.NewRNG(seed)
+	dims := boundaryDims()
+	scalars := []float64{0, 1, -1, 0.5}
+	dim := func() int {
+		// 2/3 boundary-biased, 1/3 uniform; keeps the oracle cheap.
+		if rng.Intn(3) < 2 {
+			return dims[rng.Intn(len(dims))]
+		}
+		return rng.Intn(70)
+	}
+	op := func() mat.Op {
+		if rng.Intn(2) == 1 {
+			return mat.Trans
+		}
+		return mat.NoTrans
+	}
+	pad := func() int { return []int{0, 0, 2, 7}[rng.Intn(4)] }
+	cases := make([]gemmCase, 0, count+8)
+	for i := 0; i < count; i++ {
+		cases = append(cases, gemmCase{
+			m: dim(), n: dim(), k: dim(),
+			ta: op(), tb: op(),
+			alpha: scalars[rng.Intn(len(scalars))],
+			beta:  scalars[rng.Intn(len(scalars))],
+			padA:  pad(), padB: pad(), padC: pad(),
+			seed: rng.Uint64(),
+		})
+	}
+	// Deterministic skinny/fat panels and cache-block crossers.
+	mc, nc, kc := mat.MCForTest, mat.NCForTest, mat.KCForTest
+	cases = append(cases,
+		gemmCase{m: 1, n: 200, k: 3, alpha: 1, beta: 0, seed: 101},
+		gemmCase{m: 200, n: 1, k: 3, ta: mat.Trans, alpha: -1, beta: 1, seed: 102},
+		gemmCase{m: 2, n: 2, k: 300, tb: mat.Trans, alpha: 0.5, beta: 0.5, seed: 103},
+		gemmCase{m: mc + 1, n: 17, k: kc + 1, alpha: 1, beta: 1, seed: 104},
+		gemmCase{m: 17, n: nc + 1, k: 9, ta: mat.Trans, tb: mat.Trans, alpha: 1, beta: 0, seed: 105},
+		gemmCase{m: mc, n: 33, k: kc, alpha: -1, beta: 0.5, padC: 3, seed: 106},
+		gemmCase{m: mc - 1, n: 9, k: 2 * kc, tb: mat.Trans, alpha: 0.5, beta: 1, seed: 107},
+		gemmCase{m: 3, n: 5, k: 0, alpha: 1, beta: 0.5, seed: 108},
+	)
+	return cases
+}
+
+func TestGemmConformance(t *testing.T) {
+	cases := conformanceCases(120, 0xca3d)
+	for name, fn := range gemmImpls() {
+		t.Run(name, func(t *testing.T) {
+			for _, cs := range cases {
+				runCase(t, name, fn, cs)
+			}
+		})
+	}
+}
+
+// TestGemmConformanceGenericKernel repeats the suite with the
+// portable micro-kernel forced, so the non-assembly path is verified
+// even on machines where the AVX2 kernel is active.
+func TestGemmConformanceGenericKernel(t *testing.T) {
+	defer mat.ForceGenericKernel()()
+	for _, cs := range conformanceCases(60, 0xfa11bac) {
+		runCase(t, "packed-generic", mat.Gemm, cs)
+	}
+}
+
+// TestGemmConformanceThreadSweep runs a subset of the suite at
+// several thread counts; tiles are disjoint so every count must give
+// the oracle answer.
+func TestGemmConformanceThreadSweep(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		old := mat.SetGemmThreads(threads)
+		for _, cs := range conformanceCases(30, uint64(1000+threads)) {
+			runCase(t, fmt.Sprintf("threads=%d", threads), mat.Gemm, cs)
+		}
+		mat.SetGemmThreads(old)
+	}
+}
+
+// TestGemmThreadCountDeterminism checks the documented guarantee that
+// the packed engine's answer is bit-identical for any thread count:
+// each C element belongs to one (MC, NC) tile whose k-accumulation
+// order is fixed.
+func TestGemmThreadCountDeterminism(t *testing.T) {
+	const m, n, k = 250, 530, 270 // crosses MC, NC, and KC boundaries
+	a := mat.Random(m, k, 21)
+	b := mat.Random(k, n, 22)
+	ref := mat.New(m, n)
+	old := mat.SetGemmThreads(1)
+	defer mat.SetGemmThreads(old)
+	mat.Gemm(mat.NoTrans, mat.NoTrans, 1, a, b, 0, ref)
+	for _, threads := range []int{2, 4, 8} {
+		mat.SetGemmThreads(threads)
+		c := mat.New(m, n)
+		mat.Gemm(mat.NoTrans, mat.NoTrans, 1, a, b, 0, c)
+		for i := range c.Data {
+			if c.Data[i] != ref.Data[i] {
+				t.Fatalf("threads=%d: element %d differs bitwise: %v vs %v",
+					threads, i, c.Data[i], ref.Data[i])
+			}
+		}
+	}
+}

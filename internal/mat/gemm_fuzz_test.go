@@ -1,0 +1,46 @@
+package mat_test
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// FuzzGemm drives the packed engine with fuzzer-chosen shapes,
+// operand transposes, scalars, strides, and thread counts, comparing
+// every output against the naive oracle. The seed corpus covers the
+// register-tile boundary shapes from the conformance suite; `go test`
+// always replays the corpus, and `go test -fuzz=FuzzGemm` explores
+// further.
+func FuzzGemm(f *testing.F) {
+	mr, nr := uint8(mat.MRForTest), uint8(mat.NRForTest)
+	f.Add(uint64(1), uint8(3), uint8(3), uint8(3), false, false, uint8(1), uint8(0), uint8(0), uint8(1))
+	f.Add(uint64(2), mr-1, nr-1, uint8(1), true, false, uint8(2), uint8(1), uint8(3), uint8(1))
+	f.Add(uint64(3), mr, nr, mr+1, false, true, uint8(3), uint8(2), uint8(0), uint8(4))
+	f.Add(uint64(4), mr+1, nr+1, uint8(33), true, true, uint8(0), uint8(3), uint8(5), uint8(2))
+	f.Add(uint64(5), uint8(0), uint8(7), uint8(9), false, false, uint8(1), uint8(1), uint8(0), uint8(1))
+	f.Add(uint64(6), uint8(1), uint8(0), uint8(1), false, true, uint8(1), uint8(2), uint8(1), uint8(3))
+	f.Add(uint64(7), uint8(65), uint8(40), uint8(0), true, false, uint8(2), uint8(0), uint8(2), uint8(1))
+	f.Add(uint64(8), uint8(50), uint8(50), uint8(50), false, false, uint8(1), uint8(0), uint8(7), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, m8, n8, k8 uint8, transA, transB bool,
+		alphaSel, betaSel, pad8, threads8 uint8) {
+		scalars := []float64{0, 1, -1, 0.5}
+		m, n, k := int(m8%80), int(n8%80), int(k8%80)
+		ta, tb := mat.NoTrans, mat.NoTrans
+		if transA {
+			ta = mat.Trans
+		}
+		if transB {
+			tb = mat.Trans
+		}
+		cs := gemmCase{
+			m: m, n: n, k: k, ta: ta, tb: tb,
+			alpha: scalars[alphaSel%4], beta: scalars[betaSel%4],
+			padA: int(pad8 % 8), padB: int(pad8 % 5), padC: int(pad8 % 3),
+			seed: seed,
+		}
+		old := mat.SetGemmThreads(1 + int(threads8%8))
+		defer mat.SetGemmThreads(old)
+		runCase(t, "fuzz", mat.Gemm, cs)
+	})
+}

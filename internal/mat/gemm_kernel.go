@@ -1,0 +1,72 @@
+package mat
+
+// microKernel computes the full MR x NR register tile
+//
+//	C[r][j] += sum_l pa[l*MR+r] * pb[l*NR+j]
+//
+// with C at c[0:], row stride ldc (elements). pa/pb are the packed
+// strips from gemm_packed.go (already scaled by alpha). On amd64 with
+// AVX2+FMA this dispatches to the assembly kernel in
+// gemm_kernel_amd64.s, which keeps the whole 6x8 tile in 12 ymm
+// accumulators; elsewhere it falls back to microKernelGeneric.
+var microKernel func(kc int, pa, pb, c []float64, ldc int) = microKernelGeneric
+
+// microKernelGeneric is the portable micro-kernel: one output row at
+// a time, its NR accumulators held in locals so the inner iteration
+// is NR+1 loads and NR multiply-adds with no C traffic.
+func microKernelGeneric(kc int, pa, pb, c []float64, ldc int) {
+	for r := 0; r < gemmMR; r++ {
+		var c0, c1, c2, c3, c4, c5, c6, c7 float64
+		for l := 0; l < kc; l++ {
+			a := pa[l*gemmMR+r]
+			b := pb[l*gemmNR : l*gemmNR+gemmNR : l*gemmNR+gemmNR]
+			c0 += a * b[0]
+			c1 += a * b[1]
+			c2 += a * b[2]
+			c3 += a * b[3]
+			c4 += a * b[4]
+			c5 += a * b[5]
+			c6 += a * b[6]
+			c7 += a * b[7]
+		}
+		cr := c[r*ldc : r*ldc+gemmNR : r*ldc+gemmNR]
+		cr[0] += c0
+		cr[1] += c1
+		cr[2] += c2
+		cr[3] += c3
+		cr[4] += c4
+		cr[5] += c5
+		cr[6] += c6
+		cr[7] += c7
+	}
+}
+
+// microKernelTail handles edge tiles with mr < MR rows and/or nr < NR
+// columns. The packed strips are zero-padded to the full register
+// tile, so the accumulation runs the same full-shape loop into a
+// stack tile; only the valid mr x nr corner is written back to C.
+func microKernelTail(kc int, pa, pb, c []float64, ldc, mr, nr int) {
+	var acc [gemmMR * gemmNR]float64
+	for l := 0; l < kc; l++ {
+		a := pa[l*gemmMR : l*gemmMR+gemmMR : l*gemmMR+gemmMR]
+		b := pb[l*gemmNR : l*gemmNR+gemmNR : l*gemmNR+gemmNR]
+		for r := 0; r < gemmMR; r++ {
+			ar := a[r]
+			row := acc[r*gemmNR : r*gemmNR+gemmNR : r*gemmNR+gemmNR]
+			row[0] += ar * b[0]
+			row[1] += ar * b[1]
+			row[2] += ar * b[2]
+			row[3] += ar * b[3]
+			row[4] += ar * b[4]
+			row[5] += ar * b[5]
+			row[6] += ar * b[6]
+			row[7] += ar * b[7]
+		}
+	}
+	for r := 0; r < mr; r++ {
+		row := c[r*ldc : r*ldc+nr]
+		for j := 0; j < nr; j++ {
+			row[j] += acc[r*gemmNR+j]
+		}
+	}
+}

@@ -1,0 +1,46 @@
+//go:build amd64
+
+package mat
+
+// microKernel6x8AVX2 is the hand-written AVX2+FMA micro-kernel in
+// gemm_kernel_amd64.s. It requires kc >= 1 and full 6x8 tiles; the
+// packers guarantee both.
+//
+//go:noescape
+func microKernel6x8AVX2(kc int, pa, pb, c []float64, ldc int)
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (OS-enabled state mask).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether the CPU and OS support the ymm-register
+// FMA kernel: FMA3 + AVX2 instruction sets and OS-saved YMM state.
+func hasAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set by the OS.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func init() {
+	if hasAVX2FMA() {
+		microKernel = microKernel6x8AVX2
+	}
+}

@@ -1,0 +1,130 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func microKernel6x8AVX2(kc int, pa, pb, c []float64, ldc int)
+//
+// BLIS-style 6x8 double-precision micro-kernel. The 6x8 output tile
+// lives in Y0-Y11 (row r in Y(2r), Y(2r+1)) across the whole k loop;
+// each iteration loads one 8-wide packed B row (Y12, Y13), broadcasts
+// the six packed A values (Y14) and issues 12 VFMADD231PD. The packed
+// strips advance 6 and 8 doubles per step, so all loads are from
+// contiguous, cache-resident buffers.
+TEXT ·microKernel6x8AVX2(SB), NOSPLIT, $0-88
+	MOVQ kc+0(FP), CX
+	MOVQ pa_base+8(FP), SI
+	MOVQ pb_base+32(FP), DI
+	MOVQ c_base+56(FP), DX
+	MOVQ ldc+80(FP), BX
+	SHLQ $3, BX // row stride in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+kloop:
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+
+	VBROADCASTSD (SI), Y14
+	VFMADD231PD Y12, Y14, Y0
+	VFMADD231PD Y13, Y14, Y1
+	VBROADCASTSD 8(SI), Y14
+	VFMADD231PD Y12, Y14, Y2
+	VFMADD231PD Y13, Y14, Y3
+	VBROADCASTSD 16(SI), Y14
+	VFMADD231PD Y12, Y14, Y4
+	VFMADD231PD Y13, Y14, Y5
+	VBROADCASTSD 24(SI), Y14
+	VFMADD231PD Y12, Y14, Y6
+	VFMADD231PD Y13, Y14, Y7
+	VBROADCASTSD 32(SI), Y14
+	VFMADD231PD Y12, Y14, Y8
+	VFMADD231PD Y13, Y14, Y9
+	VBROADCASTSD 40(SI), Y14
+	VFMADD231PD Y12, Y14, Y10
+	VFMADD231PD Y13, Y14, Y11
+
+	ADDQ $48, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNE  kloop
+
+	// C[r][0:8] += acc, row r at DX + r*BX.
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y0, Y12, Y12
+	VADDPD  Y1, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y2, Y12, Y12
+	VADDPD  Y3, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y4, Y12, Y12
+	VADDPD  Y5, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y6, Y12, Y12
+	VADDPD  Y7, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y8, Y12, Y12
+	VADDPD  Y9, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPD (DX), Y12
+	VMOVUPD 32(DX), Y13
+	VADDPD  Y10, Y12, Y12
+	VADDPD  Y11, Y13, Y13
+	VMOVUPD Y12, (DX)
+	VMOVUPD Y13, 32(DX)
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

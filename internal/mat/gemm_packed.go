@@ -1,0 +1,181 @@
+package mat
+
+import "sync"
+
+// This file implements the BLIS-style packed GEMM engine. The classic
+// five-loop nest partitions C into MC x NC macro-tiles; for each tile
+// the k dimension is walked in KC panels, and the operand panels are
+// packed into contiguous buffers laid out exactly as the micro-kernel
+// consumes them:
+//
+//	packA: the MC x KC panel of alpha*op(A), stored as ceil(mc/MR)
+//	       row-strips; strip s holds, k-major, the MR values
+//	       alpha*op(A)[s*MR..s*MR+MR)[k] contiguously.
+//	packB: the KC x NC panel of op(B), stored as ceil(nc/NR)
+//	       column-strips; strip s holds, k-major, the NR values
+//	       op(B)[k][s*NR..s*NR+NR) contiguously.
+//
+// Packing is where Trans is absorbed: the packers read op(A)/op(B)
+// directly through the source strides, so no Transpose() copy of the
+// full operand is ever materialized. Edge strips are zero-padded to a
+// full MR/NR so the micro-kernel always runs its unrolled shape; the
+// writeback step then touches only the valid rows/columns of C.
+//
+// Parallelism is over the (MC, NC) tile grid: each tile is claimed by
+// exactly one worker (persistent pool, see gemm_pool.go), which loops
+// the KC panels serially with worker-local pack buffers. Because every
+// C element belongs to exactly one tile and its k-accumulation order
+// is fixed, the result is bit-identical for any thread count.
+
+// Blocking parameters. KC*NR and MR*KC strips stream through L1; an
+// MC x KC A-panel (~256 KiB) targets L2; NC bounds the packed B panel
+// (~1 MiB) to L3-ish footprints. MR x NR is the register tile of the
+// micro-kernel in gemm_kernel.go.
+const (
+	gemmMC = 120 // multiple of MR so only boundary tiles take the tail path
+	gemmKC = 256
+	gemmNC = 512
+	gemmMR = 6
+	gemmNR = 8
+)
+
+// packBufs is the worker-local scratch for one (MC, NC) tile.
+type packBufs struct {
+	a []float64 // ceil(MC/MR)*MR * KC
+	b []float64 // KC * ceil(NC/NR)*NR
+}
+
+var packPool = sync.Pool{
+	New: func() any {
+		const am = (gemmMC + gemmMR - 1) / gemmMR * gemmMR
+		const bn = (gemmNC + gemmNR - 1) / gemmNR * gemmNR
+		return &packBufs{
+			a: make([]float64, am*gemmKC),
+			b: make([]float64, gemmKC*bn),
+		}
+	},
+}
+
+// gemmPacked computes C += alpha*op(A)*op(B) (beta already applied)
+// with m, n, k all nonzero.
+func gemmPacked(transA, transB Op, alpha float64, a, b *Dense, c *Dense, threads int) {
+	m, n, k, _ := gemmDims(transA, transB, a, b)
+	tilesM := (m + gemmMC - 1) / gemmMC
+	tilesN := (n + gemmNC - 1) / gemmNC
+	nTiles := tilesM * tilesN
+	runTiles(threads, nTiles, func(t int) {
+		ic := (t % tilesM) * gemmMC
+		jc := (t / tilesM) * gemmNC
+		gemmTile(transA, transB, alpha, a, b, c, ic, jc, min(gemmMC, m-ic), min(gemmNC, n-jc), k)
+	})
+}
+
+// gemmTile computes the mc x nc tile of C at (ic, jc).
+func gemmTile(transA, transB Op, alpha float64, a, b, c *Dense, ic, jc, mc, nc, k int) {
+	bufs := packPool.Get().(*packBufs)
+	defer packPool.Put(bufs)
+	for kc0 := 0; kc0 < k; kc0 += gemmKC {
+		kc := min(gemmKC, k-kc0)
+		packB(bufs.b, b, transB, kc0, jc, kc, nc)
+		packA(bufs.a, a, transA, ic, kc0, mc, kc, alpha)
+		for jr := 0; jr < nc; jr += gemmNR {
+			nrr := min(gemmNR, nc-jr)
+			pb := bufs.b[(jr/gemmNR)*kc*gemmNR:]
+			for ir := 0; ir < mc; ir += gemmMR {
+				mrr := min(gemmMR, mc-ir)
+				pa := bufs.a[(ir/gemmMR)*kc*gemmMR:]
+				cOff := (ic+ir)*c.Stride + jc + jr
+				if mrr == gemmMR && nrr == gemmNR {
+					microKernel(kc, pa, pb, c.Data[cOff:], c.Stride)
+				} else {
+					microKernelTail(kc, pa, pb, c.Data[cOff:], c.Stride, mrr, nrr)
+				}
+			}
+		}
+	}
+}
+
+// packA packs the mc x kc panel of alpha*op(A) with top-left corner
+// (ic, kc0) of op(A) into dst, MR-row strips, k-major within a strip.
+// Rows past mc in the last strip are zero-filled.
+func packA(dst []float64, a *Dense, transA Op, ic, kc0, mc, kc int, alpha float64) {
+	if transA == NoTrans {
+		// op(A)[ic+i][kc0+l] = A.Data[(ic+i)*stride + kc0+l]: rows are
+		// contiguous in l, so walk l innermost per strip row.
+		for ir := 0; ir < mc; ir += gemmMR {
+			strip := dst[(ir/gemmMR)*kc*gemmMR:]
+			rows := min(gemmMR, mc-ir)
+			for r := 0; r < rows; r++ {
+				src := a.Data[(ic+ir+r)*a.Stride+kc0:]
+				for l := 0; l < kc; l++ {
+					strip[l*gemmMR+r] = alpha * src[l]
+				}
+			}
+			for r := rows; r < gemmMR; r++ {
+				for l := 0; l < kc; l++ {
+					strip[l*gemmMR+r] = 0
+				}
+			}
+		}
+		return
+	}
+	// Trans: op(A)[ic+i][kc0+l] = A.Data[(kc0+l)*stride + ic+i]; a
+	// source row l holds MR consecutive destination values, so copy
+	// strip rows directly.
+	for ir := 0; ir < mc; ir += gemmMR {
+		strip := dst[(ir/gemmMR)*kc*gemmMR:]
+		rows := min(gemmMR, mc-ir)
+		for l := 0; l < kc; l++ {
+			src := a.Data[(kc0+l)*a.Stride+ic+ir:]
+			d := strip[l*gemmMR : l*gemmMR+gemmMR]
+			for r := 0; r < rows; r++ {
+				d[r] = alpha * src[r]
+			}
+			for r := rows; r < gemmMR; r++ {
+				d[r] = 0
+			}
+		}
+	}
+}
+
+// packB packs the kc x nc panel of op(B) with top-left corner
+// (kc0, jc) of op(B) into dst, NR-column strips, k-major within a
+// strip. Columns past nc in the last strip are zero-filled.
+func packB(dst []float64, b *Dense, transB Op, kc0, jc, kc, nc int) {
+	if transB == NoTrans {
+		// op(B)[kc0+l][jc+j] = B.Data[(kc0+l)*stride + jc+j]: a source
+		// row holds NR consecutive destination values.
+		for jr := 0; jr < nc; jr += gemmNR {
+			strip := dst[(jr/gemmNR)*kc*gemmNR:]
+			cols := min(gemmNR, nc-jr)
+			for l := 0; l < kc; l++ {
+				src := b.Data[(kc0+l)*b.Stride+jc+jr:]
+				d := strip[l*gemmNR : l*gemmNR+gemmNR]
+				for j := 0; j < cols; j++ {
+					d[j] = src[j]
+				}
+				for j := cols; j < gemmNR; j++ {
+					d[j] = 0
+				}
+			}
+		}
+		return
+	}
+	// Trans: op(B)[kc0+l][jc+j] = B.Data[(jc+j)*stride + kc0+l]: a
+	// source row is contiguous in l, walk l innermost per column.
+	for jr := 0; jr < nc; jr += gemmNR {
+		strip := dst[(jr/gemmNR)*kc*gemmNR:]
+		cols := min(gemmNR, nc-jr)
+		for j := 0; j < cols; j++ {
+			src := b.Data[(jc+jr+j)*b.Stride+kc0:]
+			for l := 0; l < kc; l++ {
+				strip[l*gemmNR+j] = src[l]
+			}
+		}
+		for j := cols; j < gemmNR; j++ {
+			for l := 0; l < kc; l++ {
+				strip[l*gemmNR+j] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent worker pool for the packed GEMM engine. The seed kernel
+// spawned fresh goroutines on every Gemm call; here GOMAXPROCS
+// workers are started once and parked on an unbuffered channel, and
+// each parallel Gemm hands idle workers a tile-claiming loop. Handoff
+// is non-blocking: if every pool worker is busy (e.g. many concurrent
+// Gemm calls), the caller simply keeps more tiles for itself, so the
+// pool can never deadlock and calls never wait on each other.
+
+var (
+	poolOnce sync.Once
+	poolJobs chan func()
+)
+
+func poolInit() {
+	poolJobs = make(chan func())
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		go func() {
+			for f := range poolJobs {
+				f()
+			}
+		}()
+	}
+}
+
+// runTiles executes fn(t) once for every t in [0, nTiles), spread
+// over up to `threads` workers including the caller. Tiles are
+// claimed from a shared atomic counter; the caller always
+// participates and the call returns only after every tile completed.
+// Which worker runs a tile is scheduling-dependent, but tiles are
+// disjoint, so callers that make fn(t) deterministic per-tile get
+// thread-count-independent results.
+func runTiles(threads, nTiles int, fn func(int)) {
+	if threads > nTiles {
+		threads = nTiles
+	}
+	if threads <= 1 {
+		for t := 0; t < nTiles; t++ {
+			fn(t)
+		}
+		return
+	}
+	poolOnce.Do(poolInit)
+	var next atomic.Int64
+	worker := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= nTiles {
+				return
+			}
+			fn(t)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads-1; i++ {
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			worker()
+		}
+		select {
+		case poolJobs <- job:
+		default:
+			// No idle pool worker right now: absorb this share of the
+			// tiles into the caller's loop instead of blocking.
+			wg.Done()
+		}
+	}
+	worker()
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package mat_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestSetGemmThreadsConcurrentWithGemm is the -race regression test
+// for the former plain-variable gemmThreads: SetGemmThreads now swaps
+// an atomic, so tuning the thread count while multiplications are in
+// flight must be race-free and every in-flight call must still
+// produce the oracle answer.
+func TestSetGemmThreadsConcurrentWithGemm(t *testing.T) {
+	old := mat.SetGemmThreads(2)
+	defer mat.SetGemmThreads(old)
+
+	a := mat.Random(130, 70, 1)
+	b := mat.Random(70, 90, 2)
+	want := mat.New(130, 90)
+	mat.GemmRef(mat.NoTrans, mat.NoTrans, 1, a, b, 0, want)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				mat.SetGemmThreads(1 + i%8)
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			c := mat.New(130, 90)
+			for i := 0; i < 20; i++ {
+				mat.Gemm(mat.NoTrans, mat.NoTrans, 1, a, b, 0, c)
+				if d := mat.MaxAbsDiff(c, want); d > 1e-11 {
+					t.Errorf("worker %d iter %d: diff %g", w, i, d)
+					return
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+package mat
+
+// GemmRef is a straightforward triple-loop reference multiplication
+// C = alpha*op(A)*op(B) + beta*C used as the correctness oracle in
+// tests. It shares no code with Gemm or GemmSeed.
+func GemmRef(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense) {
+	m, n, k := gemmCheck("gemmref", transA, transB, a, b, c)
+	at := func(i, l int) float64 {
+		if transA == Trans {
+			return a.At(l, i)
+		}
+		return a.At(i, l)
+	}
+	bt := func(l, j int) float64 {
+		if transB == Trans {
+			return b.At(j, l)
+		}
+		return b.At(l, j)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}

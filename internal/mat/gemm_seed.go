@@ -1,0 +1,132 @@
+package mat
+
+import "sync"
+
+// This file retains the repository's original (seed) GEMM kernel:
+// row-partitioned, cache-blocked AXPY updates with Transpose() copies
+// for Trans operands and per-call goroutine spawning. It is kept as
+// the measured baseline for the packed engine (BenchmarkGemmSeed,
+// cmd/gemm-bench) and as a second independent implementation for the
+// kernel-conformance suite. New code should call Gemm/GemmSerial.
+
+// GemmSeed computes C = alpha*op(A)*op(B) + beta*C with the seed
+// kernel, using the Gemm thread count.
+func GemmSeed(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense) {
+	gemmSeed(transA, transB, alpha, a, b, beta, c, GemmThreads())
+}
+
+// GemmSeedSerial is GemmSeed restricted to the calling goroutine.
+func GemmSeedSerial(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense) {
+	gemmSeed(transA, transB, alpha, a, b, beta, c, 1)
+}
+
+func gemmSeed(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense, threads int) {
+	m, n, k := gemmCheck("gemmseed", transA, transB, a, b, c)
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+
+	// Normalize to the NoTrans/NoTrans inner kernel. Transposing a
+	// copy is O(mk + kn) against the O(mnk) multiply, and keeps the
+	// hot loop stride-1 in both operands.
+	if transA == Trans {
+		a = a.Transpose()
+	}
+	if transB == Trans {
+		b = b.Transpose()
+	}
+
+	if threads <= 1 || m < 2*seedBlockM {
+		gemmSeedRange(alpha, a, b, c, 0, m)
+		return
+	}
+	if threads > m {
+		threads = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := min(lo+chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmSeedRange(alpha, a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Cache-blocking parameters of the seed kernel.
+const (
+	seedBlockM = 64
+	seedBlockN = 256
+	seedBlockK = 256
+)
+
+// gemmSeedRange computes rows [rowLo,rowHi) of C += alpha*A*B with A,
+// B in plain row-major NoTrans form.
+func gemmSeedRange(alpha float64, a, b *Dense, c *Dense, rowLo, rowHi int) {
+	n := c.Cols
+	k := a.Cols
+	for i0 := rowLo; i0 < rowHi; i0 += seedBlockM {
+		iMax := min(i0+seedBlockM, rowHi)
+		for k0 := 0; k0 < k; k0 += seedBlockK {
+			kMax := min(k0+seedBlockK, k)
+			for j0 := 0; j0 < n; j0 += seedBlockN {
+				jMax := min(j0+seedBlockN, n)
+				gemmSeedKernel(alpha, a, b, c, i0, iMax, k0, kMax, j0, jMax)
+			}
+		}
+	}
+}
+
+// gemmSeedKernel is the seed micro kernel: for each (i, l) it performs
+// an AXPY of B's row l into C's row i. Unrolled by 4 over the k loop
+// to expose instruction-level parallelism.
+func gemmSeedKernel(alpha float64, a, b, c *Dense, i0, iMax, k0, kMax, j0, jMax int) {
+	for i := i0; i < iMax; i++ {
+		ci := c.Data[i*c.Stride+j0 : i*c.Stride+jMax]
+		ai := a.Data[i*a.Stride:]
+		l := k0
+		for ; l+3 < kMax; l += 4 {
+			a0 := alpha * ai[l]
+			a1 := alpha * ai[l+1]
+			a2 := alpha * ai[l+2]
+			a3 := alpha * ai[l+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[l*b.Stride+j0 : l*b.Stride+jMax]
+			b1 := b.Data[(l+1)*b.Stride+j0 : (l+1)*b.Stride+jMax]
+			b2 := b.Data[(l+2)*b.Stride+j0 : (l+2)*b.Stride+jMax]
+			b3 := b.Data[(l+3)*b.Stride+j0 : (l+3)*b.Stride+jMax]
+			for j := range ci {
+				ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; l < kMax; l++ {
+			av := alpha * ai[l]
+			if av == 0 {
+				continue
+			}
+			bl := b.Data[l*b.Stride+j0 : l*b.Stride+jMax]
+			for j := range ci {
+				ci[j] += av * bl[j]
+			}
+		}
+	}
+}
