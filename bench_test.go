@@ -344,6 +344,38 @@ func BenchmarkAblationCollectives(b *testing.B) {
 	b.Run("odd-ring", func(b *testing.B) { run(b, 7) })
 }
 
+// BenchmarkMultiplyObs prices the observability layer: "off" runs
+// with no recorder (every hook is a nil-check, zero allocations),
+// "on" records the full stage + comm span timeline. The acceptance
+// bar is off within 5% of the seed and on within a few percent of
+// off.
+func BenchmarkMultiplyObs(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		const m, n, k, p = 256, 256, 256, 8
+		a := Random(m, k, 1)
+		bb := Random(k, n, 2)
+		cfg := Config{DualBuffer: true}
+		if traced {
+			cfg.Trace = NewTraceRecorder()
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := Multiply(a, bb, p, cfg); err != nil {
+				b.Fatal(err)
+			}
+			if traced {
+				for r := 0; r < p; r++ {
+					cfg.Trace.ResetRank(r)
+				}
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLocalGemm is the single-rank compute baseline.
 func BenchmarkLocalGemm(b *testing.B) {
 	a := mat.Random(384, 384, 1)

@@ -20,6 +20,7 @@ package ca3dmm
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mat"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -47,13 +49,32 @@ type (
 	Comm = mpi.Comm
 	// Grid is a 3D process grid.
 	Grid = grid.Grid
-	// TraceRecorder collects per-rank stage timelines (Chrome trace
-	// export); attach one via Config.Trace.
+	// TraceRecorder is the unified observability recorder: algorithm
+	// stage spans, per-collective comm spans with byte volumes, and
+	// fault/recovery instant events on one per-rank timeline. Attach
+	// one via Config.Trace (or ResilientConfig.Trace); export with
+	// WriteChrome (Perfetto), WritePrometheus, or BuildReport.
 	TraceRecorder = trace.Recorder
+	// ObsReport is the machine-readable analysis of a recorded run:
+	// per-stage totals with load-imbalance ratios, the stage x op
+	// communication breakdown, per-rank utilisation, and the critical
+	// path. Produced by TraceRecorder.BuildReport, rendered and diffed
+	// by cmd/ca3dmm-profile.
+	ObsReport = obs.Report
 )
 
-// NewTraceRecorder returns an empty stage-timeline recorder.
+// NewTraceRecorder returns an empty observability recorder.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// ValidateChromeTrace decodes a Chrome trace-event JSON stream (as
+// written by TraceRecorder.WriteChrome) and verifies its structural
+// invariants, returning the event count.
+func ValidateChromeTrace(r io.Reader) (int, error) { return obs.ValidateChrome(r) }
+
+// GemmFlopCount returns the cumulative floating-point operations
+// executed by the local GEMM engine since process start (2mnk per
+// multiplication), process-wide across all ranks and threads.
+func GemmFlopCount() int64 { return mat.GemmFlopCount() }
 
 // NewMatrix returns a zeroed r x c matrix.
 func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
@@ -319,7 +340,7 @@ func Multiply(a, b *Matrix, p int, cfg Config) (*Matrix, *mpi.Report, StageTimes
 	outs := make([]*Matrix, p)
 	var mu sync.Mutex
 	var worst StageTimes
-	rep, err := mpi.Run(p, func(c *Comm) {
+	rep, err := mpi.RunOpt(p, mpi.Options{Obs: cfg.Trace}, func(c *Comm) {
 		out, st := plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
 		mu.Lock()
 		outs[c.Rank()] = out

@@ -1,0 +1,92 @@
+// Command ca3dmm-profile renders, diffs, and validates the
+// observability artifacts written by ca3dmm-run.
+//
+// Render one JSON report as human-readable tables (stage times with
+// load-imbalance ratios, the Fig. 5-style stage x op communication
+// breakdown with bytes, per-rank totals, the critical path, and
+// fault/recovery event counts):
+//
+//	ca3dmm-profile report.json
+//
+// Diff two reports (e.g. before/after a tuning change):
+//
+//	ca3dmm-profile -diff base.json new.json
+//
+// Validate a Chrome/Perfetto trace file structurally (timestamps
+// monotone per track, durations non-negative):
+//
+//	ca3dmm-profile -validate-trace run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "diff two reports: ca3dmm-profile -diff base.json new.json")
+	validate := flag.Bool("validate-trace", false, "validate a Chrome trace file instead of rendering a report")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage:\n  ca3dmm-profile report.json\n  ca3dmm-profile -diff base.json new.json\n  ca3dmm-profile -validate-trace trace.json\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *validate:
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		validateTrace(flag.Arg(0))
+	case *diff:
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		base := readReport(flag.Arg(0))
+		next := readReport(flag.Arg(1))
+		fmt.Print(obs.RenderDiff(base, next))
+	default:
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Print(readReport(flag.Arg(0)).Render())
+	}
+}
+
+func readReport(path string) *obs.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func validateTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateChrome(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: invalid trace: %w", path, err))
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events\n", path, n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ca3dmm-profile:", err)
+	os.Exit(1)
+}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the metrics endpoint
 	"os"
 	"time"
 
@@ -33,7 +36,10 @@ func main() {
 	np := flag.Int("np", 0, "force pn")
 	kp := flag.Int("kp", 0, "force pk")
 	freivalds := flag.Bool("freivalds", false, "validate probabilistically (O(n^2) per trial) instead of the O(n^3) serial reference")
-	traceOut := flag.String("trace", "", "write a Chrome trace of the last run's stage timeline to this file")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace (stage + comm spans, fault/recovery events) to this file")
+	reportOut := flag.String("report", "", "write the machine-readable observability report (JSON, for ca3dmm-profile) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint serving this long after the run finishes")
 	chaos := flag.Bool("chaos", false, "inject deterministic faults and run through the self-healing executor")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed")
 	chaosCrash := flag.Int("chaos-crash", 1, "number of rank crashes to inject")
@@ -49,8 +55,11 @@ func main() {
 		TransB:     *tb,
 		DualBuffer: true,
 	}
-	if *traceOut != "" {
+	if *traceOut != "" || *reportOut != "" || *metricsAddr != "" {
 		cfg.Trace = ca3dmm.NewTraceRecorder()
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, cfg.Trace)
 	}
 	if *mp > 0 {
 		cfg.Grid = ca3dmm.Grid{Pm: *mp, Pn: *np, Pk: *kp}
@@ -88,6 +97,8 @@ func main() {
 			delayProb: *chaosDelay, retries: *retries, inject: *chaos,
 			validate: *validate, freivalds: *freivalds,
 		})
+		exportObservability(cfg, *traceOut, *reportOut)
+		holdMetrics(*metricsAddr, *metricsHold)
 		return
 	}
 
@@ -134,9 +145,43 @@ func main() {
 		fmt.Printf("%s output : %d error(s)\n", *alg, errs)
 	}
 
-	if *traceOut != "" {
-		writeTrace(cfg, *traceOut)
+	exportObservability(cfg, *traceOut, *reportOut)
+	holdMetrics(*metricsAddr, *metricsHold)
+}
+
+// serveMetrics starts the live observability endpoint: /metrics in
+// Prometheus text exposition (rendered from the recorder's concurrent
+// snapshot, so scrapes mid-run are safe), plus the stdlib /debug/vars
+// (expvar) and /debug/pprof handlers on the default mux.
+func serveMetrics(addr string, rec *ca3dmm.TraceRecorder) {
+	expvar.Publish("ca3dmm.gemm_flops", expvar.Func(func() any {
+		return ca3dmm.GemmFlopCount()
+	}))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := rec.WritePrometheus(w); err != nil {
+			return
+		}
+		fmt.Fprintf(w, "# HELP ca3dmm_gemm_flops_total Cumulative FLOPs executed by the local GEMM engine.\n# TYPE ca3dmm_gemm_flops_total counter\nca3dmm_gemm_flops_total %d\n",
+			ca3dmm.GemmFlopCount())
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("metrics endpoint: %v", err)
+		}
+	}()
+	fmt.Printf("metrics endpoint on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)\n", addr)
+}
+
+// holdMetrics keeps the process alive so the metrics endpoint stays
+// scrapeable after the run (CI smoke-curls it; operators can watch the
+// final counters).
+func holdMetrics(addr string, d time.Duration) {
+	if addr == "" || d <= 0 {
+		return
 	}
+	fmt.Printf("holding metrics endpoint for %v\n", d)
+	time.Sleep(d)
 }
 
 type chaosOpts struct {
@@ -219,15 +264,34 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 	}
 }
 
-func writeTrace(cfg ca3dmm.Config, traceOut string) {
-	f, err := os.Create(traceOut)
-	if err != nil {
-		log.Fatal(err)
+// exportObservability writes the requested trace and report files from
+// the run's recorder (chaos runs included: faults and recovery actions
+// appear as instant events on the timeline).
+func exportObservability(cfg ca3dmm.Config, traceOut, reportOut string) {
+	if cfg.Trace == nil {
+		return
 	}
-	if err := cfg.Trace.WriteChrome(f); err != nil {
-		log.Fatal(err)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Trace.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\ntimeline written to %s (open in Perfetto / chrome://tracing)\n", traceOut)
+		fmt.Printf("stage totals across ranks and runs:\n%s", cfg.Trace.Summary())
 	}
-	f.Close()
-	fmt.Printf("\nstage timeline written to %s (open in chrome://tracing)\n", traceOut)
-	fmt.Printf("stage totals across ranks and runs:\n%s", cfg.Trace.Summary())
+	if reportOut != "" {
+		f, err := os.Create(reportOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Trace.BuildReport().WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nobservability report written to %s (render with ca3dmm-profile)\n", reportOut)
+	}
 }

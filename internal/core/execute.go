@@ -64,7 +64,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 	// Step 4 (paper numbering): redistribute A and B into native
 	// layouts, folding in op().
 	tr := time.Now()
-	endSpan := p.Opt.Trace.Begin(c.Rank(), "redistribute-in")
+	endSpan := p.Opt.Trace.Begin(c.WorldRank(), "redistribute-in")
 	aNat := dist.RedistributeOp(c, aLayout, aLocal, p.ALayout, p.TransA)
 	bNat := dist.RedistributeOp(c, bLayout, bLocal, p.BLayout, p.TransB)
 	endSpan()
@@ -113,7 +113,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 
 	// Step 8: redistribute C to the user layout.
 	tr = time.Now()
-	endSpan = p.Opt.Trace.Begin(c.Rank(), "redistribute-out")
+	endSpan = p.Opt.Trace.Begin(c.WorldRank(), "redistribute-out")
 	cUser := dist.Redistribute(c, p.CLayout, cFinal, cLayout)
 	endSpan()
 	tm.Redistribute += time.Since(tr)
@@ -145,7 +145,7 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 
 	// Step 5: replicate the split matrix across Cannon groups.
 	ta := time.Now()
-	endSpan := p.Opt.Trace.Begin(world.Rank(), "allgather")
+	endSpan := p.Opt.Trace.Begin(world.WorldRank(), "allgather")
 	var aBlock, bBlock *mat.Dense
 	if p.RepA {
 		aBlock = p.assembleReplicated(repComm, aNat, true, role, cfg)
@@ -165,16 +165,19 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 	bPad := cannon.PadBlock(bBlock, ak, bn)
 	padBytes := int64(8 * (len(aPad.Data) + len(bPad.Data)))
 	world.RecordAlloc(padBytes)
-	endSpan = p.Opt.Trace.Begin(world.Rank(), "cannon")
+	// Each rank performs S local GEMMs of (am x ak)·(ak x bn) during
+	// the shift loop; attribute that work to the span for per-rank
+	// FLOP/s in the observability report.
+	span := p.Opt.Trace.Start(world.WorldRank(), "cannon")
 	cPart, ktm := cannon.Multiply(kanComm, aPad, bPad, cfg)
-	endSpan()
+	p.Opt.Trace.EndFlops(span, 2*int64(am)*int64(ak)*int64(bn)*int64(p.S))
 	tm.CannonComm += ktm.Comm
 	tm.CannonComp += ktm.Compute
 	partBytes := int64(8 * len(cPart.Data))
 	world.RecordAlloc(partBytes)
 
 	// Step 7: reduce-scatter the pk partial results of this C block.
-	endSpan = p.Opt.Trace.Begin(world.Rank(), "reduce-scatter")
+	endSpan = p.Opt.Trace.Begin(world.WorldRank(), "reduce-scatter")
 	out := p.reduceScatterC(redComm, cPart, role, tm)
 	endSpan()
 	world.ReleaseAlloc(padBytes)
@@ -269,12 +272,16 @@ func (p *Plan) executeSUMMA(kanComm, redComm *mpi.Comm,
 		M: p.M, K: kg, N: p.N,
 		Panel: p.Opt.SUMMAPanel,
 	}
+	span := p.Opt.Trace.Start(world.WorldRank(), "summa")
 	cPart, stm := summa.Multiply(kanComm, aNat, bNat, cfg)
+	p.Opt.Trace.EndFlops(span, 2*int64(cPart.Rows)*int64(cPart.Cols)*int64(kg))
 	tm.CannonComm += stm.Comm
 	tm.CannonComp += stm.Compute
 	partBytes := int64(8 * len(cPart.Data))
 	world.RecordAlloc(partBytes)
+	endSpan := p.Opt.Trace.Begin(world.WorldRank(), "reduce-scatter")
 	out := p.reduceScatterC(redComm, cPart, role, tm)
+	endSpan()
 	world.ReleaseAlloc(partBytes)
 	return out
 }

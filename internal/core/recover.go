@@ -133,6 +133,10 @@ func ResilientExecute(world *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.L
 		}
 		if err != nil {
 			lastErr = err
+			if ro.Opt.Trace != nil {
+				ro.Opt.Trace.Instant(comm.WorldRank(), "recover:attempt-failed",
+					fmt.Sprintf("attempt %d: %v", attempt, err))
+			}
 			// Wake peers blocked on ranks that will never answer, so
 			// the whole epoch converges on the Agree quickly.
 			comm.Revoke()

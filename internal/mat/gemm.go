@@ -50,6 +50,17 @@ func SetGemmThreads(n int) int {
 // GemmThreads returns the current Gemm worker count.
 func GemmThreads() int { return int(gemmThreads.Load()) }
 
+// gemmFlops accumulates the floating-point operations (2mnk per
+// multiplication) executed by the engine, process-wide. One atomic add
+// per gemm call — negligible next to the O(mnk) work it counts.
+var gemmFlops atomic.Int64
+
+// GemmFlopCount returns the cumulative FLOPs executed by the local
+// GEMM engine since process start, across all ranks and threads. The
+// live metrics endpoint exports it as a Prometheus counter so FLOP/s
+// can be derived by rate().
+func GemmFlopCount() int64 { return gemmFlops.Load() }
+
 // Gemm computes C = alpha*op(A)*op(B) + beta*C using the packed,
 // cache-blocked engine, parallelized over (MC, NC) macro-tiles on the
 // persistent worker pool. Panics if the operand shapes are
@@ -103,5 +114,6 @@ func gemm(transA, transB Op, alpha float64, a, b *Dense, beta float64, c *Dense,
 	if k == 0 || alpha == 0 {
 		return
 	}
+	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
 	gemmPacked(transA, transB, alpha, a, b, c, threads)
 }

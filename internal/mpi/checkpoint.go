@@ -21,6 +21,9 @@ type CkptBlock struct {
 // replacing any previous checkpoint of the same name by this rank. The
 // blocks' data slices are copied, so the caller may reuse its buffers.
 func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
+	if c.obs != nil {
+		c.obsInstant("ckpt:save", name)
+	}
 	cp := make([]CkptBlock, len(blocks))
 	for i, b := range blocks {
 		data := make([]float64, len(b.Data))
@@ -42,6 +45,9 @@ func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
 // world rank — including checkpoints written by ranks that have since
 // crashed. The returned blocks are shared and must not be modified.
 func (c *Comm) Restore(name string) map[int][]CkptBlock {
+	if c.obs != nil {
+		c.obsInstant("recover:restore", name)
+	}
 	w := c.w
 	w.ftMu.Lock()
 	defer w.ftMu.Unlock()

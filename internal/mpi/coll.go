@@ -13,6 +13,7 @@ import "fmt"
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("barrier", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("barrier")
 	if p == 1 {
@@ -33,6 +34,7 @@ func (c *Comm) Barrier() {
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.checkPeer(root, "Bcast")
 	p := c.Size()
+	defer c.commEnd(c.commBegin("bcast", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("bcast")
 	if p == 1 {
@@ -74,6 +76,7 @@ func (c *Comm) commIndex(r int) int { return r }
 // communicator size is a power of two and a ring otherwise.
 func (c *Comm) Allgather(send []float64) []float64 {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("allgather", p-1))
 	c.enterColl("allgather")
 	if p == 1 {
 		out := make([]float64, len(send))
@@ -128,6 +131,7 @@ func (c *Comm) allgatherBruck(send []float64) []float64 {
 // order. Uses a ring.
 func (c *Comm) Allgatherv(send []float64, counts []int) []float64 {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("allgather", p-1))
 	c.enterColl("allgather")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: Allgatherv counts length %d != comm size %d", c.rank, len(counts), p))
@@ -196,6 +200,7 @@ func (c *Comm) allgathervRing(send []float64, counts []int) []float64 {
 // Uses the bandwidth-optimal ring algorithm.
 func (c *Comm) ReduceScatter(send []float64, counts []int) []float64 {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("reduce_scatter", p-1))
 	c.enterColl("reduce_scatter")
 	if len(counts) != p {
 		c.w.fail(fmt.Errorf("mpi: rank %d: ReduceScatter counts length %d != comm size %d", c.rank, len(counts), p))
@@ -253,6 +258,7 @@ func (c *Comm) ReduceScatterBlock(send []float64, count int) []float64 {
 func (c *Comm) Reduce(root int, send []float64) []float64 {
 	c.checkPeer(root, "Reduce")
 	p := c.Size()
+	defer c.commEnd(c.commBegin("reduce", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("reduce")
 	acc := make([]float64, len(send))
@@ -287,6 +293,7 @@ func (c *Comm) Reduce(root int, send []float64) []float64 {
 // on every rank (binomial reduce to rank 0 followed by binomial
 // broadcast, valid for any communicator size).
 func (c *Comm) Allreduce(send []float64) []float64 {
+	defer c.commEnd(c.commBegin("allreduce", c.Size()-1))
 	c.enterColl("allreduce")
 	total := c.Reduce(0, send)
 	if c.rank != 0 {
@@ -301,6 +308,7 @@ func (c *Comm) Allreduce(send []float64) []float64 {
 func (c *Comm) Gatherv(root int, send []float64, counts []int) []float64 {
 	c.checkPeer(root, "Gatherv")
 	p := c.Size()
+	defer c.commEnd(c.commBegin("gatherv", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("gatherv")
 	if len(counts) != p {
@@ -339,6 +347,7 @@ func (c *Comm) Gatherv(root int, send []float64, counts []int) []float64 {
 func (c *Comm) Scatterv(root int, send []float64, counts []int) []float64 {
 	c.checkPeer(root, "Scatterv")
 	p := c.Size()
+	defer c.commEnd(c.commBegin("scatterv", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("scatterv")
 	if len(counts) != p {
@@ -380,6 +389,7 @@ func (c *Comm) Scatterv(root int, send []float64, counts []int) []float64 {
 // received buffer per source (empty slices for zero-length entries).
 func (c *Comm) NeighborAlltoallv(sendBufs [][]float64, recvLens []int) [][]float64 {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("alltoallv", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("alltoallv")
 	if len(sendBufs) != p || len(recvLens) != p {
@@ -417,6 +427,7 @@ func (c *Comm) NeighborAlltoallv(sendBufs [][]float64, recvLens []int) [][]float
 // message. Pairwise-exchange schedule.
 func (c *Comm) Alltoallv(sendBufs [][]float64) [][]float64 {
 	p := c.Size()
+	defer c.commEnd(c.commBegin("alltoallv", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("alltoallv")
 	if len(sendBufs) != p {

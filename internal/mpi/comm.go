@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Undefined is the color passed to Split by ranks that should not be
@@ -59,6 +61,7 @@ type Comm struct {
 	shrinkSeq int // per-rank shrink counter
 	inj       *injector
 	rv        *revocation
+	obs       *obs.Recorder // nil when observability is off
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -159,6 +162,7 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 	accept := func(data []float64) []float64 {
 		c.stats.BytesRecv += int64(8 * len(data))
 		c.stats.MsgsRecv++
+		c.stats.addOpRecv(op, int64(8*len(data)))
 		return data
 	}
 	select {
@@ -184,6 +188,7 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 // completes immediately (eager buffering) and blocks only when the
 // destination queue is full.
 func (c *Comm) Send(dst, tag int, data []float64) {
+	defer c.commEnd(c.commBegin("p2p", 1))
 	c.checkPeer(dst, "Send")
 	c.checkTag(tag)
 	c.send(dst, tag, data)
@@ -204,6 +209,7 @@ func (c *Comm) sendOwned(dst, tag int, data []float64) {
 // Recv receives a message from src with the given tag, returning the
 // payload. It blocks until the message arrives or the run times out.
 func (c *Comm) Recv(src, tag int) []float64 {
+	defer c.commEnd(c.commBegin("p2p", 1))
 	c.checkPeer(src, "Recv")
 	c.checkTag(tag)
 	return c.recv(src, tag)
@@ -227,6 +233,7 @@ func (c *Comm) RecvInto(src, tag int, buf []float64) {
 // Sendrecv sends sendData to dst and receives a message from src in a
 // deadlock-free manner (the send is eager). Both use the same tag.
 func (c *Comm) Sendrecv(dst, src, tag int, sendData []float64) []float64 {
+	defer c.commEnd(c.commBegin("p2p", 2))
 	c.checkPeer(dst, "Sendrecv")
 	c.checkPeer(src, "Sendrecv")
 	c.checkTag(tag)
@@ -311,6 +318,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		worldRank: c.worldRank,
 		inj:       c.inj,
 		rv:        c.rv, // same epoch: a revoke reaches split comms too
+		obs:       c.obs,
 	}
 }
 
@@ -320,7 +328,12 @@ func (c *Comm) Split(color, key int) *Comm {
 // observes a failure revokes the epoch so that peers blocked on
 // third-party ranks do not have to wait out the timeout before joining
 // recovery.
-func (c *Comm) Revoke() { c.rv.revoke() }
+func (c *Comm) Revoke() {
+	if c.obs != nil {
+		c.obsInstant("recover:revoke", c.ctx)
+	}
+	c.rv.revoke()
+}
 
 // revocationFor returns the shared revocation of a shrink epoch,
 // creating it on first use. Every survivor of a Shrink derives the
@@ -364,6 +377,9 @@ func (c *Comm) Agree(ok bool) (bool, []int) {
 	res := c.w.agree(c, key, ok)
 	if res == nil {
 		c.abort(c.opError("agree", "rendezvous", c.rank, ErrTimeout))
+	}
+	if c.obs != nil {
+		c.obsInstant("recover:agree", fmt.Sprintf("ok=%v survivors=%d", res.allOK, len(res.survivors)))
 	}
 	return res.allOK, append([]int(nil), res.survivors...)
 }
@@ -439,6 +455,9 @@ func (c *Comm) Shrink() *Comm {
 		c.abort(c.opError("shrink", "rendezvous", c.rank, ErrTimeout))
 	}
 	c.w.absolveDead(c.ranks)
+	if c.obs != nil {
+		c.obsInstant("recover:shrink", fmt.Sprintf("%d -> %d ranks", len(c.ranks), len(res.survivors)))
+	}
 	myNew := -1
 	for i, r := range res.survivors {
 		if r == c.worldRank {
@@ -455,6 +474,7 @@ func (c *Comm) Shrink() *Comm {
 		timeout:   c.timeout,
 		worldRank: c.worldRank,
 		inj:       c.inj,
+		obs:       c.obs,
 		// The epoch's revocation must be the SAME instance on every
 		// survivor — a revoke only wakes peers if they select on the
 		// same channel — so it is registered in the world under the

@@ -266,13 +266,16 @@ func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]fl
 	switch spec.Kind {
 	case FaultCrash:
 		c.stats.addInjection(rec)
+		c.obsFault(rec)
 		panic(rankCrash{&RankFailure{Rank: c.worldRank, Op: op, Call: call}})
 	case FaultStraggle:
 		c.stats.addInjection(rec)
+		c.obsFault(rec)
 		in.slow = spec.delay()
 		time.Sleep(in.slow)
 	case FaultDelay:
 		c.stats.addInjection(rec)
+		c.obsFault(rec)
 		if send {
 			c.deliverAfter(key, payload, spec.delay())
 			out = nil
@@ -282,12 +285,14 @@ func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]fl
 	case FaultCorrupt:
 		if send && len(payload) > 0 {
 			c.stats.addInjection(rec)
+			c.obsFault(rec)
 			i := in.rng.IntN(len(payload))
 			payload[i] = flipBit(payload[i], spec.Bit)
 		}
 	case FaultDuplicate:
 		if send {
 			c.stats.addInjection(rec)
+			c.obsFault(rec)
 			dup := make([]float64, len(payload))
 			copy(dup, payload)
 			out = [][]float64{payload, dup}
@@ -295,6 +300,7 @@ func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]fl
 	case FaultReorder:
 		if send && !in.hasPending {
 			c.stats.addInjection(rec)
+			c.obsFault(rec)
 			in.pending, in.pendingKey, in.pendingOp = payload, key, op
 			in.hasPending = true
 			out = nil

@@ -231,8 +231,20 @@ func TestConcurrentFailuresSingleFirst(t *testing.T) {
 	for _, s := range re.Secondary {
 		collect(s)
 	}
-	if !seen[1] || !seen[2] {
-		t.Fatalf("crashed ranks not all reported: %v (err %v)", seen, err)
+	// Whether BOTH injections fire is scheduling-dependent: a rank that
+	// observes the other's death aborts before reaching its own
+	// injection point. What must hold is that every reported crash is
+	// one of the injected ranks and that the primary is among them.
+	if len(seen) == 0 {
+		t.Fatalf("no crashed ranks reported (err %v)", err)
+	}
+	for r := range seen {
+		if r != 1 && r != 2 {
+			t.Fatalf("crash reported for uninjected rank %d: %v (err %v)", r, seen, err)
+		}
+	}
+	if !seen[first.Rank] {
+		t.Fatalf("primary failure rank %d missing from report: %v", first.Rank, seen)
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options configures a Run.
@@ -39,6 +41,11 @@ type Options struct {
 	// Fault attaches a deterministic fault-injection plan to the run;
 	// nil injects nothing. See FaultPlan.
 	Fault *FaultPlan
+	// Obs attaches an observability recorder: every collective and
+	// point-to-point call records a comm span, and faults, recovery
+	// actions, and checkpoint operations record instant events. Nil
+	// disables recording at the cost of one branch per hook.
+	Obs *obs.Recorder
 }
 
 const (
@@ -361,6 +368,7 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 				worldRank: rank,
 				inj:       inj,
 				rv:        worldRv,
+				obs:       opt.Obs,
 			}
 			fn(c)
 		}(r)

@@ -1,0 +1,65 @@
+package mpi
+
+import "time"
+
+// This file bridges the runtime into the unified observability layer:
+// every collective and point-to-point call records a comm span (op
+// kind, bytes sent/received, peer count) on the rank's timeline, and
+// every injected fault, recovery action, and checkpoint operation
+// records an instant event. All hooks are nil-safe no-ops costing a
+// single branch when no recorder is attached — the disabled path
+// allocates nothing.
+
+// commToken marks an in-progress communication span. Byte volumes are
+// measured as deltas of the rank's own monotone stats counters between
+// begin and end, so a composite collective's span (e.g. Allreduce,
+// built from Reduce+Bcast) automatically rolls up the traffic of its
+// inner operations.
+type commToken struct {
+	op    string
+	start time.Duration
+	sent  int64
+	recv  int64
+	peers int
+	ok    bool
+}
+
+// commBegin opens a comm span for op touching peers other ranks.
+func (c *Comm) commBegin(op string, peers int) commToken {
+	if c.obs == nil {
+		return commToken{}
+	}
+	return commToken{
+		op:    op,
+		start: c.obs.Since(),
+		sent:  c.stats.BytesSent,
+		recv:  c.stats.BytesRecv,
+		peers: peers,
+		ok:    true,
+	}
+}
+
+// commEnd closes a comm span. Deferred at operation entry, it records
+// the span even when the operation aborts (dead peer, revocation,
+// timeout), so a chaos run's trace shows where each rank was stuck.
+func (c *Comm) commEnd(t commToken) {
+	if !t.ok {
+		return
+	}
+	c.obs.CommSpan(c.worldRank, t.op, t.start,
+		c.stats.BytesSent-t.sent, c.stats.BytesRecv-t.recv, t.peers)
+}
+
+// obsInstant records an instant event on the rank's timeline.
+func (c *Comm) obsInstant(name, detail string) {
+	c.obs.Instant(c.worldRank, name, detail)
+}
+
+// obsFault records a fired fault injection as an instant event. Called
+// next to Stats.addInjection so traces and chaos-test assertions see
+// the same firing record.
+func (c *Comm) obsFault(rec Injection) {
+	if c.obs != nil {
+		c.obs.Instant(c.worldRank, "fault:"+rec.Kind.String(), rec.String())
+	}
+}

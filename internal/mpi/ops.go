@@ -54,6 +54,7 @@ func (o ReduceOp) apply(acc, src []float64) {
 func (c *Comm) ReduceWith(root int, op ReduceOp, send []float64) []float64 {
 	c.checkPeer(root, "Reduce")
 	p := c.Size()
+	defer c.commEnd(c.commBegin("reduce", p-1))
 	tag := c.nextCollTag()
 	c.enterColl("reduce")
 	acc := make([]float64, len(send))
@@ -84,6 +85,7 @@ func (c *Comm) ReduceWith(root int, op ReduceOp, send []float64) []float64 {
 
 // AllreduceWith is Allreduce with an explicit operator.
 func (c *Comm) AllreduceWith(op ReduceOp, send []float64) []float64 {
+	defer c.commEnd(c.commBegin("allreduce", c.Size()-1))
 	c.enterColl("allreduce")
 	total := c.ReduceWith(0, op, send)
 	if c.rank != 0 {

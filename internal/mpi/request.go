@@ -83,12 +83,14 @@ func (r *Request) Wait() []float64 {
 	if !r.isRecv {
 		return nil
 	}
+	defer r.c.commEnd(r.c.commBegin("p2p", 1))
 	res := <-r.payload
 	if res.sentinel != nil {
 		r.c.abort(r.c.opError("p2p", "irecv", r.src, res.sentinel))
 	}
 	r.c.stats.BytesRecv += int64(8 * len(res.data))
 	r.c.stats.MsgsRecv++
+	r.c.stats.addOpRecv("p2p", int64(8*len(res.data)))
 	return res.data
 }
 

@@ -24,11 +24,18 @@ type Stats struct {
 	Injected []Injection
 }
 
-// OpStats is the per-operation slice of a rank's traffic.
+// OpStats is the per-operation slice of a rank's traffic, split by
+// direction: Bytes/Msgs count sent traffic, RecvBytes/RecvMsgs count
+// received traffic. Across the ranks of a completed run the two sides
+// balance — every payload sent under an op is received under the same
+// op — which is what lets the Fig. 5 breakdown attribute volumes
+// without double counting.
 type OpStats struct {
-	Bytes int64
-	Msgs  int64
-	Calls int64
+	Bytes     int64 // bytes sent
+	Msgs      int64 // messages sent
+	RecvBytes int64
+	RecvMsgs  int64
+	Calls     int64
 }
 
 func (s *Stats) addOp(op string, bytes int64) {
@@ -38,6 +45,16 @@ func (s *Stats) addOp(op string, bytes int64) {
 	e := s.PerOp[op]
 	e.Bytes += bytes
 	e.Msgs++
+	s.PerOp[op] = e
+}
+
+func (s *Stats) addOpRecv(op string, bytes int64) {
+	if s.PerOp == nil {
+		s.PerOp = make(map[string]OpStats)
+	}
+	e := s.PerOp[op]
+	e.RecvBytes += bytes
+	e.RecvMsgs++
 	s.PerOp[op] = e
 }
 

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON format
+// (loadable in Perfetto / chrome://tracing). Spans are complete ("X")
+// events; instant events use phase "i" with thread scope.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds since epoch
+	Dur   int64          `json:"dur,omitempty"` // microseconds, X events
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the timeline as a Chrome trace-event JSON
+// array: one thread per rank, complete ("X") events per span with the
+// op kind, byte counts, peer count, and flops attached as args, and
+// instant ("i") events for faults and recovery actions. Events are
+// sorted by (rank, time) so per-thread timestamps are monotone.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	spans, events := r.snapshot()
+	sortSpans(spans)
+	sortEvents(events)
+	out := make([]ChromeEvent, 0, len(spans)+len(events))
+	for _, s := range spans {
+		ev := ChromeEvent{
+			Name:  s.Name,
+			Cat:   s.Kind.String(),
+			Phase: "X",
+			TS:    s.Start.Microseconds(),
+			Dur:   s.Dur().Microseconds(),
+			PID:   0,
+			TID:   s.Rank,
+		}
+		if s.Kind == KindComm {
+			ev.Args = map[string]any{
+				"op":         s.Op,
+				"sent_bytes": s.SentBytes,
+				"recv_bytes": s.RecvBytes,
+				"peers":      s.Peers,
+			}
+		} else if s.Flops > 0 {
+			ev.Args = map[string]any{"flops": s.Flops}
+		}
+		out = append(out, ev)
+	}
+	for _, e := range events {
+		ev := ChromeEvent{
+			Name:  e.Name,
+			Cat:   "event",
+			Phase: "i",
+			TS:    e.TS.Microseconds(),
+			PID:   0,
+			TID:   e.Rank,
+			Scope: "t",
+		}
+		if e.Detail != "" {
+			ev.Args = map[string]any{"detail": e.Detail}
+		}
+		out = append(out, ev)
+	}
+	// Merge spans and instants into one per-thread monotone stream.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return json.NewEncoder(w).Encode(out)
+}
+
+// DecodeChrome parses a Chrome trace-event JSON array back into typed
+// events — the inverse of WriteChrome, used by tests and trace
+// validation.
+func DecodeChrome(r io.Reader) ([]ChromeEvent, error) {
+	var out []ChromeEvent
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("obs: invalid chrome trace: %w", err)
+	}
+	return out, nil
+}
+
+// ValidateChrome decodes a Chrome trace and checks the structural
+// invariants every export must satisfy: known phases, non-negative
+// timestamps and durations, and per-thread monotone timestamps. It
+// returns the event count.
+func ValidateChrome(r io.Reader) (int, error) {
+	events, err := DecodeChrome(r)
+	if err != nil {
+		return 0, err
+	}
+	lastTS := make(map[int]int64)
+	for i, e := range events {
+		if e.Phase != "X" && e.Phase != "i" {
+			return 0, fmt.Errorf("obs: event %d (%q): unexpected phase %q", i, e.Name, e.Phase)
+		}
+		if e.TS < 0 {
+			return 0, fmt.Errorf("obs: event %d (%q): negative timestamp %d", i, e.Name, e.TS)
+		}
+		if e.Dur < 0 {
+			return 0, fmt.Errorf("obs: event %d (%q): negative duration %d", i, e.Name, e.Dur)
+		}
+		if last, ok := lastTS[e.TID]; ok && e.TS < last {
+			return 0, fmt.Errorf("obs: event %d (%q): timestamp %d before %d on tid %d",
+				i, e.Name, e.TS, last, e.TID)
+		}
+		lastTS[e.TID] = e.TS
+	}
+	return len(events), nil
+}
+
+func sortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Rank != spans[j].Rank {
+			return spans[i].Rank < spans[j].Rank
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End // parents before children
+	})
+}
+
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Rank != events[j].Rank {
+			return events[i].Rank < events[j].Rank
+		}
+		return events[i].TS < events[j].TS
+	})
+}

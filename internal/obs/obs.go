@@ -1,0 +1,343 @@
+// Package obs is the unified observability layer of the repository:
+// one Recorder collects per-rank execution timelines (algorithm stage
+// spans from internal/core, communication spans from internal/mpi,
+// instant events from the fault-injection and recovery machinery) and
+// exports them as a Chrome/Perfetto trace, a Prometheus text
+// exposition, or a machine-readable JSON report with the analysis
+// passes (critical path, load imbalance, Fig. 5-style stage x op
+// breakdown) the CA3DMM paper's evaluation is built on.
+//
+// Recording is lock-free: each rank appends to its own shard, owned
+// by that rank's goroutine, so there is no cross-rank contention and
+// no mutex anywhere on the recording path. Exporters may run
+// concurrently with recording (the live /metrics endpoint does): each
+// shard publishes a consistent prefix of its buffers through atomic
+// (pointer, length) pairs, so snapshots see only fully written
+// entries. A nil *Recorder is a valid no-op recorder — every method
+// checks the receiver, and the disabled path allocates nothing.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// Span kinds.
+const (
+	// KindStage is an algorithm stage (redistribute, allgather,
+	// cannon, reduce-scatter, ...) recorded by the executors.
+	KindStage Kind = iota
+	// KindComm is a communication operation (a collective or a
+	// point-to-point call) recorded by the message-passing runtime.
+	KindComm
+)
+
+func (k Kind) String() string {
+	if k == KindComm {
+		return "comm"
+	}
+	return "stage"
+}
+
+// Span is one timed operation on one rank.
+type Span struct {
+	Rank  int
+	Name  string // stage name, or the comm op kind for KindComm
+	Kind  Kind
+	Op    string // comm op kind ("p2p", "allgather", ...); empty for stages
+	Start time.Duration
+	End   time.Duration
+
+	// SentBytes/RecvBytes are the payload bytes this rank sent and
+	// received during a KindComm span (nested operations included).
+	SentBytes int64
+	RecvBytes int64
+	// Peers is the number of other ranks the operation may touch
+	// (communicator size - 1 for collectives, 1 for point-to-point).
+	Peers int
+	// Flops is the floating-point work attributed to a compute stage.
+	Flops int64
+}
+
+// Dur returns the span duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Event is one instant occurrence on one rank (an injected fault, a
+// recovery action, a checkpoint operation).
+type Event struct {
+	Rank   int
+	Name   string // e.g. "fault:crash", "recover:shrink"
+	Detail string
+	TS     time.Duration
+}
+
+// shard is one rank's buffers. The spans/events slices are owned by
+// the rank's recording goroutine; concurrent exporters read only the
+// published (pointer, length) pairs, which expose a consistent,
+// fully initialized prefix: elements are written before the length is
+// stored, and buffers are only ever replaced (never recycled), so a
+// stale header still points at valid data.
+type shard struct {
+	spans  []Span
+	events []Event
+
+	pubSpans  atomic.Pointer[[]Span] // full-capacity header of spans' array
+	nSpans    atomic.Int64
+	pubEvents atomic.Pointer[[]Event]
+	nEvents   atomic.Int64
+}
+
+func (s *shard) addSpan(sp Span) {
+	if len(s.spans) == cap(s.spans) {
+		ns := make([]Span, len(s.spans), 2*cap(s.spans)+64)
+		copy(ns, s.spans)
+		s.spans = ns
+		full := ns[:cap(ns)]
+		s.pubSpans.Store(&full)
+	}
+	s.spans = append(s.spans, sp)
+	s.nSpans.Store(int64(len(s.spans)))
+}
+
+func (s *shard) addEvent(ev Event) {
+	if len(s.events) == cap(s.events) {
+		ns := make([]Event, len(s.events), 2*cap(s.events)+16)
+		copy(ns, s.events)
+		s.events = ns
+		full := ns[:cap(ns)]
+		s.pubEvents.Store(&full)
+	}
+	s.events = append(s.events, ev)
+	s.nEvents.Store(int64(len(s.events)))
+}
+
+func (s *shard) snapshotSpans(out []Span) []Span {
+	hdr := s.pubSpans.Load()
+	if hdr == nil {
+		return out
+	}
+	buf := *hdr
+	n := int(s.nSpans.Load())
+	if n > len(buf) {
+		n = len(buf)
+	}
+	return append(out, buf[:n]...)
+}
+
+func (s *shard) snapshotEvents(out []Event) []Event {
+	hdr := s.pubEvents.Load()
+	if hdr == nil {
+		return out
+	}
+	buf := *hdr
+	n := int(s.nEvents.Load())
+	if n > len(buf) {
+		n = len(buf)
+	}
+	return append(out, buf[:n]...)
+}
+
+// Recorder collects spans and events from all ranks of one or more
+// runs onto a single timeline (its epoch is fixed at creation).
+// Methods are safe on a nil receiver (no-ops), and recording methods
+// for different ranks never contend.
+type Recorder struct {
+	epoch  time.Time
+	shards atomic.Pointer[[]*shard]
+	grow   sync.Mutex // guards shard-table growth only, never recording
+}
+
+// NewRecorder returns an empty recorder whose time origin is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Since returns the current time relative to the recorder's epoch.
+func (r *Recorder) Since() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
+func (r *Recorder) shard(rank int) *shard {
+	if rank < 0 {
+		rank = 0
+	}
+	if sl := r.shards.Load(); sl != nil && rank < len(*sl) {
+		if s := (*sl)[rank]; s != nil {
+			return s
+		}
+	}
+	return r.growShard(rank)
+}
+
+// growShard extends the shard table to cover rank. The table is
+// copied on every change so concurrent lookups never observe a
+// mutated slice; growth happens at most once per rank.
+func (r *Recorder) growShard(rank int) *shard {
+	r.grow.Lock()
+	defer r.grow.Unlock()
+	var cur []*shard
+	if sl := r.shards.Load(); sl != nil {
+		cur = *sl
+	}
+	ns := make([]*shard, len(cur))
+	copy(ns, cur)
+	if rank >= len(ns) {
+		grown := make([]*shard, rank+1)
+		copy(grown, ns)
+		ns = grown
+	}
+	if ns[rank] == nil {
+		ns[rank] = &shard{}
+	}
+	r.shards.Store(&ns)
+	return ns[rank]
+}
+
+// noopEnd is the shared closer of the disabled path; returning it
+// keeps Begin allocation-free when no recorder is attached.
+var noopEnd = func() {}
+
+// Begin starts a stage span on a rank; call the returned func to
+// close it. The nil-recorder path performs no allocation.
+func (r *Recorder) Begin(rank int, name string) func() {
+	if r == nil {
+		return noopEnd
+	}
+	sh := r.shard(rank)
+	start := time.Since(r.epoch)
+	return func() {
+		sh.addSpan(Span{Rank: rank, Name: name, Kind: KindStage, Start: start, End: time.Since(r.epoch)})
+	}
+}
+
+// SpanToken is an in-progress span started with Start. Tokens are
+// plain values: the enabled path allocates nothing per span beyond
+// the amortized shard buffer growth, and the disabled path nothing at
+// all.
+type SpanToken struct {
+	rank  int
+	name  string
+	start time.Duration
+	ok    bool
+}
+
+// Start begins a stage span and returns its token; close it with End
+// or EndFlops. The zero token (from a nil recorder) is inert.
+func (r *Recorder) Start(rank int, name string) SpanToken {
+	if r == nil {
+		return SpanToken{}
+	}
+	return SpanToken{rank: rank, name: name, start: time.Since(r.epoch), ok: true}
+}
+
+// End closes a span started with Start.
+func (r *Recorder) End(t SpanToken) { r.EndFlops(t, 0) }
+
+// EndFlops closes a span started with Start, attributing flops of
+// floating-point work to it (per-rank FLOP/s in the report).
+func (r *Recorder) EndFlops(t SpanToken, flops int64) {
+	if r == nil || !t.ok {
+		return
+	}
+	r.shard(t.rank).addSpan(Span{
+		Rank: t.rank, Name: t.name, Kind: KindStage, Flops: flops,
+		Start: t.start, End: time.Since(r.epoch),
+	})
+}
+
+// CommSpan records a completed communication span: op kind, the bytes
+// this rank sent and received during it, and the peer count.
+func (r *Recorder) CommSpan(rank int, op string, start time.Duration, sent, recv int64, peers int) {
+	if r == nil {
+		return
+	}
+	r.shard(rank).addSpan(Span{
+		Rank: rank, Name: op, Kind: KindComm, Op: op,
+		SentBytes: sent, RecvBytes: recv, Peers: peers,
+		Start: start, End: time.Since(r.epoch),
+	})
+}
+
+// Instant records an instantaneous event (fault injection, recovery
+// action) on a rank.
+func (r *Recorder) Instant(rank int, name, detail string) {
+	if r == nil {
+		return
+	}
+	r.shard(rank).addEvent(Event{Rank: rank, Name: name, Detail: detail, TS: time.Since(r.epoch)})
+}
+
+// snapshot returns consistent copies of every shard's published
+// prefix. Safe to call concurrently with recording.
+func (r *Recorder) snapshot() ([]Span, []Event) {
+	if r == nil {
+		return nil, nil
+	}
+	sl := r.shards.Load()
+	if sl == nil {
+		return nil, nil
+	}
+	var spans []Span
+	var events []Event
+	for _, sh := range *sl {
+		if sh == nil {
+			continue
+		}
+		spans = sh.snapshotSpans(spans)
+		events = sh.snapshotEvents(events)
+	}
+	return spans, events
+}
+
+// Spans returns all recorded spans sorted by (rank, start), with
+// longer spans first among equal starts so parents precede children.
+// Safe to call concurrently with recording.
+func (r *Recorder) Spans() []Span {
+	spans, _ := r.snapshot()
+	sortSpans(spans)
+	return spans
+}
+
+// Events returns all recorded instant events sorted by (rank, time).
+// Safe to call concurrently with recording.
+func (r *Recorder) Events() []Event {
+	_, events := r.snapshot()
+	sortEvents(events)
+	return events
+}
+
+// StageTotals sums stage-span durations per stage name across ranks.
+func (r *Recorder) StageTotals() map[string]time.Duration {
+	totals := make(map[string]time.Duration)
+	for _, s := range r.Spans() {
+		if s.Kind != KindStage {
+			continue
+		}
+		totals[s.Name] += s.Dur()
+	}
+	return totals
+}
+
+// ResetRank discards everything recorded for one rank, keeping the
+// buffers (no allocation). It may only be called from the goroutine
+// that records for that rank, and not concurrently with exporters —
+// unlike recording, reset reuses the buffer in place, so a concurrent
+// snapshot could observe recycled entries. It exists so long-lived
+// servers and benchmarks can bound recorder memory.
+func (r *Recorder) ResetRank(rank int) {
+	if r == nil {
+		return
+	}
+	sh := r.shard(rank)
+	sh.spans = sh.spans[:0]
+	sh.nSpans.Store(0)
+	sh.events = sh.events[:0]
+	sh.nEvents.Store(0)
+}

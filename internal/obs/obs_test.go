@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkSpan(rank int, name string, kind Kind, start, end time.Duration) Span {
+	s := Span{Rank: rank, Name: name, Kind: kind, Start: start, End: end}
+	if kind == KindComm {
+		s.Op = name
+	}
+	return s
+}
+
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		end := r.Begin(0, "stage")
+		end()
+		tok := r.Start(1, "stage")
+		r.End(tok)
+		r.EndFlops(tok, 42)
+		r.CommSpan(0, "allgather", 0, 10, 10, 3)
+		r.Instant(0, "fault:crash", "rank 2")
+		_ = r.Since()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestEnabledTokenPathZeroAllocSteadyState(t *testing.T) {
+	r := NewRecorder()
+	// Warm the shard and its buffer so only the steady-state cost shows.
+	for i := 0; i < 256; i++ {
+		r.End(r.Start(0, "warm"))
+	}
+	r.ResetRank(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.End(r.Start(0, "stage"))
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled token path allocated %.1f objects per span, want 0", allocs)
+	}
+}
+
+func TestBeginEndRecordsSpan(t *testing.T) {
+	r := NewRecorder()
+	end := r.Begin(3, "cannon")
+	time.Sleep(time.Millisecond)
+	end()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Rank != 3 || s.Name != "cannon" || s.Kind != KindStage {
+		t.Fatalf("span %+v", s)
+	}
+	if s.Dur() <= 0 {
+		t.Fatal("span has no duration")
+	}
+}
+
+func TestCommSpanAndFlops(t *testing.T) {
+	r := NewRecorder()
+	start := r.Since()
+	r.CommSpan(1, "allgather", start, 4096, 2048, 3)
+	tok := r.Start(1, "cannon")
+	r.EndFlops(tok, 1_000_000)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	var comm, stage *Span
+	for i := range spans {
+		if spans[i].Kind == KindComm {
+			comm = &spans[i]
+		} else {
+			stage = &spans[i]
+		}
+	}
+	if comm == nil || comm.Op != "allgather" || comm.SentBytes != 4096 || comm.RecvBytes != 2048 || comm.Peers != 3 {
+		t.Fatalf("comm span %+v", comm)
+	}
+	if stage == nil || stage.Flops != 1_000_000 {
+		t.Fatalf("stage span %+v", stage)
+	}
+}
+
+func TestInstantEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Instant(2, "fault:crash", "injected at barrier")
+	r.Instant(0, "recover:shrink", "3 -> 2 ranks")
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Rank != 0 || evs[0].Name != "recover:shrink" {
+		t.Fatalf("events not sorted by rank: %+v", evs)
+	}
+	if evs[1].Detail != "injected at barrier" {
+		t.Fatalf("event detail %+v", evs[1])
+	}
+}
+
+func TestNestSpansOutermostAndStageAttribution(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	spans := []Span{
+		mkSpan(0, "allgather", KindStage, us(0), us(100)),
+		mkSpan(0, "allreduce", KindComm, us(10), us(90)),
+		mkSpan(0, "reduce", KindComm, us(20), us(50)),
+		mkSpan(0, "bcast", KindComm, us(60), us(80)),
+		mkSpan(0, "p2p", KindComm, us(200), us(210)), // outside any stage
+		mkSpan(1, "reduce", KindComm, us(20), us(50)),
+	}
+	sortSpans(spans)
+	ctxs := nestSpans(spans)
+	got := map[string]spanCtx{}
+	for _, c := range ctxs {
+		got[c.span.Name+"/"+c.span.Kind.String()+"/"+itoa(c.span.Rank)] = c
+	}
+	if c := got["allreduce/comm/0"]; !c.outermost || c.stage != "allgather" {
+		t.Fatalf("allreduce ctx %+v", c)
+	}
+	if c := got["reduce/comm/0"]; c.outermost {
+		t.Fatalf("nested reduce marked outermost: %+v", c)
+	}
+	if c := got["bcast/comm/0"]; c.outermost {
+		t.Fatalf("nested bcast marked outermost: %+v", c)
+	}
+	if c := got["p2p/comm/0"]; !c.outermost || c.stage != "" {
+		t.Fatalf("p2p ctx %+v", c)
+	}
+	// Rank 1's identical-times span must not inherit rank 0's stack.
+	if c := got["reduce/comm/1"]; !c.outermost || c.stage != "" {
+		t.Fatalf("rank-1 reduce ctx %+v", c)
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+// inject writes synthetic spans with controlled times directly into a
+// rank's shard, bypassing wall-clock timing.
+func inject(r *Recorder, spans ...Span) {
+	for _, s := range spans {
+		r.shard(s.Rank).addSpan(s)
+	}
+}
+
+func testReport() (*Recorder, *Report) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	r := NewRecorder()
+	for rank := 0; rank < 2; rank++ {
+		st := mkSpan(rank, "cannon", KindStage, us(0), us(100+100*int64(rank)))
+		st.Flops = 1_000_000
+		comm := mkSpan(rank, "allgather", KindComm, us(10), us(40))
+		comm.SentBytes, comm.RecvBytes, comm.Peers = 1024, 2048, 3
+		inject(r, st, comm)
+	}
+	r.Instant(0, "fault:crash", "x")
+	r.Instant(1, "fault:crash", "y")
+	return r, r.BuildReport()
+}
+
+func TestBuildReport(t *testing.T) {
+	_, rep := testReport()
+	if rep.Ranks != 2 {
+		t.Fatalf("ranks %d", rep.Ranks)
+	}
+	if rep.WallUS != 200 {
+		t.Fatalf("wall %d", rep.WallUS)
+	}
+	if len(rep.Stages) != 1 {
+		t.Fatalf("stages %+v", rep.Stages)
+	}
+	st := rep.Stages[0]
+	if st.Name != "cannon" || st.TotalUS != 300 || st.MaxUS != 200 || st.MeanUS != 150 {
+		t.Fatalf("stage %+v", st)
+	}
+	if st.Imbalance < 1.32 || st.Imbalance > 1.34 {
+		t.Fatalf("imbalance %v", st.Imbalance)
+	}
+	if st.Flops != 2_000_000 {
+		t.Fatalf("flops %d", st.Flops)
+	}
+	if len(rep.Breakdown) != 1 {
+		t.Fatalf("breakdown %+v", rep.Breakdown)
+	}
+	br := rep.Breakdown[0]
+	if br.Stage != "cannon" || br.Op != "allgather" || br.SentBytes != 2048 || br.RecvBytes != 4096 || br.Calls != 2 {
+		t.Fatalf("breakdown row %+v", br)
+	}
+	if len(rep.Critical) == 0 || rep.Critical[0].Rank != 1 {
+		t.Fatalf("critical path %+v", rep.Critical)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Count != 2 {
+		t.Fatalf("events %+v", rep.Events)
+	}
+}
+
+func TestCompositeCollectiveCountedOnce(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	r := NewRecorder()
+	outer := mkSpan(0, "allreduce", KindComm, us(0), us(100))
+	outer.SentBytes, outer.RecvBytes = 100, 100
+	inner := mkSpan(0, "reduce", KindComm, us(10), us(50))
+	inner.SentBytes, inner.RecvBytes = 60, 60
+	inject(r, outer, inner)
+	rep := r.BuildReport()
+	if len(rep.Breakdown) != 1 {
+		t.Fatalf("breakdown %+v", rep.Breakdown)
+	}
+	if rep.Breakdown[0].Op != "allreduce" || rep.Breakdown[0].SentBytes != 100 {
+		t.Fatalf("row %+v (inner op double-counted?)", rep.Breakdown[0])
+	}
+	if rep.RankStats[0].CommUS != 100 {
+		t.Fatalf("comm time %d, want outer only", rep.RankStats[0].CommUS)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	_, rep := testReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WallUS != rep.WallUS || len(back.Stages) != len(rep.Stages) || len(back.Breakdown) != len(rep.Breakdown) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", rep, back)
+	}
+}
+
+func TestRenderAndDiff(t *testing.T) {
+	_, rep := testReport()
+	out := rep.Render()
+	for _, want := range []string{"cannon", "allgather", "imbal", "sent", "critical path", "fault:crash"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	diff := RenderDiff(rep, rep)
+	if !strings.Contains(diff, "cannon") || !strings.Contains(diff, "wall") {
+		t.Fatalf("diff:\n%s", diff)
+	}
+}
+
+func TestWriteChromeArgsAndValidate(t *testing.T) {
+	r, _ := testReport()
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 { // 4 spans + 2 instants
+		t.Fatalf("got %d events", n)
+	}
+	events, err := DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commSeen, instantSeen, flopsSeen bool
+	for _, e := range events {
+		if e.Cat == "comm" {
+			commSeen = true
+			if e.Args["op"] != "allgather" || e.Args["sent_bytes"] != float64(1024) || e.Args["peers"] != float64(3) {
+				t.Fatalf("comm args %+v", e.Args)
+			}
+		}
+		if e.Phase == "i" {
+			instantSeen = true
+			if e.Scope != "t" {
+				t.Fatalf("instant scope %q", e.Scope)
+			}
+		}
+		if e.Cat == "stage" && e.Args["flops"] == float64(1_000_000) {
+			flopsSeen = true
+		}
+	}
+	if !commSeen || !instantSeen || !flopsSeen {
+		t.Fatalf("missing event kinds: comm=%v instant=%v flops=%v", commSeen, instantSeen, flopsSeen)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	if _, err := ValidateChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ValidateChrome(strings.NewReader(`[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]`)); err == nil {
+		t.Fatal("accepted unknown phase")
+	}
+	if _, err := ValidateChrome(strings.NewReader(`[{"name":"x","ph":"X","ts":-5,"pid":0,"tid":0}]`)); err == nil {
+		t.Fatal("accepted negative timestamp")
+	}
+	bad := `[{"name":"a","ph":"X","ts":100,"pid":0,"tid":0},{"name":"b","ph":"X","ts":50,"pid":0,"tid":0}]`
+	if _, err := ValidateChrome(strings.NewReader(bad)); err == nil {
+		t.Fatal("accepted non-monotone timestamps")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r, _ := testReport()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ca3dmm_stage_seconds_total{stage="cannon"}`,
+		`ca3dmm_stage_imbalance_ratio{stage="cannon"}`,
+		`ca3dmm_comm_bytes_total{stage="cannon",op="allgather",dir="sent"} 2048`,
+		`ca3dmm_rank_flops_total{rank="1"} 1000000`,
+		`ca3dmm_events_total{event="fault:crash"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestResetRank(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, "a")()
+	r.Begin(1, "b")()
+	r.Instant(0, "fault:crash", "")
+	r.ResetRank(0)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Rank != 1 {
+		t.Fatalf("spans after reset %+v", spans)
+	}
+	if len(r.Events()) != 0 {
+		t.Fatal("events survived reset")
+	}
+	r.Begin(0, "c")()
+	if len(r.Spans()) != 2 {
+		t.Fatal("recording after reset broken")
+	}
+}
+
+// TestConcurrentRecordAndExport drives recording on many ranks while
+// exporters snapshot continuously — the live /metrics scenario. Run
+// with -race; correctness here is "no race, no torn reads, monotone
+// counts".
+func TestConcurrentRecordAndExport(t *testing.T) {
+	r := NewRecorder()
+	const ranks, spansPerRank = 8, 200
+	var recorders, exporter sync.WaitGroup
+	stop := make(chan struct{})
+	exporter.Add(1)
+	go func() { // concurrent exporter
+		defer exporter.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spans := r.Spans()
+			if len(spans) < last {
+				t.Error("span count went backwards")
+				return
+			}
+			last = len(spans)
+			_ = r.BuildReport()
+			_ = r.WritePrometheus(&bytes.Buffer{})
+			for _, s := range spans {
+				if s.Name == "" {
+					t.Error("torn read: empty span name")
+					return
+				}
+			}
+		}
+	}()
+	for rank := 0; rank < ranks; rank++ {
+		recorders.Add(1)
+		go func(rank int) {
+			defer recorders.Done()
+			for i := 0; i < spansPerRank; i++ {
+				r.End(r.Start(rank, "work"))
+				if i%17 == 0 {
+					r.Instant(rank, "fault:delay", "")
+				}
+				r.CommSpan(rank, "p2p", r.Since(), 8, 8, 1)
+			}
+		}(rank)
+	}
+	recorders.Wait()
+	close(stop)
+	exporter.Wait()
+	if got := len(r.Spans()); got != ranks*spansPerRank*2 {
+		t.Fatalf("got %d spans, want %d", got, ranks*spansPerRank*2)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the recorder's current state in the
+// Prometheus text exposition format (version 0.0.4). It is built on
+// the same concurrent-safe snapshot as the other exporters, so a live
+// /metrics endpoint can scrape mid-run.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	rep := r.BuildReport()
+
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := write("# HELP ca3dmm_stage_seconds_total Stage time summed across ranks.\n# TYPE ca3dmm_stage_seconds_total counter\n"); err != nil {
+		return err
+	}
+	for _, st := range rep.Stages {
+		if err := write("ca3dmm_stage_seconds_total{stage=%q} %g\n", st.Name, float64(st.TotalUS)/1e6); err != nil {
+			return err
+		}
+	}
+	if err := write("# HELP ca3dmm_stage_imbalance_ratio Per-stage load imbalance (max/mean across ranks).\n# TYPE ca3dmm_stage_imbalance_ratio gauge\n"); err != nil {
+		return err
+	}
+	for _, st := range rep.Stages {
+		if err := write("ca3dmm_stage_imbalance_ratio{stage=%q} %g\n", st.Name, st.Imbalance); err != nil {
+			return err
+		}
+	}
+	if err := write("# HELP ca3dmm_comm_seconds_total Outermost communication time by stage and op.\n# TYPE ca3dmm_comm_seconds_total counter\n"); err != nil {
+		return err
+	}
+	for _, br := range rep.Breakdown {
+		if err := write("ca3dmm_comm_seconds_total{stage=%q,op=%q} %g\n", br.Stage, br.Op, float64(br.TotalUS)/1e6); err != nil {
+			return err
+		}
+	}
+	if err := write("# HELP ca3dmm_comm_bytes_total Bytes moved by stage, op, and direction.\n# TYPE ca3dmm_comm_bytes_total counter\n"); err != nil {
+		return err
+	}
+	for _, br := range rep.Breakdown {
+		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"sent\"} %d\n", br.Stage, br.Op, br.SentBytes); err != nil {
+			return err
+		}
+		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"recv\"} %d\n", br.Stage, br.Op, br.RecvBytes); err != nil {
+			return err
+		}
+	}
+	if err := write("# HELP ca3dmm_rank_flops_total Floating-point operations attributed per rank.\n# TYPE ca3dmm_rank_flops_total counter\n"); err != nil {
+		return err
+	}
+	for _, rs := range rep.RankStats {
+		if err := write("ca3dmm_rank_flops_total{rank=\"%d\"} %d\n", rs.Rank, rs.Flops); err != nil {
+			return err
+		}
+	}
+	if err := write("# HELP ca3dmm_events_total Instant events (faults, recovery actions) by name.\n# TYPE ca3dmm_events_total counter\n"); err != nil {
+		return err
+	}
+	events := append([]EventCount(nil), rep.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Name < events[j].Name })
+	for _, e := range events {
+		if err := write("ca3dmm_events_total{event=%q} %d\n", e.Name, e.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is the machine-readable analysis of one recorded timeline:
+// per-stage totals with load-imbalance ratios, the Fig. 5-style
+// stage x op communication breakdown with byte volumes, per-rank
+// utilisation, the critical path of the slowest rank, and instant
+// event counts. It round-trips through JSON for ca3dmm-profile.
+type Report struct {
+	Ranks     int          `json:"ranks"`
+	WallUS    int64        `json:"wall_us"`
+	Stages    []StageStat  `json:"stages"`
+	Breakdown []BreakRow   `json:"breakdown"`
+	RankStats []RankStat   `json:"rank_stats"`
+	Critical  []PathStep   `json:"critical_path"`
+	Events    []EventCount `json:"events,omitempty"`
+}
+
+// StageStat aggregates one stage name across ranks.
+type StageStat struct {
+	Name    string `json:"name"`
+	TotalUS int64  `json:"total_us"` // summed over ranks
+	MaxUS   int64  `json:"max_us"`   // slowest rank
+	MeanUS  int64  `json:"mean_us"`  // over ranks that ran the stage
+	// Imbalance is the load-imbalance ratio max/mean (1.0 = perfectly
+	// balanced), the metric behind the paper's process-grid tuning.
+	Imbalance float64 `json:"imbalance"`
+	Flops     int64   `json:"flops"`
+	Calls     int     `json:"calls"`
+}
+
+// BreakRow is one cell of the stage x op breakdown: all outermost
+// communication spans of one op kind attributed to the enclosing
+// algorithm stage.
+type BreakRow struct {
+	Stage     string `json:"stage"` // "(outside)" when no stage encloses the op
+	Op        string `json:"op"`
+	TotalUS   int64  `json:"total_us"`
+	SentBytes int64  `json:"sent_bytes"`
+	RecvBytes int64  `json:"recv_bytes"`
+	Calls     int    `json:"calls"`
+}
+
+// RankStat is one rank's totals over its outermost spans.
+type RankStat struct {
+	Rank      int     `json:"rank"`
+	BusyUS    int64   `json:"busy_us"` // outermost stage span time
+	CommUS    int64   `json:"comm_us"` // outermost comm span time
+	SentBytes int64   `json:"sent_bytes"`
+	RecvBytes int64   `json:"recv_bytes"`
+	Flops     int64   `json:"flops"`
+	GFLOPS    float64 `json:"gflops"` // flops / busy time
+}
+
+// PathStep is one outermost span on the critical (slowest) rank.
+type PathStep struct {
+	Rank    int    `json:"rank"`
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// EventCount tallies instant events by name.
+type EventCount struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// spanCtx is the nesting context of one span, computed by a single
+// stack pass over the (rank, start, longest-first) sorted spans.
+type spanCtx struct {
+	span      Span
+	stage     string // innermost enclosing stage name ("" if none)
+	outermost bool   // no enclosing span of the same kind
+}
+
+// nestSpans classifies every span's nesting: which stage encloses it
+// and whether a span of the same kind encloses it (so Allreduce built
+// on Reduce+Bcast is counted once, not three times).
+func nestSpans(spans []Span) []spanCtx {
+	out := make([]spanCtx, 0, len(spans))
+	var stack []Span
+	lastRank := -1
+	for _, s := range spans {
+		if s.Rank != lastRank {
+			stack = stack[:0]
+			lastRank = s.Rank
+		}
+		for len(stack) > 0 && stack[len(stack)-1].End <= s.Start {
+			stack = stack[:len(stack)-1]
+		}
+		ctx := spanCtx{span: s, outermost: true}
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].Kind == s.Kind {
+				ctx.outermost = false
+			}
+			if stack[i].Kind == KindStage && ctx.stage == "" {
+				ctx.stage = stack[i].Name
+			}
+		}
+		out = append(out, ctx)
+		stack = append(stack, s)
+	}
+	return out
+}
+
+// BuildReport runs the analysis passes over everything recorded so
+// far. Safe to call concurrently with recording (the live /metrics
+// endpoint does).
+func (r *Recorder) BuildReport() *Report {
+	spans, events := r.snapshot()
+	sortSpans(spans)
+	sortEvents(events)
+	rep := &Report{}
+
+	ctxs := nestSpans(spans)
+	ranks := map[int]*RankStat{}
+	type stageAgg struct {
+		perRank map[int]int64
+		flops   int64
+		calls   int
+	}
+	stages := map[string]*stageAgg{}
+	breaks := map[[2]string]*BreakRow{}
+
+	for _, c := range ctxs {
+		s := c.span
+		if s.End > time.Duration(rep.WallUS)*time.Microsecond {
+			rep.WallUS = s.End.Microseconds()
+		}
+		rs := ranks[s.Rank]
+		if rs == nil {
+			rs = &RankStat{Rank: s.Rank}
+			ranks[s.Rank] = rs
+		}
+		switch s.Kind {
+		case KindStage:
+			ag := stages[s.Name]
+			if ag == nil {
+				ag = &stageAgg{perRank: map[int]int64{}}
+				stages[s.Name] = ag
+			}
+			ag.perRank[s.Rank] += s.Dur().Microseconds()
+			ag.flops += s.Flops
+			ag.calls++
+			rs.Flops += s.Flops
+			if c.outermost {
+				rs.BusyUS += s.Dur().Microseconds()
+			}
+		case KindComm:
+			if !c.outermost {
+				continue // inner op of a composite collective
+			}
+			rs.CommUS += s.Dur().Microseconds()
+			rs.SentBytes += s.SentBytes
+			rs.RecvBytes += s.RecvBytes
+			stage := c.stage
+			if stage == "" {
+				stage = "(outside)"
+			}
+			key := [2]string{stage, s.Op}
+			br := breaks[key]
+			if br == nil {
+				br = &BreakRow{Stage: stage, Op: s.Op}
+				breaks[key] = br
+			}
+			br.TotalUS += s.Dur().Microseconds()
+			br.SentBytes += s.SentBytes
+			br.RecvBytes += s.RecvBytes
+			br.Calls++
+		}
+	}
+
+	rep.Ranks = len(ranks)
+	for name, ag := range stages {
+		st := StageStat{Name: name, Flops: ag.flops, Calls: ag.calls}
+		var max int64
+		for _, us := range ag.perRank {
+			st.TotalUS += us
+			if us > max {
+				max = us
+			}
+		}
+		st.MaxUS = max
+		if n := len(ag.perRank); n > 0 {
+			st.MeanUS = st.TotalUS / int64(n)
+			// Ratio from the float mean: the truncated MeanUS can be 0
+			// for sub-microsecond stages even when MaxUS is not.
+			if mean := float64(st.TotalUS) / float64(n); mean > 0 {
+				st.Imbalance = float64(st.MaxUS) / mean
+			}
+		}
+		rep.Stages = append(rep.Stages, st)
+	}
+	sort.Slice(rep.Stages, func(i, j int) bool { return rep.Stages[i].TotalUS > rep.Stages[j].TotalUS })
+
+	for _, br := range breaks {
+		rep.Breakdown = append(rep.Breakdown, *br)
+	}
+	sort.Slice(rep.Breakdown, func(i, j int) bool {
+		if rep.Breakdown[i].Stage != rep.Breakdown[j].Stage {
+			return rep.Breakdown[i].Stage < rep.Breakdown[j].Stage
+		}
+		return rep.Breakdown[i].Op < rep.Breakdown[j].Op
+	})
+
+	critRank, critBusy := -1, int64(-1)
+	for _, rs := range ranks {
+		if rs.BusyUS > 0 {
+			rs.GFLOPS = float64(rs.Flops) / 1e3 / float64(rs.BusyUS)
+		}
+		rep.RankStats = append(rep.RankStats, *rs)
+		if rs.BusyUS+rs.CommUS > critBusy {
+			critBusy, critRank = rs.BusyUS+rs.CommUS, rs.Rank
+		}
+	}
+	sort.Slice(rep.RankStats, func(i, j int) bool { return rep.RankStats[i].Rank < rep.RankStats[j].Rank })
+
+	// Critical path: the outermost spans of the busiest rank, in order.
+	for _, c := range ctxs {
+		if c.span.Rank != critRank || !c.outermost {
+			continue
+		}
+		rep.Critical = append(rep.Critical, PathStep{
+			Rank: c.span.Rank, Name: c.span.Name, Kind: c.span.Kind.String(),
+			StartUS: c.span.Start.Microseconds(), DurUS: c.span.Dur().Microseconds(),
+		})
+	}
+
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Name]++
+	}
+	for name, n := range counts {
+		rep.Events = append(rep.Events, EventCount{Name: name, Count: n})
+	}
+	sort.Slice(rep.Events, func(i, j int) bool { return rep.Events[i].Name < rep.Events[j].Name })
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadReport parses a JSON report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, fmt.Errorf("obs: invalid report: %w", err)
+	}
+	return rep, nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fmtUS(us int64) string {
+	return (time.Duration(us) * time.Microsecond).Round(time.Microsecond).String()
+}
+
+// Render formats the report as the Fig. 5-style human-readable
+// profile: stage table with imbalance ratios, stage x op breakdown
+// with byte volumes, per-rank utilisation, critical path, and events.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks %d, wall %s\n\n", rep.Ranks, fmtUS(rep.WallUS))
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %7s %12s\n", "stage", "total", "max", "mean", "imbal", "flops")
+	for _, st := range rep.Stages {
+		fmt.Fprintf(&b, "%-18s %10s %10s %10s %7.2f %12d\n",
+			st.Name, fmtUS(st.TotalUS), fmtUS(st.MaxUS), fmtUS(st.MeanUS), st.Imbalance, st.Flops)
+	}
+	if len(rep.Breakdown) > 0 {
+		fmt.Fprintf(&b, "\n%-18s %-16s %10s %10s %10s %7s\n", "stage", "op", "time", "sent", "recv", "calls")
+		for _, br := range rep.Breakdown {
+			fmt.Fprintf(&b, "%-18s %-16s %10s %10s %10s %7d\n",
+				br.Stage, br.Op, fmtUS(br.TotalUS), fmtBytes(br.SentBytes), fmtBytes(br.RecvBytes), br.Calls)
+		}
+	}
+	if len(rep.RankStats) > 0 {
+		fmt.Fprintf(&b, "\n%-6s %10s %10s %10s %10s %8s\n", "rank", "busy", "comm", "sent", "recv", "GFLOP/s")
+		for _, rs := range rep.RankStats {
+			fmt.Fprintf(&b, "%-6d %10s %10s %10s %10s %8.2f\n",
+				rs.Rank, fmtUS(rs.BusyUS), fmtUS(rs.CommUS), fmtBytes(rs.SentBytes), fmtBytes(rs.RecvBytes), rs.GFLOPS)
+		}
+	}
+	if len(rep.Critical) > 0 {
+		fmt.Fprintf(&b, "\ncritical path (rank %d):\n", rep.Critical[0].Rank)
+		for _, p := range rep.Critical {
+			fmt.Fprintf(&b, "  +%-10s %-6s %-18s %s\n", fmtUS(p.StartUS), p.Kind, p.Name, fmtUS(p.DurUS))
+		}
+	}
+	if len(rep.Events) > 0 {
+		b.WriteString("\nevents:\n")
+		for _, e := range rep.Events {
+			fmt.Fprintf(&b, "  %-24s x%d\n", e.Name, e.Count)
+		}
+	}
+	return b.String()
+}
+
+// RenderDiff compares two reports stage by stage — the workhorse of
+// `ca3dmm-profile old.json new.json` regression hunting.
+func RenderDiff(a, b *Report) string {
+	names := map[string]bool{}
+	amap := map[string]StageStat{}
+	bmap := map[string]StageStat{}
+	for _, st := range a.Stages {
+		amap[st.Name] = st
+		names[st.Name] = true
+	}
+	for _, st := range b.Stages {
+		bmap[st.Name] = st
+		names[st.Name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "wall: %s -> %s (%+.1f%%)\n\n", fmtUS(a.WallUS), fmtUS(b.WallUS), pctDelta(a.WallUS, b.WallUS))
+	fmt.Fprintf(&out, "%-18s %12s %12s %9s %8s %8s\n", "stage", "old max", "new max", "delta", "old imb", "new imb")
+	for _, n := range ordered {
+		sa, oka := amap[n]
+		sb, okb := bmap[n]
+		switch {
+		case oka && okb:
+			fmt.Fprintf(&out, "%-18s %12s %12s %+8.1f%% %8.2f %8.2f\n",
+				n, fmtUS(sa.MaxUS), fmtUS(sb.MaxUS), pctDelta(sa.MaxUS, sb.MaxUS), sa.Imbalance, sb.Imbalance)
+		case oka:
+			fmt.Fprintf(&out, "%-18s %12s %12s\n", n, fmtUS(sa.MaxUS), "(gone)")
+		default:
+			fmt.Fprintf(&out, "%-18s %12s %12s\n", n, "(new)", fmtUS(sb.MaxUS))
+		}
+	}
+	return out.String()
+}
+
+func pctDelta(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}
+
+// Summary renders per-stage totals, widest first — the quick
+// human-readable digest printed by ca3dmm-run -trace.
+func (r *Recorder) Summary() string {
+	totals := r.StageTotals()
+	type kv struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]kv, 0, len(totals))
+	for n, d := range totals {
+		rows = append(rows, kv{n, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-16s %v\n", row.name, row.d.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mutexRecorder is the historical trace.Recorder implementation — one
+// mutex serializing every span close — kept here as the benchmark
+// baseline the sharded recorder is measured against.
+type mutexRecorder struct {
+	epoch  time.Time
+	mu     sync.Mutex
+	shards map[int][]Span
+}
+
+func (r *mutexRecorder) begin(rank int, name string) func() {
+	start := time.Since(r.epoch)
+	return func() {
+		end := time.Since(r.epoch)
+		r.mu.Lock()
+		r.shards[rank] = append(r.shards[rank], Span{Rank: rank, Name: name, Start: start, End: end})
+		r.mu.Unlock()
+	}
+}
+
+// BenchmarkRecorderBegin measures a Begin/end pair per op with every
+// goroutine recording on its own rank — the actual contention pattern
+// of a run, where each rank goroutine records only for itself.
+func BenchmarkRecorderBegin(b *testing.B) {
+	r := NewRecorder()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		rank := int(next.Add(1) - 1)
+		n := 0
+		for pb.Next() {
+			r.Begin(rank, "work")()
+			if n++; n%(1<<16) == 0 {
+				r.ResetRank(rank) // bound memory; owner-only, allowed
+			}
+		}
+	})
+}
+
+// BenchmarkRecorderBeginMutex is the old single-mutex design on the
+// same workload; the gap versus BenchmarkRecorderBegin is the
+// cross-rank contention the sharded recorder removes.
+func BenchmarkRecorderBeginMutex(b *testing.B) {
+	r := &mutexRecorder{epoch: time.Now(), shards: make(map[int][]Span)}
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		rank := int(next.Add(1) - 1)
+		n := 0
+		for pb.Next() {
+			r.begin(rank, "work")()
+			if n++; n%(1<<16) == 0 {
+				r.mu.Lock()
+				r.shards[rank] = r.shards[rank][:0]
+				r.mu.Unlock()
+			}
+		}
+	})
+}
+
+// BenchmarkRecorderBeginDisabled is the nil-recorder fast path every
+// call site pays when observability is off; it must not allocate.
+func BenchmarkRecorderBeginDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Begin(0, "work")()
+	}
+}

@@ -1,126 +1,25 @@
 // Package trace records per-rank execution timelines of distributed
 // multiplications and exports them in the Chrome trace-event format
-// (chrome://tracing, Perfetto), giving the same visibility into stage
-// overlap that MPI profilers give the reference implementation.
+// (chrome://tracing, Perfetto).
 //
-// A Recorder is optionally attached to a run; each rank appends spans
-// (stage name, begin, end) to its own shard, so recording is
-// lock-free during execution and merged only when exporting.
+// It is a thin compatibility facade over the unified observability
+// layer in internal/obs: Recorder, Span, and NewRecorder alias the obs
+// types, so a *trace.Recorder handed to core.Options or the public
+// Config is the same object the message-passing runtime enriches with
+// communication spans and fault/recovery events. Recording really is
+// lock-free now — each rank appends to its own shard with no mutex and
+// no cross-rank contention (see obs.Recorder); the historical
+// implementation serialized every span close on a single mutex.
 package trace
 
-import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"time"
-)
+import "repro/internal/obs"
 
-// Span is one timed stage on one rank.
-type Span struct {
-	Rank  int
-	Name  string // e.g. "redistribute", "allgather", "cannon", "reduce-scatter"
-	Start time.Duration
-	End   time.Duration
-}
+// Span is one timed operation on one rank. Alias of obs.Span.
+type Span = obs.Span
 
-// Recorder collects spans from all ranks of one run.
-type Recorder struct {
-	epoch  time.Time
-	mu     sync.Mutex
-	shards map[int][]Span
-}
+// Recorder collects spans from all ranks of one run. Alias of
+// obs.Recorder; a nil *Recorder is a valid no-op recorder.
+type Recorder = obs.Recorder
 
 // NewRecorder returns a recorder whose time origin is now.
-func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now(), shards: make(map[int][]Span)}
-}
-
-// Begin starts a span on a rank; call the returned func to close it.
-func (r *Recorder) Begin(rank int, name string) func() {
-	if r == nil {
-		return func() {}
-	}
-	start := time.Since(r.epoch)
-	return func() {
-		end := time.Since(r.epoch)
-		r.mu.Lock()
-		r.shards[rank] = append(r.shards[rank], Span{Rank: rank, Name: name, Start: start, End: end})
-		r.mu.Unlock()
-	}
-}
-
-// Spans returns all recorded spans sorted by (rank, start).
-func (r *Recorder) Spans() []Span {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []Span
-	for _, s := range r.shards {
-		out = append(out, s...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Start < out[j].Start
-	})
-	return out
-}
-
-// StageTotals sums span durations per stage name across ranks.
-func (r *Recorder) StageTotals() map[string]time.Duration {
-	totals := make(map[string]time.Duration)
-	for _, s := range r.Spans() {
-		totals[s.Name] += s.End - s.Start
-	}
-	return totals
-}
-
-// chromeEvent is one entry of the Chrome trace-event JSON format.
-type chromeEvent struct {
-	Name  string `json:"name"`
-	Phase string `json:"ph"`
-	TS    int64  `json:"ts"`  // microseconds
-	Dur   int64  `json:"dur"` // microseconds
-	PID   int    `json:"pid"`
-	TID   int    `json:"tid"`
-}
-
-// WriteChrome exports the timeline as a Chrome trace-event JSON array:
-// one process per rank, complete ("X") events per span.
-func (r *Recorder) WriteChrome(w io.Writer) error {
-	spans := r.Spans()
-	events := make([]chromeEvent, 0, len(spans))
-	for _, s := range spans {
-		events = append(events, chromeEvent{
-			Name:  s.Name,
-			Phase: "X",
-			TS:    s.Start.Microseconds(),
-			Dur:   (s.End - s.Start).Microseconds(),
-			PID:   0,
-			TID:   s.Rank,
-		})
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(events)
-}
-
-// Summary renders per-stage totals, widest first.
-func (r *Recorder) Summary() string {
-	totals := r.StageTotals()
-	type kv struct {
-		name string
-		d    time.Duration
-	}
-	var rows []kv
-	for n, d := range totals {
-		rows = append(rows, kv{n, d})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
-	out := ""
-	for _, row := range rows {
-		out += fmt.Sprintf("%-16s %v\n", row.name, row.d.Round(time.Microsecond))
-	}
-	return out
-}
+func NewRecorder() *Recorder { return obs.NewRecorder() }

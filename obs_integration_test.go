@@ -1,0 +1,192 @@
+package ca3dmm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// End-to-end observability: a traced Multiply must export a
+// structurally valid Chrome trace whose per-rank timelines contain
+// every pipeline stage, and a fault-injected ResilientMultiply must
+// put its comm spans (with byte args) and fault/recovery instant
+// events on the same timeline.
+
+// executeStages lists every stage span emitted by the CA3DMM
+// execution pipeline (internal/core/execute.go).
+var executeStages = []string{
+	"redistribute-in", "allgather", "cannon", "reduce-scatter", "redistribute-out",
+}
+
+func tracedMultiply(t *testing.T, cfg Config, p int) *TraceRecorder {
+	t.Helper()
+	a := Random(60, 70, 1)
+	b := Random(70, 50, 2)
+	cfg.Trace = NewTraceRecorder()
+	got, _, _, err := Multiply(a, b, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := MaxAbsDiff(GemmRef(a, b, false, false), got); diff > 1e-10 {
+		t.Fatalf("traced multiply wrong: max diff %g", diff)
+	}
+	return cfg.Trace
+}
+
+func TestMultiplyTraceChromeValidity(t *testing.T) {
+	rec := tracedMultiply(t, Config{}, 8)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	} else if n == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	evs, err := obs.DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	lastEnd := map[int]int64{}
+	for _, ev := range evs {
+		names[ev.Name] = true
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %q: negative ts/dur (%v, %v)", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.Phase == "X" && ev.TS+ev.Dur > lastEnd[ev.TID] {
+			lastEnd[ev.TID] = ev.TS + ev.Dur
+		}
+	}
+	for _, stage := range executeStages {
+		if !names[stage] {
+			t.Errorf("stage %q missing from trace", stage)
+		}
+	}
+	// Comm spans must be merged into the same timeline.
+	for _, op := range []string{"p2p", "alltoallv", "reduce_scatter"} {
+		if !names[op] {
+			t.Errorf("comm op %q missing from trace", op)
+		}
+	}
+}
+
+func TestMultiplyTraceReport(t *testing.T) {
+	rec := tracedMultiply(t, Config{}, 8)
+	rep := rec.BuildReport()
+	if rep.Ranks != 8 {
+		t.Fatalf("report ranks = %d, want 8", rep.Ranks)
+	}
+	var cannonFlops int64
+	for _, s := range rep.Stages {
+		if s.Name == "cannon" {
+			cannonFlops = s.Flops
+		}
+		// Sub-microsecond stages can truncate per-rank maxima to 0,
+		// so only assert the ratio when the max is measurable.
+		if s.MaxUS > 0 && s.Imbalance < 1 {
+			t.Errorf("stage %s: imbalance %.2f < 1", s.Name, s.Imbalance)
+		}
+	}
+	if cannonFlops == 0 {
+		t.Error("cannon stage carries no FLOPs")
+	}
+	var sent, recv int64
+	for _, row := range rep.Breakdown {
+		sent += row.SentBytes
+		recv += row.RecvBytes
+	}
+	if sent == 0 || sent != recv {
+		t.Fatalf("breakdown bytes sent=%d recv=%d, want equal and nonzero", sent, recv)
+	}
+	// The report must survive a JSON round trip (ca3dmm-profile's diet).
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ranks != rep.Ranks || len(back.Breakdown) != len(rep.Breakdown) {
+		t.Fatal("report JSON round trip lost data")
+	}
+	if !strings.Contains(back.Render(), "cannon") {
+		t.Fatal("rendered report missing cannon stage")
+	}
+}
+
+func TestResilientMultiplyTraceEvents(t *testing.T) {
+	a := Random(64, 64, 3)
+	b := Random(64, 64, 4)
+	rc := ResilientConfig{
+		Config:     Config{Trace: NewTraceRecorder()},
+		MaxRetries: 4,
+		VerifySeed: 42,
+		Fault: &FaultPlan{
+			Seed: 11,
+			Specs: []FaultSpec{
+				{Kind: FaultCrash, Rank: 3, Op: "p2p", Call: 2},
+			},
+		},
+	}
+	got, _, err := ResilientMultiply(a, b, 8, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := MaxAbsDiff(GemmRef(a, b, false, false), got); diff > 1e-10 {
+		t.Fatalf("resilient result wrong: max diff %g", diff)
+	}
+
+	var buf bytes.Buffer
+	if err := rc.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("chaos trace fails validation: %v", err)
+	}
+	evs, err := obs.DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFault, sawRecovery, sawCommBytes bool
+	for _, ev := range evs {
+		switch {
+		case strings.HasPrefix(ev.Name, "fault:"):
+			sawFault = true
+		case strings.HasPrefix(ev.Name, "recover:"):
+			sawRecovery = true
+		}
+		if ev.Phase == "X" && ev.Args != nil {
+			if v, ok := ev.Args["sent_bytes"].(float64); ok && v > 0 {
+				sawCommBytes = true
+			}
+		}
+	}
+	if !sawFault {
+		t.Error("no fault:* instant events in chaos trace")
+	}
+	if !sawRecovery {
+		t.Error("no recover:* instant events in chaos trace")
+	}
+	if !sawCommBytes {
+		t.Error("no comm span with sent_bytes arg in chaos trace")
+	}
+	// Fault and recovery activity also shows up in the report's event
+	// table, which is what ca3dmm-profile prints.
+	counts := map[string]int{}
+	for _, ec := range rc.Trace.BuildReport().Events {
+		counts[ec.Name] = ec.Count
+	}
+	if counts["fault:crash"] == 0 {
+		t.Errorf("report events missing fault:crash: %v", counts)
+	}
+	if counts["recover:shrink"] == 0 {
+		t.Errorf("report events missing recover:shrink: %v", counts)
+	}
+}

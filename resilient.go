@@ -175,7 +175,7 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 		mu      sync.Mutex
 		rankErr error
 	)
-	rep, err := mpi.RunOpt(p, mpi.Options{Timeout: rc.Timeout, Fault: fault}, func(c *Comm) {
+	rep, err := mpi.RunOpt(p, mpi.Options{Timeout: rc.Timeout, Fault: fault, Obs: rc.Trace}, func(c *Comm) {
 		out, rerr := core.ResilientExecute(c, m, n, k, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, ro)
 		mu.Lock()
 		defer mu.Unlock()
