@@ -190,6 +190,17 @@ type Config struct {
 	MemoryLimitBytes int64
 	// Trace records per-rank stage timelines of CA3DMM executions.
 	Trace *TraceRecorder
+	// Timeout bounds any single blocked communication operation of the
+	// run (0 = the runtime's 60s default).
+	Timeout time.Duration
+	// Fault injects a deterministic fault plan into the run. Plans
+	// containing FaultDrop or FaultPartition automatically enable the
+	// reliable transport (and, for partitions, the failure detector).
+	Fault *FaultPlan
+	// Net tunes the reliable ack/retransmit transport (nil = defaults).
+	Net *ReliableOptions
+	// Heartbeat tunes the failure detector (nil = defaults).
+	Heartbeat *HeartbeatOptions
 }
 
 // StageTimes is the per-rank stage breakdown of one execution, in the
@@ -340,7 +351,13 @@ func Multiply(a, b *Matrix, p int, cfg Config) (*Matrix, *mpi.Report, StageTimes
 	outs := make([]*Matrix, p)
 	var mu sync.Mutex
 	var worst StageTimes
-	rep, err := mpi.RunOpt(p, mpi.Options{Obs: cfg.Trace}, func(c *Comm) {
+	rep, err := mpi.RunOpt(p, mpi.Options{
+		Obs:       cfg.Trace,
+		Timeout:   cfg.Timeout,
+		Fault:     cfg.Fault,
+		Reliable:  cfg.Net,
+		Heartbeat: cfg.Heartbeat,
+	}, func(c *Comm) {
 		out, st := plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
 		mu.Lock()
 		outs[c.Rank()] = out

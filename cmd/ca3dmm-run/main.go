@@ -45,6 +45,8 @@ func main() {
 	chaosCrash := flag.Int("chaos-crash", 1, "number of rank crashes to inject")
 	chaosCorrupt := flag.Int("chaos-corrupt", 1, "number of payload bit-flips to inject")
 	chaosDelay := flag.Float64("chaos-delay", 0, "per-message delay probability (latency chaos)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "per-message drop probability (loss chaos; recovered by the reliable transport)")
+	chaosPartition := flag.Duration("chaos-partition", 0, "isolate the upper half of the ranks for this duration (0 = off; negative = permanent, resolved by the failure detector)")
 	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
 	retries := flag.Int("retries", 4, "shrink-replan retry budget of the self-healing executor")
 	flag.Parse()
@@ -94,7 +96,8 @@ func main() {
 	if *chaos || *resilient {
 		runChaos(a, b, *p, cfg, chaosOpts{
 			seed: *chaosSeed, crashes: *chaosCrash, corrupts: *chaosCorrupt,
-			delayProb: *chaosDelay, retries: *retries, inject: *chaos,
+			delayProb: *chaosDelay, dropProb: *chaosDrop, partition: *chaosPartition,
+			retries: *retries, inject: *chaos,
 			validate: *validate, freivalds: *freivalds,
 		})
 		exportObservability(cfg, *traceOut, *reportOut)
@@ -188,6 +191,8 @@ type chaosOpts struct {
 	seed                uint64
 	crashes, corrupts   int
 	delayProb           float64
+	dropProb            float64
+	partition           time.Duration
 	retries             int
 	inject              bool
 	validate, freivalds bool
@@ -216,20 +221,49 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 				Kind: ca3dmm.FaultDelay, Rank: -1, Prob: o.delayProb, Delay: 100 * time.Microsecond,
 			})
 		}
+		if o.dropProb > 0 {
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultDrop, Rank: -1, Prob: o.dropProb,
+			})
+		}
+		if o.partition != 0 {
+			// Isolate the default group (the upper half of the ranks)
+			// starting at the partitioning rank's second call. A positive
+			// duration heals (the transport retransmits across it); a
+			// negative one is permanent and must be resolved by the
+			// detector fencing the minority side.
+			spec := ca3dmm.FaultSpec{Kind: ca3dmm.FaultPartition, Rank: 0, Call: 2}
+			if o.partition > 0 {
+				spec.Delay = o.partition
+			}
+			plan.Specs = append(plan.Specs, spec)
+		}
 	}
-	start := time.Now()
-	c, rep, err := ca3dmm.ResilientMultiply(a, b, p, ca3dmm.ResilientConfig{
+	rc := ca3dmm.ResilientConfig{
 		Config:     cfg,
 		MaxRetries: o.retries,
 		VerifySeed: o.seed,
 		Fault:      plan,
-	})
+	}
+	if o.partition != 0 {
+		// Partitions need the detector: a heal inside the retransmit
+		// budget costs retransmissions only, while a permanent one is
+		// fenced after ConfirmAfter instead of deadlocking to the
+		// timeout.
+		rc.Heartbeat = &ca3dmm.HeartbeatOptions{
+			Interval:     10 * time.Millisecond,
+			SuspectAfter: 100 * time.Millisecond,
+			ConfirmAfter: 2 * time.Second,
+		}
+	}
+	start := time.Now()
+	c, rep, err := ca3dmm.ResilientMultiply(a, b, p, rc)
 	elapsed := time.Since(start)
 	fmt.Println()
 	fmt.Printf("================ self-healing executor ================\n")
 	if o.inject {
-		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f\n",
-			o.seed, o.crashes, o.corrupts, o.delayProb)
+		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v\n",
+			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition)
 	} else {
 		fmt.Printf("  * Fault plan              : none\n")
 	}
@@ -245,6 +279,22 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 		}
 	}
 	fmt.Printf("  * Faults fired            : %d\n", fired)
+	var net ca3dmm.NetStats
+	for i := range rep.Ranks {
+		s := rep.Ranks[i].Net
+		net.Retransmits += s.Retransmits
+		net.DupDrops += s.DupDrops
+		net.Lost += s.Lost
+		net.Unreachable += s.Unreachable
+		net.Suspects += s.Suspects
+		net.Confirms += s.Confirms
+	}
+	if net != (ca3dmm.NetStats{}) {
+		fmt.Printf("  * Transport               : %d retransmit(s), %d duplicate(s) suppressed, %d message(s) lost\n",
+			net.Retransmits, net.DupDrops, net.Lost)
+		fmt.Printf("  * Failure detector        : %d suspect event(s), %d rank(s) fenced\n",
+			net.Suspects, net.Confirms)
+	}
 	if o.validate {
 		errs := 0
 		if o.freivalds {

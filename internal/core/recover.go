@@ -48,8 +48,12 @@ type ResilientOptions struct {
 	// first attempt (default 3).
 	MaxRetries int
 	// Backoff is the base of the exponential backoff between retries
-	// (default 5ms; attempt i sleeps Backoff << i).
+	// (default 5ms; attempt i sleeps roughly Backoff·2^i, capped at
+	// MaxBackoff and jittered per rank — see backoffFor).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 250ms), so a
+	// deep retry chain cannot sleep unboundedly.
+	MaxBackoff time.Duration
 	// VerifyTrials is the Freivalds trial count (default 16, false
 	// accept probability 2^-16).
 	VerifyTrials int
@@ -69,12 +73,38 @@ func (ro *ResilientOptions) retries() int {
 	return 3
 }
 
-func (ro *ResilientOptions) backoff(attempt int) time.Duration {
+// backoffFor returns the sleep before retry attempt on the given world
+// rank: exponential in attempt up to the MaxBackoff ceiling, then
+// spread over [d/2, d] by a hash of (rank, attempt). The jitter is
+// deterministic — the schedule is reproducible — but distinct across
+// ranks, so the retries of a recovering epoch do not all hammer the
+// runtime at the same instant.
+func (ro *ResilientOptions) backoffFor(attempt, rank int) time.Duration {
 	base := ro.Backoff
 	if base <= 0 {
 		base = 5 * time.Millisecond
 	}
-	return base << uint(attempt)
+	maxB := ro.MaxBackoff
+	if maxB <= 0 {
+		maxB = 250 * time.Millisecond
+	}
+	if maxB < base {
+		maxB = base
+	}
+	d := base
+	for i := 0; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	// splitmix64-style finalizer over (rank, attempt).
+	h := uint64(rank+1)*0x9e3779b97f4a7c15 + uint64(attempt+1)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	half := uint64(d / 2)
+	return d/2 + time.Duration(h%(half+1))
 }
 
 func (ro *ResilientOptions) trials() int {
@@ -154,7 +184,7 @@ func ResilientExecute(world *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.L
 			}
 			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrRetriesExhausted, attempt+1, lastErr)
 		}
-		time.Sleep(ro.backoff(attempt))
+		time.Sleep(ro.backoffFor(attempt, comm.WorldRank()))
 
 		// Shrink to the survivors and replan. Shrinking also gives a
 		// fresh message context, so stale traffic from the failed

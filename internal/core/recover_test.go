@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// The retry backoff must be exponential with a hard ceiling and
+// deterministic per-rank jitter: unbounded growth stalls deep retry
+// chains, and unjittered schedules make every surviving rank retry at
+// the same instant.
+func TestBackoffSchedule(t *testing.T) {
+	ro := ResilientOptions{Backoff: 5 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+
+	// Deterministic: the schedule is a pure function of (attempt, rank).
+	for attempt := 0; attempt < 6; attempt++ {
+		for rank := 0; rank < 4; rank++ {
+			a := ro.backoffFor(attempt, rank)
+			b := ro.backoffFor(attempt, rank)
+			if a != b {
+				t.Fatalf("backoffFor(%d, %d) not deterministic: %v vs %v", attempt, rank, a, b)
+			}
+		}
+	}
+
+	// Bounded: every sleep sits in [d/2, d] for the capped exponential
+	// d, and never exceeds MaxBackoff even at absurd attempt counts.
+	for _, attempt := range []int{0, 1, 2, 3, 4, 10, 63, 64, 1000} {
+		d := 5 * time.Millisecond
+		for i := 0; i < attempt && d < ro.MaxBackoff; i++ {
+			d *= 2
+		}
+		if d > ro.MaxBackoff {
+			d = ro.MaxBackoff
+		}
+		for rank := 0; rank < 8; rank++ {
+			got := ro.backoffFor(attempt, rank)
+			if got < d/2 || got > d {
+				t.Fatalf("backoffFor(%d, %d) = %v outside [%v, %v]", attempt, rank, got, d/2, d)
+			}
+		}
+	}
+
+	// Jittered: at a fixed attempt the ranks must not be synchronized.
+	seen := make(map[time.Duration]bool)
+	for rank := 0; rank < 16; rank++ {
+		seen[ro.backoffFor(3, rank)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("backoff at attempt 3 identical across 16 ranks: no jitter")
+	}
+
+	// Growing: the capped exponential still escalates before the cap.
+	lo := ro.backoffFor(0, 0)
+	hi := ro.backoffFor(4, 0)
+	if hi <= lo {
+		t.Fatalf("backoff not escalating: attempt 0 %v vs attempt 4 %v", lo, hi)
+	}
+
+	// Defaults: zero options produce the documented 5ms base / 250ms cap.
+	var zero ResilientOptions
+	if got := zero.backoffFor(0, 0); got < 2500*time.Microsecond || got > 5*time.Millisecond {
+		t.Fatalf("default base backoff %v outside [2.5ms, 5ms]", got)
+	}
+	if got := zero.backoffFor(1000, 5); got > 250*time.Millisecond {
+		t.Fatalf("default capped backoff %v exceeds 250ms ceiling", got)
+	}
+}

@@ -1,5 +1,11 @@
 package mpi
 
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
 // The checkpoint store stands in for the reliable storage tier (a
 // parallel file system or a replicated in-memory store) that real
 // fault-tolerant applications checkpoint to: data written here
@@ -7,6 +13,11 @@ package mpi
 // self-healing CA3DMM executor checkpoints each rank's input panels at
 // entry and restores the lost ranks' panels from the store after a
 // shrink, without needing the dead ranks' memory.
+//
+// Every block is checksummed when it is saved and validated when it is
+// read back: a block whose bytes no longer match its checksum is
+// treated as missing, so a restore falls back to the surviving copies
+// instead of silently reinstating garbage.
 
 // CkptBlock is one contiguous rectangle of a global matrix saved by a
 // rank: row-major Rows x Cols data anchored at (R0, C0) in the global
@@ -15,11 +26,40 @@ type CkptBlock struct {
 	R0, C0     int
 	Rows, Cols int
 	Data       []float64
+
+	// Sum is the block's FNV-1a checksum over its geometry and data
+	// bits, computed by Checkpoint and validated by Restore. Callers
+	// never need to set it.
+	Sum uint64
+}
+
+// checksum hashes the block's geometry and payload bits. Hashing the
+// geometry too means a block whose data survived but whose anchor was
+// clobbered is also rejected.
+func (b *CkptBlock) checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(uint64(int64(b.R0)))
+	word(uint64(int64(b.C0)))
+	word(uint64(int64(b.Rows)))
+	word(uint64(int64(b.Cols)))
+	word(uint64(len(b.Data)))
+	for _, v := range b.Data {
+		word(math.Float64bits(v))
+	}
+	return h.Sum64()
 }
 
 // Checkpoint durably stores blocks under name for the calling rank,
 // replacing any previous checkpoint of the same name by this rank. The
-// blocks' data slices are copied, so the caller may reuse its buffers.
+// blocks' data slices are copied and checksummed, so the caller may
+// reuse its buffers.
 func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
 	if c.obs != nil {
 		c.obsInstant("ckpt:save", name)
@@ -29,6 +69,7 @@ func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
 		data := make([]float64, len(b.Data))
 		copy(data, b.Data)
 		cp[i] = CkptBlock{R0: b.R0, C0: b.C0, Rows: b.Rows, Cols: b.Cols, Data: data}
+		cp[i].Sum = cp[i].checksum()
 	}
 	w := c.w
 	w.ftMu.Lock()
@@ -43,17 +84,35 @@ func (c *Comm) Checkpoint(name string, blocks []CkptBlock) {
 
 // Restore reads every rank's checkpoint stored under name, keyed by
 // world rank — including checkpoints written by ranks that have since
-// crashed. The returned blocks are shared and must not be modified.
+// crashed. Blocks failing checksum validation are dropped (and counted
+// in the caller's Stats.CkptCorrupt), so callers only ever see intact
+// data. The returned blocks are shared and must not be modified.
 func (c *Comm) Restore(name string) map[int][]CkptBlock {
 	if c.obs != nil {
 		c.obsInstant("recover:restore", name)
 	}
 	w := c.w
 	w.ftMu.Lock()
-	defer w.ftMu.Unlock()
 	out := make(map[int][]CkptBlock, len(w.ckpt[name]))
+	var corrupt []string
 	for r, blocks := range w.ckpt[name] {
-		out[r] = blocks
+		valid := make([]CkptBlock, 0, len(blocks))
+		for i := range blocks {
+			if blocks[i].checksum() == blocks[i].Sum {
+				valid = append(valid, blocks[i])
+				continue
+			}
+			corrupt = append(corrupt, fmt.Sprintf("rank %d block %d (%dx%d at %d,%d)",
+				r, i, blocks[i].Rows, blocks[i].Cols, blocks[i].R0, blocks[i].C0))
+		}
+		if len(valid) > 0 {
+			out[r] = valid
+		}
+	}
+	w.ftMu.Unlock()
+	for _, detail := range corrupt {
+		c.stats.CkptCorrupt++
+		c.obsInstant("ckpt:corrupt", name+": "+detail)
 	}
 	return out
 }

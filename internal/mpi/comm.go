@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -119,32 +120,61 @@ func (c *Comm) opError(op, dir string, peer int, sentinel error) error {
 		c.rank, c.ctx, op, dir, peer, c.ranks[peer], why, sentinel)
 }
 
-// deliver routes one outgoing message: the fault hook may corrupt,
-// duplicate, stash, delay, or crash on it; whatever payloads remain are
-// enqueued into the destination mailbox. The caller must own data.
+// peerSentinel picks the typed sentinel for an abort caused by the
+// given dead world rank: ErrUnreachable when the peer was fenced by the
+// failure detector or retransmit budget, ErrRankFailed otherwise. Both
+// unwrap to ErrRankFailed, so recovery treats them alike.
+func (w *world) peerSentinel(worldRank int) error {
+	if cause := w.causeOf(worldRank); cause != nil && errors.Is(cause, ErrUnreachable) {
+		return ErrUnreachable
+	}
+	return ErrRankFailed
+}
+
+// deliver routes one outgoing message: the reliable transport (when
+// on) sequences it and arms its retransmit loop, the fault hook may
+// corrupt, duplicate, stash, delay, drop, or crash on it; whatever
+// envelopes remain are enqueued into the destination mailbox. The
+// caller must own data.
 func (c *Comm) deliver(op string, dst, tag int, data []float64) {
+	c.checkSelfAlive()
 	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
-	for _, payload := range c.event(op, key, data, true) {
-		c.enqueue(op, dst, key, payload)
+	env := envelope{data: data}
+	if tr := c.w.tr; tr != nil {
+		// Register before the fault hook: a first copy lost to a drop,
+		// stash, or crash is then still covered by retransmission.
+		tr.register(key, op, &env)
+	}
+	for _, e := range c.event(op, key, env, true) {
+		c.enqueue(op, dst, key, e)
 	}
 	c.stats.BytesSent += int64(8 * len(data))
 	c.stats.MsgsSent++
 	c.stats.addOp(op, int64(8*len(data)))
 }
 
-// enqueue blocks until the destination mailbox accepts data, failing
-// fast when the destination rank is dead or the epoch is revoked.
-func (c *Comm) enqueue(op string, dst int, key boxKey, data []float64) {
+// enqueue blocks until the destination mailbox accepts env, failing
+// fast when the destination rank is dead or the epoch is revoked. A
+// message crossing an active partition is black-holed: the sender does
+// not block (the fabric accepted it), the payload just never arrives —
+// until a retransmit loop redelivers it after the heal.
+func (c *Comm) enqueue(op string, dst int, key boxKey, env envelope) {
 	if c.w.isDead(key.dst) {
-		c.abort(c.opError(op, "send", dst, ErrRankFailed))
+		c.abort(c.opError(op, "send", dst, c.w.peerSentinel(key.dst)))
 	}
 	if c.rv.revoked() {
 		c.abort(c.opError(op, "send", dst, ErrRevoked))
 	}
+	if c.w.partitionBlocked(key.src, key.dst) {
+		if env.seq == 0 {
+			c.w.noteLost(key.src, op, "black-holed by partition")
+		}
+		return
+	}
 	select {
-	case c.w.box(key) <- data:
+	case c.w.box(key) <- env:
 	case <-c.w.deadCh[key.dst]:
-		c.abort(c.opError(op, "send", dst, ErrRankFailed))
+		c.abort(c.opError(op, "send", dst, c.w.peerSentinel(key.dst)))
 	case <-c.rv.ch:
 		c.abort(c.opError(op, "send", dst, ErrRevoked))
 	case <-time.After(c.timeout):
@@ -154,10 +184,15 @@ func (c *Comm) enqueue(op string, dst int, key boxKey, data []float64) {
 
 // receive blocks until a message from src arrives, failing fast with
 // ErrRankFailed when src has died (after draining anything it sent
-// before dying) or ErrRevoked when the epoch was revoked.
+// before dying) or ErrRevoked when the epoch was revoked. Sequenced
+// duplicates — retransmitted copies racing their original, or injected
+// FaultDuplicate copies — are acknowledged and suppressed here, and
+// arrivals that overtook a retransmitted predecessor are reordered, so
+// the caller sees each message exactly once, in send order.
 func (c *Comm) receive(op string, src, tag int) []float64 {
+	c.checkSelfAlive()
 	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
-	c.event(op, key, nil, false)
+	c.event(op, key, envelope{}, false)
 	ch := c.w.box(key)
 	accept := func(data []float64) []float64 {
 		c.stats.BytesRecv += int64(8 * len(data))
@@ -165,23 +200,29 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 		c.stats.addOpRecv(op, int64(8*len(data)))
 		return data
 	}
-	select {
-	case data := <-ch:
-		return accept(data)
-	case <-c.w.deadCh[key.src]:
-		// The sender may have enqueued this message before dying.
-		select {
-		case data := <-ch:
+	for {
+		if data, ok := c.w.nextBuffered(key); ok {
 			return accept(data)
-		default:
-			c.abort(c.opError(op, "recv", src, ErrRankFailed))
 		}
-	case <-c.rv.ch:
-		c.abort(c.opError(op, "recv", src, ErrRevoked))
-	case <-time.After(c.timeout):
-		c.abort(c.opError(op, "recv", src, ErrTimeout))
+		var env envelope
+		select {
+		case env = <-ch:
+		case <-c.w.deadCh[key.src]:
+			// The sender may have enqueued this message before dying.
+			select {
+			case env = <-ch:
+			default:
+				c.abort(c.opError(op, "recv", src, c.w.peerSentinel(key.src)))
+			}
+		case <-c.rv.ch:
+			c.abort(c.opError(op, "recv", src, ErrRevoked))
+		case <-time.After(c.timeout):
+			c.abort(c.opError(op, "recv", src, ErrTimeout))
+		}
+		if data, ok := c.w.admitSeq(key, env, op); ok {
+			return accept(data)
+		}
 	}
-	return nil
 }
 
 // Send sends a copy of data to dst with the given tag. It normally
@@ -247,7 +288,7 @@ func (c *Comm) Sendrecv(dst, src, tag int, sendData []float64) []float64 {
 // is a receive.
 func (c *Comm) enterColl(op string) {
 	c.stats.addCall(op)
-	c.event(op, boxKey{}, nil, false)
+	c.event(op, boxKey{}, envelope{}, false)
 }
 
 // nextCollTag reserves the tag pair used by the next collective. All
@@ -372,6 +413,7 @@ type agreeResult struct {
 // communication phase. All live members must call Agree the same
 // number of times on the same communicator.
 func (c *Comm) Agree(ok bool) (bool, []int) {
+	c.checkSelfAlive()
 	key := fmt.Sprintf("%s#a%d", c.ctx, c.agreeSeq)
 	c.agreeSeq++
 	res := c.w.agree(c, key, ok)
@@ -448,6 +490,7 @@ func (w *world) agree(c *Comm, key string, ok bool) *agreeResult {
 // together; it is itself fault-tolerant (a member dying during the
 // shrink is simply excluded).
 func (c *Comm) Shrink() *Comm {
+	c.checkSelfAlive()
 	key := fmt.Sprintf("%s#s%d", c.ctx, c.shrinkSeq)
 	c.shrinkSeq++
 	res := c.w.agree(c, key, true)
@@ -463,6 +506,11 @@ func (c *Comm) Shrink() *Comm {
 		if r == c.worldRank {
 			myNew = i
 		}
+	}
+	if myNew < 0 {
+		// Fenced between the agreement and here: the survivors have
+		// excluded this rank, so it must leave the run.
+		panic(rankFenced{})
 	}
 	ctx := fmt.Sprintf("%s!%d", c.ctx, c.shrinkSeq)
 	return &Comm{

@@ -1,0 +1,245 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the heartbeat-based failure detector. Each rank runs a
+// prober goroutine that periodically "pings" every live peer through an
+// out-of-band control plane (the probe observes the same partition
+// state the data plane does, and a straggling peer's injected delay as
+// its RTT). Following the phi-accrual style of escalating confidence,
+// a peer whose heartbeats go stale is first classified *suspect*
+// (logged, still waited on) and only *confirmed* dead — fenced out of
+// the run — after a much longer silence, and only by a prober on the
+// majority side of the membership. The two-level scheme is what keeps a
+// straggler from being shrunk away while a partitioned or dead peer is
+// revoked proactively instead of stalling the run into its deadlock
+// timeout.
+
+// HeartbeatOptions tunes the failure detector. The zero value of each
+// field selects its default. The detector starts automatically when the
+// fault plan contains a FaultPartition spec; set Options.Heartbeat to
+// run it (or tune it) explicitly.
+type HeartbeatOptions struct {
+	// Interval between probe rounds (default 10ms).
+	Interval time.Duration
+	// SuspectAfter is the heartbeat staleness that classifies a peer
+	// suspect (default 8x Interval).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the staleness past which a suspect peer is
+	// confirmed dead and fenced (default 40x Interval). It must be
+	// comfortably larger than any plausible straggle so slowness is
+	// never mistaken for death.
+	ConfirmAfter time.Duration
+	// StraggleRTT is the probe round-trip time above which a reachable
+	// peer is classified suspect-as-straggler (default Interval).
+	StraggleRTT time.Duration
+}
+
+const defaultHBInterval = 10 * time.Millisecond
+
+func (o HeartbeatOptions) withDefaults() HeartbeatOptions {
+	if o.Interval <= 0 {
+		o.Interval = defaultHBInterval
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 8 * o.Interval
+	}
+	if o.ConfirmAfter <= 0 {
+		o.ConfirmAfter = 40 * o.Interval
+	}
+	if o.ConfirmAfter < o.SuspectAfter {
+		o.ConfirmAfter = o.SuspectAfter
+	}
+	if o.StraggleRTT <= 0 {
+		o.StraggleRTT = o.Interval
+	}
+	return o
+}
+
+// detector carries the resolved heartbeat configuration; the per-rank
+// probe state lives in each prober goroutine.
+type detector struct {
+	opt HeartbeatOptions
+}
+
+// rankFenced unwinds a rank goroutine that has been fenced out of the
+// run by a peer's failure detector (or by retransmit-budget
+// exhaustion). The failure record was already filed by fence, so the
+// unwind itself carries nothing.
+type rankFenced struct{}
+
+// doneOK reports whether rank r's goroutine returned normally — such a
+// rank stops heartbeating but must never be suspected or fenced.
+func (w *world) doneOK(r int) bool {
+	return w.doneOKs[r].Load()
+}
+
+// straggleNs returns rank r's current injected straggle delay (the
+// probe RTT the detector observes for it).
+func (w *world) straggleNs(r int) time.Duration {
+	return time.Duration(w.slowNs[r].Load())
+}
+
+// liveRanks returns the world ranks with no recorded death cause.
+func (w *world) liveRanks() []int {
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	var live []int
+	for r, cause := range w.deadCause {
+		if cause == nil {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// fence confirms target dead on behalf of rank by: it files a typed
+// RankFailure (absolvable by a Shrink, exactly like an injected crash),
+// closes the target's dead channel so blocked peers fail fast, and
+// revokes every communicator epoch so ranks blocked on third parties
+// join recovery instead of timing out. Idempotent; a target that
+// already returned normally or died is left alone.
+func (w *world) fence(target, by int, cause error) {
+	if w.doneOK(target) {
+		return
+	}
+	w.ftMu.Lock()
+	if w.deadCause[target] != nil {
+		w.ftMu.Unlock()
+		return
+	}
+	f := &RankFailure{Rank: target, Op: "net", Cause: cause}
+	w.deadCause[target] = f
+	w.crashed = append(w.crashed, f)
+	w.absolved = append(w.absolved, false)
+	w.ftMu.Unlock()
+	close(w.deadCh[target])
+	w.addNet(by, func(n *NetStats) { n.Confirms++ })
+	w.netInstant("hb:confirm", fmt.Sprintf("rank %d fenced by rank %d: %v", target, by, cause))
+	w.revokeAll()
+	w.ftMu.Lock()
+	w.ftCond.Broadcast()
+	w.ftMu.Unlock()
+}
+
+// revokeAll revokes every communicator epoch of the run, waking every
+// blocked operation with ErrRevoked.
+func (w *world) revokeAll() {
+	w.ftMu.Lock()
+	rvs := make([]*revocation, 0, len(w.rvs))
+	for _, rv := range w.rvs {
+		rvs = append(rvs, rv)
+	}
+	w.ftMu.Unlock()
+	for _, rv := range rvs {
+		rv.revoke()
+	}
+}
+
+// probeLoop is rank's prober. Each round it probes every live peer:
+// a peer separated from rank by an active partition returns nothing
+// (its heartbeat goes stale), any other peer responds with its current
+// straggle delay as RTT. Staleness beyond SuspectAfter raises a
+// suspect; beyond ConfirmAfter — and only when this prober sits with
+// the reachable majority — the peer is fenced. An elevated RTT raises a
+// straggler suspect once per episode and never escalates.
+func (w *world) probeLoop(rank int, stop <-chan struct{}) {
+	defer w.netWG.Done()
+	opt := w.det.opt
+	lastOK := make([]time.Time, w.size)
+	now := time.Now()
+	for i := range lastOK {
+		lastOK[i] = now
+	}
+	suspected := make([]bool, w.size)
+	ticker := time.NewTicker(opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.shutdown:
+			return
+		case <-ticker.C:
+		}
+		if w.isDead(rank) || w.doneOK(rank) {
+			return
+		}
+		now = time.Now()
+		live := w.liveRanks()
+		for _, q := range live {
+			if q == rank {
+				continue
+			}
+			if w.doneOK(q) {
+				lastOK[q] = now
+				suspected[q] = false
+				continue
+			}
+			if !w.partitionBlocked(rank, q) {
+				lastOK[q] = now
+				if rtt := w.straggleNs(q); rtt > opt.StraggleRTT {
+					if !suspected[q] {
+						suspected[q] = true
+						w.addNet(rank, func(n *NetStats) { n.Suspects++ })
+						w.netInstant("hb:suspect", fmt.Sprintf("rank %d straggling (probe rtt %v) seen by rank %d", q, rtt, rank))
+					}
+				} else {
+					suspected[q] = false
+				}
+				continue
+			}
+			stale := now.Sub(lastOK[q])
+			if stale > opt.SuspectAfter && !suspected[q] {
+				suspected[q] = true
+				w.addNet(rank, func(n *NetStats) { n.Suspects++ })
+				w.netInstant("hb:suspect", fmt.Sprintf("rank %d unreachable for %v seen by rank %d", q, stale, rank))
+			}
+			if stale > opt.ConfirmAfter && w.majoritySide(rank, live, lastOK, now, opt.SuspectAfter) {
+				cause := fmt.Errorf("mpi: rank %d: no heartbeat from rank %d for %v (confirm threshold %v): %w",
+					rank, q, stale, opt.ConfirmAfter, ErrUnreachable)
+				w.fence(q, rank, cause)
+			}
+		}
+	}
+}
+
+// majoritySide reports whether rank can reach a strict majority of the
+// live membership (itself included). Only majority-side probers may
+// fence, so a partition kills the minority and never the other way
+// around; an exact split is broken in favor of the side holding the
+// lowest live rank.
+func (w *world) majoritySide(rank int, live []int, lastOK []time.Time, now time.Time, suspectAfter time.Duration) bool {
+	if len(live) == 0 {
+		return false
+	}
+	fresh := func(q int) bool {
+		return q == rank || w.doneOK(q) || now.Sub(lastOK[q]) <= suspectAfter
+	}
+	reach := 0
+	for _, q := range live {
+		if fresh(q) {
+			reach++
+		}
+	}
+	if 2*reach > len(live) {
+		return true
+	}
+	if 2*reach == len(live) {
+		return fresh(live[0])
+	}
+	return false
+}
+
+// checkSelfAlive unwinds the calling rank if it has been fenced by a
+// peer's failure detector: a fenced rank is dead to the rest of the
+// run, so letting it keep communicating would reintroduce the
+// split-brain the fence resolved.
+func (c *Comm) checkSelfAlive() {
+	if c.w.isDead(c.worldRank) {
+		panic(rankFenced{})
+	}
+}

@@ -34,24 +34,42 @@ var (
 	// ErrTimeout reports a blocking operation that exceeded the
 	// run's deadlock timeout.
 	ErrTimeout = errors.New("mpi: operation timed out")
+	// ErrUnreachable reports a peer that exhausted the reliable
+	// transport's retransmit budget or the failure detector's confirm
+	// threshold — dead or partitioned beyond recovery. It wraps
+	// ErrRankFailed so the Revoke/Agree/Shrink recovery path absorbs it
+	// like a crash.
+	ErrUnreachable = fmt.Errorf("mpi: rank unreachable: %w", ErrRankFailed)
 )
 
-// RankFailure is the typed error carried by an injected rank crash: the
-// rank's goroutine unwinds with it, peers observe it as the cause
-// behind their ErrRankFailed aborts, and Run reports it when the
-// failure was never absorbed by a Shrink.
+// RankFailure is the typed error carried by a rank's process loss —
+// an injected crash, or a peer fenced by the failure detector /
+// retransmit budget (Cause wrapping ErrUnreachable). The rank's
+// goroutine unwinds with it, peers observe it as the cause behind
+// their ErrRankFailed aborts, and Run reports it when the failure was
+// never absorbed by a Shrink.
 type RankFailure struct {
-	Rank int    // world rank that crashed
-	Op   string // operation during which the crash fired
-	Call int64  // the rank's op-event index at the crash
+	Rank  int    // world rank that was lost
+	Op    string // operation during which the loss fired ("net" for fencing)
+	Call  int64  // the rank's op-event index at the crash (0 for fencing)
+	Cause error  // non-nil for detector/transport fencing
 }
 
 func (e *RankFailure) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("mpi: rank %d lost: %v", e.Rank, e.Cause)
+	}
 	return fmt.Sprintf("mpi: rank %d crashed during %s (op event %d)", e.Rank, e.Op, e.Call)
 }
 
-// Unwrap lets errors.Is(err, ErrRankFailed) match an injected crash.
-func (e *RankFailure) Unwrap() error { return ErrRankFailed }
+// Unwrap lets errors.Is(err, ErrRankFailed) match any rank loss, and
+// errors.Is(err, ErrUnreachable) match a fencing specifically.
+func (e *RankFailure) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
+	return ErrRankFailed
+}
 
 // FaultKind enumerates the injectable fault types.
 type FaultKind int
@@ -75,6 +93,16 @@ const (
 	// FaultStraggle makes the rank sleep Delay before every
 	// subsequent communication event (persistent slow rank).
 	FaultStraggle
+	// FaultDrop makes an outgoing message vanish in the fabric. The
+	// reliable transport (enabled automatically by this kind) recovers
+	// it via retransmission; with Options.Unreliable the loss stands
+	// and the receiver eventually aborts with ErrTimeout.
+	FaultDrop
+	// FaultPartition black-holes all traffic between the spec's Group
+	// of ranks and the rest of the world for Delay (0 = permanent,
+	// until the minority side is fenced away). The firing rank's side
+	// is irrelevant: the partition is a property of the fabric.
+	FaultPartition
 )
 
 func (k FaultKind) String() string {
@@ -91,6 +119,10 @@ func (k FaultKind) String() string {
 		return "reorder"
 	case FaultStraggle:
 		return "straggle"
+	case FaultDrop:
+		return "drop"
+	case FaultPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -122,6 +154,10 @@ type FaultSpec struct {
 	Delay time.Duration
 	// Bit is the bit index (0-63) flipped by FaultCorrupt.
 	Bit int
+	// Group is one side of a FaultPartition (world ranks); the other
+	// side is its complement. Empty selects the upper half of the
+	// world, leaving rank 0 with the majority (or the tie-break).
+	Group []int
 }
 
 // FaultPlan is a seeded set of injection rules, attached via
@@ -159,7 +195,7 @@ type injector struct {
 
 	// reorder stash: one held-back message waiting to be swapped with
 	// the rank's next send.
-	pending    []float64
+	pending    envelope
 	pendingKey boxKey
 	pendingOp  string
 	hasPending bool
@@ -199,7 +235,7 @@ func (in *injector) match(op string, send bool) int {
 		// Message-mutating faults only make sense on send events; do
 		// not let receives consume their firing predicate.
 		switch s.Kind {
-		case FaultCorrupt, FaultDuplicate, FaultReorder:
+		case FaultCorrupt, FaultDuplicate, FaultReorder, FaultDrop:
 			if !send {
 				continue
 			}
@@ -227,15 +263,57 @@ func (s *FaultSpec) delay() time.Duration {
 	return defaultFaultDelay
 }
 
+// partitionGroup resolves the rank set isolated by a FaultPartition
+// spec for a world of the given size.
+func (s *FaultSpec) partitionGroup(size int) []int {
+	if len(s.Group) > 0 {
+		return s.Group
+	}
+	var g []int
+	for r := (size + 1) / 2; r < size; r++ {
+		g = append(g, r)
+	}
+	return g
+}
+
+// needsTransport reports whether the plan injects fabric-level loss,
+// which the runtime answers by switching on the reliable transport.
+func (p *FaultPlan) needsTransport() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Specs {
+		if k := p.Specs[i].Kind; k == FaultDrop || k == FaultPartition {
+			return true
+		}
+	}
+	return false
+}
+
+// needsDetector reports whether the plan can wedge the run in a way
+// only a failure detector resolves (a partition that outlasts every
+// retransmit budget).
+func (p *FaultPlan) needsDetector() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Specs {
+		if p.Specs[i].Kind == FaultPartition {
+			return true
+		}
+	}
+	return false
+}
+
 // event is called by the router at every communication event of the
-// rank. For send events (payload non-nil) it returns the list of
-// payloads to enqueue now — usually {payload}, more after duplication
-// or a released reorder stash, none when the payload was stashed or
-// handed to an async delayed delivery. It panics with a rank crash when
-// a FaultCrash rule fires.
-func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]float64 {
+// rank. For send events it returns the list of envelopes to enqueue
+// now — usually {env}, more after duplication or a released reorder
+// stash, none when the payload was stashed, dropped, or handed to an
+// async delayed delivery. It panics with a rank crash when a FaultCrash
+// rule fires.
+func (c *Comm) event(op string, key boxKey, env envelope, send bool) []envelope {
 	in := c.inj
-	out := [][]float64{payload}
+	out := []envelope{env}
 	if !send {
 		out = nil
 	}
@@ -272,39 +350,56 @@ func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]fl
 		c.stats.addInjection(rec)
 		c.obsFault(rec)
 		in.slow = spec.delay()
+		c.w.slowNs[c.worldRank].Store(int64(in.slow))
 		time.Sleep(in.slow)
 	case FaultDelay:
 		c.stats.addInjection(rec)
 		c.obsFault(rec)
 		if send {
-			c.deliverAfter(key, payload, spec.delay())
+			c.deliverAfter(op, key, env, spec.delay())
 			out = nil
 		} else {
 			time.Sleep(spec.delay())
 		}
 	case FaultCorrupt:
-		if send && len(payload) > 0 {
+		if send && len(env.data) > 0 {
 			c.stats.addInjection(rec)
 			c.obsFault(rec)
-			i := in.rng.IntN(len(payload))
-			payload[i] = flipBit(payload[i], spec.Bit)
+			i := in.rng.IntN(len(env.data))
+			env.data[i] = flipBit(env.data[i], spec.Bit)
 		}
 	case FaultDuplicate:
 		if send {
 			c.stats.addInjection(rec)
 			c.obsFault(rec)
-			dup := make([]float64, len(payload))
-			copy(dup, payload)
-			out = [][]float64{payload, dup}
+			dup := envelope{seq: env.seq, data: make([]float64, len(env.data))}
+			copy(dup.data, env.data)
+			out = []envelope{env, dup}
 		}
 	case FaultReorder:
 		if send && !in.hasPending {
 			c.stats.addInjection(rec)
 			c.obsFault(rec)
-			in.pending, in.pendingKey, in.pendingOp = payload, key, op
+			in.pending, in.pendingKey, in.pendingOp = env, key, op
 			in.hasPending = true
 			out = nil
 		}
+	case FaultDrop:
+		if send {
+			c.stats.addInjection(rec)
+			c.obsFault(rec)
+			if env.seq == 0 {
+				// Raw fabric: the loss stands — record it, never hide it.
+				c.w.noteLost(key.src, op, "injected drop on unreliable fabric")
+			}
+			// Sequenced: the retransmit loop registered before this hook
+			// redelivers the payload; only the first copy vanishes.
+			out = nil
+		}
+	case FaultPartition:
+		c.stats.addInjection(rec)
+		c.obsFault(rec)
+		c.w.activatePartition(spec.partitionGroup(c.w.size), spec.Delay)
 	}
 	return c.releasePending(key, out)
 }
@@ -312,7 +407,7 @@ func (c *Comm) event(op string, key boxKey, payload []float64, send bool) [][]fl
 // releasePending appends the reorder stash after the current payloads
 // when this is a send event, completing the swap: the newer message
 // overtakes the stashed one.
-func (c *Comm) releasePending(key boxKey, out [][]float64) [][]float64 {
+func (c *Comm) releasePending(key boxKey, out []envelope) []envelope {
 	in := c.inj
 	if in == nil || !in.hasPending || out == nil {
 		return out
@@ -325,7 +420,7 @@ func (c *Comm) releasePending(key boxKey, out [][]float64) [][]float64 {
 	}
 	out = append(out, in.pending)
 	in.hasPending = false
-	in.pending = nil
+	in.pending = envelope{}
 	return out
 }
 
@@ -336,15 +431,16 @@ func (c *Comm) flushStash() {
 	select {
 	case c.w.box(in.pendingKey) <- in.pending:
 	default:
-		c.deliverAfter(in.pendingKey, in.pending, 0)
+		c.deliverAfter(in.pendingOp, in.pendingKey, in.pending, 0)
 	}
 	in.hasPending = false
-	in.pending = nil
+	in.pending = envelope{}
 }
 
 // flush delivers a still-stashed reordered message best-effort when
-// the rank finishes: the payload must not silently vanish while the
-// box has room.
+// the rank finishes. An unsequenced payload that finds the box full is
+// lost — and recorded as such; a sequenced one is still covered by its
+// retransmit loop.
 func (in *injector) flush(w *world) {
 	if in == nil || !in.hasPending {
 		return
@@ -352,21 +448,46 @@ func (in *injector) flush(w *world) {
 	select {
 	case w.box(in.pendingKey) <- in.pending:
 	default:
+		if in.pending.seq == 0 {
+			w.noteLost(in.pendingKey.src, in.pendingOp, "rank exited with reorder stash against a full mailbox")
+		}
 	}
 	in.hasPending = false
-	in.pending = nil
+	in.pending = envelope{}
 }
 
-// deliverAfter enqueues payload into key's box after d, dropping it if
-// the destination dies or the box stays full past the run timeout.
-func (c *Comm) deliverAfter(key boxKey, payload []float64, d time.Duration) {
+// deliverAfter enqueues env into key's box after d. The goroutine is
+// joined at run shutdown, and an abandoned delivery — destination box
+// still full at the run timeout or at shutdown — is recorded as a lost
+// message instead of silently vanishing (unless the destination died,
+// which makes the payload moot, or the envelope is sequenced and thus
+// covered by its retransmit loop).
+func (c *Comm) deliverAfter(op string, key boxKey, env envelope, d time.Duration) {
 	w, timeout := c.w, c.timeout
+	w.netWG.Add(1)
 	go func() {
-		time.Sleep(d)
+		defer w.netWG.Done()
 		select {
-		case w.box(key) <- payload:
+		case <-time.After(d):
+		case <-w.shutdown:
+		}
+		if w.partitionBlocked(key.src, key.dst) {
+			if env.seq == 0 {
+				w.noteLost(key.src, op, "delayed delivery black-holed by partition")
+			}
+			return
+		}
+		select {
+		case w.box(key) <- env:
 		case <-w.deadCh[key.dst]:
+		case <-w.shutdown:
+			if env.seq == 0 {
+				w.noteLost(key.src, op, "run ended before delayed delivery")
+			}
 		case <-time.After(timeout):
+			if env.seq == 0 {
+				w.noteLost(key.src, op, "mailbox full past run timeout")
+			}
 		}
 	}()
 }

@@ -22,6 +22,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -46,6 +47,21 @@ type Options struct {
 	// actions, and checkpoint operations record instant events. Nil
 	// disables recording at the cost of one branch per hook.
 	Obs *obs.Recorder
+	// Reliable turns on the ack/retransmit delivery transport (see
+	// transport.go) with the given tuning. The transport also switches
+	// on automatically — with default tuning — whenever Fault contains
+	// a FaultDrop or FaultPartition spec, since the raw fabric cannot
+	// survive either.
+	Reliable *ReliableOptions
+	// Unreliable forces the raw fabric even against a lossy fault
+	// plan: drops and partitions then stand, and the affected
+	// operations surface as ErrTimeout / net:lost records. Used to
+	// demonstrate what the transport is for.
+	Unreliable bool
+	// Heartbeat runs the failure detector (see detector.go) with the
+	// given tuning. The detector also starts automatically — with
+	// default tuning — when Fault contains a FaultPartition spec.
+	Heartbeat *HeartbeatOptions
 }
 
 const (
@@ -60,7 +76,7 @@ type world struct {
 	size    int
 	opt     Options
 	mu      sync.Mutex
-	boxes   map[boxKey]chan []float64
+	boxes   map[boxKey]chan envelope
 	stats   []Stats
 	failMu  sync.Mutex
 	failure error
@@ -70,6 +86,25 @@ type world struct {
 	// lock-free. Blocked operations select on their peer's channel to
 	// fail fast with ErrRankFailed instead of waiting for the timeout.
 	deadCh []chan struct{}
+
+	// Reliable-transport and failure-detector state. tr and det are
+	// nil when the respective subsystem is off; shutdown is closed
+	// after every rank goroutine has returned, and netWG joins every
+	// background goroutine (retransmit loops, probers, delayed
+	// deliveries) before the run's statistics are folded.
+	tr       *transport
+	det      *detector
+	shutdown chan struct{}
+	netWG    sync.WaitGroup
+	doneOKs  []atomic.Bool  // rank returned normally
+	slowNs   []atomic.Int64 // rank's injected straggle delay (ns)
+	netMu    sync.Mutex     // guards net and opNet
+	net      []NetStats     // per-rank transport/detector counters
+	opNet    []map[string]*opNetDelta
+	obsMu    sync.Mutex   // serializes the obs "fabric" lane
+	partMu   sync.RWMutex // guards parts
+	parts    []partitionState
+	partOn   atomic.Int32 // fast-path flag: any partition ever activated
 
 	// ftMu guards the remaining fault-tolerance state.
 	ftMu      sync.Mutex
@@ -164,12 +199,12 @@ type boxKey struct {
 	tag      int
 }
 
-func (w *world) box(k boxKey) chan []float64 {
+func (w *world) box(k boxKey) chan envelope {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ch, ok := w.boxes[k]
 	if !ok {
-		ch = make(chan []float64, w.opt.ChanCap)
+		ch = make(chan envelope, w.opt.ChanCap)
 		w.boxes[k] = ch
 	}
 	return ch
@@ -306,23 +341,50 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 	w := &world{
 		size:      p,
 		opt:       opt,
-		boxes:     make(map[boxKey]chan []float64),
+		boxes:     make(map[boxKey]chan envelope),
 		stats:     make([]Stats, p),
 		deadCh:    make([]chan struct{}, p),
 		deadCause: make([]error, p),
 		agrees:    make(map[string]*agreeState),
 		rvs:       make(map[string]*revocation),
 		ckpt:      make(map[string]map[int][]CkptBlock),
+		shutdown:  make(chan struct{}),
+		doneOKs:   make([]atomic.Bool, p),
+		slowNs:    make([]atomic.Int64, p),
+		net:       make([]NetStats, p),
+		opNet:     make([]map[string]*opNetDelta, p),
 	}
 	w.ftCond = sync.NewCond(&w.ftMu)
 	for r := range w.deadCh {
 		w.deadCh[r] = make(chan struct{})
+		w.opNet[r] = make(map[string]*opNetDelta)
+	}
+	var seed uint64
+	if opt.Fault != nil {
+		seed = opt.Fault.Seed
+	}
+	if !opt.Unreliable && (opt.Reliable != nil || opt.Fault.needsTransport()) {
+		var ro ReliableOptions
+		if opt.Reliable != nil {
+			ro = *opt.Reliable
+		}
+		w.tr = newTransport(w, ro, seed)
+	}
+	if opt.Heartbeat != nil || (!opt.Unreliable && opt.Fault.needsDetector()) {
+		var ho HeartbeatOptions
+		if opt.Heartbeat != nil {
+			ho = *opt.Heartbeat
+		}
+		w.det = &detector{opt: ho.withDefaults()}
 	}
 	worldRanks := make([]int, p)
 	for i := range worldRanks {
 		worldRanks[i] = i
 	}
 	worldRv := &revocation{ch: make(chan struct{})}
+	// Register the world epoch's revocation so a detector-driven fence
+	// can revoke it alongside every shrink epoch (see revokeAll).
+	w.rvs["w"] = worldRv
 
 	var wg sync.WaitGroup
 	errs := make([]error, p)
@@ -331,6 +393,12 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		go func(rank int) {
 			defer wg.Done()
 			inj := newInjector(opt.Fault, rank)
+			if w.det != nil {
+				stop := make(chan struct{})
+				w.netWG.Add(1)
+				go w.probeLoop(rank, stop)
+				defer close(stop)
+			}
 			defer func() {
 				rec := recover()
 				inj.flush(w)
@@ -338,7 +406,14 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 				case nil:
 					// Normal return: the rank is done, but peers may
 					// legitimately still hold buffered messages from
-					// it, so it is not marked dead.
+					// it, so it is not marked dead — and it may no
+					// longer be suspected or fenced.
+					w.doneOKs[rank].Store(true)
+					return
+				case rankFenced:
+					// A peer's failure detector (or retransmit budget)
+					// already filed this rank's failure record when it
+					// fenced it; the unwind itself adds nothing.
 					return
 				case rankCrash:
 					// Injected process loss: not a run error by
@@ -374,6 +449,12 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		}(r)
 	}
 	wg.Wait()
+	// Join every background goroutine (retransmit loops, probers,
+	// delayed deliveries) before folding their accumulators into the
+	// per-rank Stats: after the join nothing concurrently touches them.
+	close(w.shutdown)
+	w.netWG.Wait()
+	w.foldNetStats()
 	return w.finish(errs)
 }
 

@@ -39,34 +39,49 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 // Irecv starts a nonblocking receive from src with the given tag. The
 // message is claimed in the background; call Wait to obtain it.
 func (c *Comm) Irecv(src, tag int) *Request {
+	c.checkSelfAlive()
 	c.checkPeer(src, "Irecv")
 	c.checkTag(tag)
-	c.event("p2p", boxKey{}, nil, false)
+	c.event("p2p", boxKey{}, envelope{}, false)
 	r := &Request{c: c, isRecv: true, payload: make(chan irecvResult, 1), src: src}
 	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
-	box := c.w.box(key)
+	w := c.w
+	box := w.box(key)
 	timeout := c.timeout
-	deadCh := c.w.deadCh[key.src]
+	deadCh := w.deadCh[key.src]
 	rvCh := c.rv.ch
-	// The background goroutine only moves the payload; statistics are
-	// recorded in the owning rank's goroutine inside Wait, keeping the
-	// per-rank Stats single-writer.
+	// The background goroutine only moves the payload (suppressing
+	// sequenced duplicates and restoring send order like a blocking
+	// receive would); statistics are recorded in the owning rank's
+	// goroutine inside Wait, keeping the per-rank Stats single-writer.
 	go func() {
-		select {
-		case data := <-box:
-			r.payload <- irecvResult{data: data}
-		case <-deadCh:
-			// The sender may have enqueued the message before dying.
-			select {
-			case data := <-box:
+		for {
+			if data, ok := w.nextBuffered(key); ok {
 				r.payload <- irecvResult{data: data}
-			default:
-				r.payload <- irecvResult{sentinel: ErrRankFailed}
+				return
 			}
-		case <-rvCh:
-			r.payload <- irecvResult{sentinel: ErrRevoked}
-		case <-time.After(timeout):
-			r.payload <- irecvResult{sentinel: ErrTimeout}
+			var env envelope
+			select {
+			case env = <-box:
+			case <-deadCh:
+				// The sender may have enqueued the message before dying.
+				select {
+				case env = <-box:
+				default:
+					r.payload <- irecvResult{sentinel: w.peerSentinel(key.src)}
+					return
+				}
+			case <-rvCh:
+				r.payload <- irecvResult{sentinel: ErrRevoked}
+				return
+			case <-time.After(timeout):
+				r.payload <- irecvResult{sentinel: ErrTimeout}
+				return
+			}
+			if data, ok := w.admitSeq(key, env, "p2p"); ok {
+				r.payload <- irecvResult{data: data}
+				return
+			}
 		}
 	}()
 	return r

@@ -22,6 +22,41 @@ type Stats struct {
 	// Injected lists every fault the run's FaultPlan fired on this
 	// rank, in firing order; chaos tests assert against it.
 	Injected []Injection
+
+	// Net aggregates the rank's reliable-transport and failure-detector
+	// activity (folded in from the transport's accumulators when Run
+	// finishes; all zero on the raw fabric).
+	Net NetStats
+
+	// CkptCorrupt counts checkpoint blocks this rank rejected at
+	// Restore because their checksum did not match (treated as
+	// missing, never restored as garbage).
+	CkptCorrupt int64
+}
+
+// NetStats is one rank's slice of the reliable-transport and
+// heartbeat-detector activity of a run.
+type NetStats struct {
+	// Retransmits counts payload retransmissions fired because an ack
+	// did not arrive within the retransmit timeout (sender side).
+	Retransmits int64
+	// DupDrops counts duplicate deliveries suppressed by sequence
+	// numbers — retransmitted copies that raced the original, or
+	// injected FaultDuplicate copies (receiver side).
+	DupDrops int64
+	// Lost counts messages the raw fabric abandoned with no delivery:
+	// delayed payloads that timed out against a full mailbox, or
+	// unsequenced traffic black-holed by a partition.
+	Lost int64
+	// Unreachable counts retransmit-budget exhaustions against a peer
+	// that never acknowledged.
+	Unreachable int64
+	// Suspects counts hb:suspect classifications made by this rank's
+	// prober (stale heartbeats or straggler-grade probe RTT).
+	Suspects int64
+	// Confirms counts peers this rank's prober confirmed dead and
+	// fenced out of the run.
+	Confirms int64
 }
 
 // OpStats is the per-operation slice of a rank's traffic, split by
@@ -36,6 +71,13 @@ type OpStats struct {
 	RecvBytes int64
 	RecvMsgs  int64
 	Calls     int64
+
+	// Retrans counts retransmissions of this op's payloads by the
+	// reliable transport; DupDrops counts duplicates of this op's
+	// payloads suppressed at the receiver. Both are zero on the raw
+	// fabric.
+	Retrans  int64
+	DupDrops int64
 }
 
 func (s *Stats) addOp(op string, bytes int64) {

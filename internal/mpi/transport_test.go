@@ -1,0 +1,378 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fastNet is the transport tuning used throughout: retransmit quickly
+// so drop-heavy tests stay fast.
+func fastNet() *ReliableOptions {
+	return &ReliableOptions{RTO: 2 * time.Millisecond, MaxRTO: 20 * time.Millisecond}
+}
+
+// sumNet folds every rank's NetStats into one.
+func sumNet(rep *Report) NetStats {
+	var t NetStats
+	for i := range rep.Ranks {
+		n := rep.Ranks[i].Net
+		t.Retransmits += n.Retransmits
+		t.DupDrops += n.DupDrops
+		t.Lost += n.Lost
+		t.Unreachable += n.Unreachable
+		t.Suspects += n.Suspects
+		t.Confirms += n.Confirms
+	}
+	return t
+}
+
+// TestDropRecoversByRetransmit: a deterministically dropped p2p message
+// must still arrive, via the retransmit loop, and the retransmission
+// must be visible in both NetStats and the per-op counters.
+func TestDropRecoversByRetransmit(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  1,
+		Specs: []FaultSpec{{Kind: FaultDrop, Rank: 0, Op: "p2p", Call: 0}},
+	}
+	var got float64
+	rep, err := RunOpt(2, Options{Timeout: chaosTimeout, Fault: plan, Reliable: fastNet()}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{42})
+		} else {
+			got = c.Recv(0, 7)[0]
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("dropped message arrived as %v, want 42", got)
+	}
+	net := sumNet(rep)
+	if net.Retransmits == 0 {
+		t.Fatal("no retransmissions recorded for a dropped message")
+	}
+	if rep.Ranks[0].PerOp["p2p"].Retrans == 0 {
+		t.Fatal("PerOp[p2p].Retrans not recorded on the sender")
+	}
+}
+
+// TestProbabilisticDropCorrect: 20% loss on every send of a collective
+// workload must not change the computed result.
+func TestProbabilisticDropCorrect(t *testing.T) {
+	var want float64
+	if _, err := RunOpt(4, Options{Timeout: chaosTimeout}, func(c *Comm) {
+		if v := ringAllreduce(c, 4); c.Rank() == 0 {
+			want = v
+		}
+	}); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	plan := &FaultPlan{
+		Seed:  99,
+		Specs: []FaultSpec{{Kind: FaultDrop, Rank: -1, Prob: 0.2}},
+	}
+	var got float64
+	rep, err := RunOpt(4, Options{Timeout: chaosTimeout, Fault: plan, Reliable: fastNet()}, func(c *Comm) {
+		if v := ringAllreduce(c, 4); c.Rank() == 0 {
+			got = v
+		}
+	})
+	if err != nil {
+		t.Fatalf("lossy run failed: %v", err)
+	}
+	if got != want {
+		t.Fatalf("lossy result %v != clean result %v", got, want)
+	}
+	if net := sumNet(rep); net.Retransmits == 0 {
+		t.Fatal("20% drop over a collective workload fired no retransmissions")
+	}
+}
+
+// TestDropUnreliableSurfacesTyped: with the transport forced off, a
+// dropped message stands — the receiver times out with a typed error
+// and the loss is recorded, never silent.
+func TestDropUnreliableSurfacesTyped(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  1,
+		Specs: []FaultSpec{{Kind: FaultDrop, Rank: 0, Op: "p2p", Call: 0}},
+	}
+	rep, err := RunOpt(2, Options{Timeout: 300 * time.Millisecond, Fault: plan, Unreliable: true}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{42})
+		} else {
+			c.Recv(0, 7)
+		}
+	})
+	if err == nil {
+		t.Fatal("dropped message on the raw fabric produced no error")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout from the starved receiver, got %v", err)
+	}
+	if rep != nil {
+		t.Fatal("failed run returned a report")
+	}
+	_ = rep
+}
+
+// TestUnreliableLossIsRecorded: the raw fabric must count a
+// black-holed message in NetStats.Lost (via a run that survives the
+// loss because nobody waits for the message).
+func TestUnreliableLossIsRecorded(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  1,
+		Specs: []FaultSpec{{Kind: FaultDrop, Rank: 0, Op: "p2p", Call: 0}},
+	}
+	rep, err := RunOpt(2, Options{Timeout: chaosTimeout, Fault: plan, Unreliable: true}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1}) // dropped; nobody receives it
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if net := sumNet(rep); net.Lost == 0 {
+		t.Fatal("dropped message not recorded in NetStats.Lost")
+	}
+}
+
+// TestDuplicateSuppressedUnderTransport: with sequencing on, an
+// injected duplicate is delivered exactly once and the suppression is
+// counted.
+func TestDuplicateSuppressedUnderTransport(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  1,
+		Specs: []FaultSpec{{Kind: FaultDuplicate, Rank: 0, Op: "p2p", Call: 0}},
+	}
+	var first, second float64
+	rep, err := RunOpt(2, Options{Timeout: chaosTimeout, Fault: plan, Reliable: fastNet()}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1})
+			c.Send(1, 7, []float64{2})
+		} else {
+			first = c.Recv(0, 7)[0]
+			second = c.Recv(0, 7)[0]
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if first != 1 || second != 2 {
+		t.Fatalf("got (%v, %v), want (1, 2): duplicate not suppressed", first, second)
+	}
+	if net := sumNet(rep); net.DupDrops == 0 {
+		t.Fatal("suppressed duplicate not counted in NetStats.DupDrops")
+	}
+}
+
+// TestPartitionHealsWithoutFence: a partition shorter than the confirm
+// threshold must delay the run, not shrink it — delivery resumes via
+// retransmission and nobody is fenced.
+func TestPartitionHealsWithoutFence(t *testing.T) {
+	var want float64
+	if _, err := RunOpt(4, Options{Timeout: chaosTimeout}, func(c *Comm) {
+		if v := ringAllreduce(c, 3); c.Rank() == 0 {
+			want = v
+		}
+	}); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	plan := &FaultPlan{
+		Seed: 5,
+		Specs: []FaultSpec{{
+			Kind: FaultPartition, Rank: 0, Op: "p2p", Call: 1,
+			Delay: 80 * time.Millisecond, Group: []int{2, 3},
+		}},
+	}
+	hb := &HeartbeatOptions{
+		Interval:     5 * time.Millisecond,
+		SuspectAfter: 30 * time.Millisecond,
+		ConfirmAfter: 5 * time.Second, // far beyond the heal: never confirm
+	}
+	var got float64
+	rep, err := RunOpt(4, Options{Timeout: chaosTimeout, Fault: plan, Reliable: fastNet(), Heartbeat: hb}, func(c *Comm) {
+		if v := ringAllreduce(c, 3); c.Rank() == 0 {
+			got = v
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed across a healing partition: %v", err)
+	}
+	if got != want {
+		t.Fatalf("result %v != clean result %v", got, want)
+	}
+	net := sumNet(rep)
+	if net.Retransmits == 0 {
+		t.Fatal("no retransmissions across the partition window")
+	}
+	if net.Confirms != 0 {
+		t.Fatalf("healing partition fenced %d rank(s)", net.Confirms)
+	}
+}
+
+// TestPermanentPartitionFencesMinority: a partition that never heals
+// must be resolved by the failure detector — the majority side fences
+// the minority and the run fails with typed ErrUnreachable, well before
+// the deadlock timeout.
+func TestPermanentPartitionFencesMinority(t *testing.T) {
+	plan := &FaultPlan{
+		Seed: 5,
+		Specs: []FaultSpec{{
+			Kind: FaultPartition, Rank: 0, Op: "p2p", Call: 0, Group: []int{3},
+		}},
+	}
+	hb := &HeartbeatOptions{
+		Interval:     5 * time.Millisecond,
+		SuspectAfter: 25 * time.Millisecond,
+		ConfirmAfter: 120 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := RunOpt(4, Options{Timeout: 10 * time.Second, Fault: plan, Reliable: fastNet(), Heartbeat: hb}, func(c *Comm) {
+		ringAllreduce(c, 4)
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("permanent partition produced no error")
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable from detector fencing, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("detector took %v; the run waited for the deadlock timeout instead", elapsed)
+	}
+}
+
+// TestStragglerSuspectedNotFenced: a slow rank must be classified
+// suspect by the detector and never confirmed dead — the run completes
+// with the straggler aboard.
+func TestStragglerSuspectedNotFenced(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  7,
+		Specs: []FaultSpec{{Kind: FaultStraggle, Rank: 2, Op: "p2p", Call: 0, Delay: 2 * time.Millisecond}},
+	}
+	hb := &HeartbeatOptions{
+		Interval:     3 * time.Millisecond,
+		StraggleRTT:  500 * time.Microsecond,
+		ConfirmAfter: 10 * time.Second,
+	}
+	rep, err := RunOpt(4, Options{Timeout: 10 * time.Second, Fault: plan, Heartbeat: hb}, func(c *Comm) {
+		ringAllreduce(c, 30)
+	})
+	if err != nil {
+		t.Fatalf("run with straggler failed: %v", err)
+	}
+	net := sumNet(rep)
+	if net.Suspects == 0 {
+		t.Fatal("straggling rank never suspected")
+	}
+	if net.Confirms != 0 {
+		t.Fatalf("straggling rank fenced (%d confirms): slowness mistaken for death", net.Confirms)
+	}
+}
+
+// TestDropPlusStraggleCombined: packet loss and a straggler at once —
+// the transport recovers the drops, the detector suspects (but never
+// fences) the straggler, and the result is still correct.
+func TestDropPlusStraggleCombined(t *testing.T) {
+	var want float64
+	if _, err := RunOpt(4, Options{Timeout: chaosTimeout}, func(c *Comm) {
+		if v := ringAllreduce(c, 6); c.Rank() == 0 {
+			want = v
+		}
+	}); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	plan := &FaultPlan{
+		Seed: 11,
+		Specs: []FaultSpec{
+			{Kind: FaultDrop, Rank: -1, Prob: 0.1},
+			{Kind: FaultStraggle, Rank: 1, Op: "p2p", Call: 0, Delay: time.Millisecond},
+		},
+	}
+	hb := &HeartbeatOptions{
+		Interval:     3 * time.Millisecond,
+		StraggleRTT:  300 * time.Microsecond,
+		ConfirmAfter: 10 * time.Second,
+	}
+	var got float64
+	rep, err := RunOpt(4, Options{Timeout: 10 * time.Second, Fault: plan, Reliable: fastNet(), Heartbeat: hb}, func(c *Comm) {
+		if v := ringAllreduce(c, 6); c.Rank() == 0 {
+			got = v
+		}
+	})
+	if err != nil {
+		t.Fatalf("combined drop+straggle run failed: %v", err)
+	}
+	if got != want {
+		t.Fatalf("result %v != clean result %v", got, want)
+	}
+	net := sumNet(rep)
+	if net.Retransmits == 0 {
+		t.Fatal("no retransmissions under 10% drop")
+	}
+	if net.Suspects == 0 {
+		t.Fatal("straggler never suspected")
+	}
+	if net.Confirms != 0 {
+		t.Fatalf("combined faults fenced %d rank(s); straggler mistaken for dead", net.Confirms)
+	}
+}
+
+// TestDelayedDeliveryLossRecorded: a delayed payload abandoned against
+// a mailbox that stays full must be recorded as lost, not silently
+// dropped (the historical deliverAfter bug).
+func TestDelayedDeliveryLossRecorded(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  1,
+		Specs: []FaultSpec{{Kind: FaultDelay, Rank: 0, Op: "p2p", Call: 1, Delay: 20 * time.Millisecond}},
+	}
+	// ChanCap 1 and a receiver that exits immediately: the delayed
+	// payload finds the box full (an undelivered earlier message) and
+	// its destination gone only at shutdown.
+	rep, err := RunOpt(2, Options{Timeout: 50 * time.Millisecond, ChanCap: 1, Fault: plan, Unreliable: true}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1}) // fills the single-slot box
+			c.Send(1, 7, []float64{2}) // delayed 20ms, then box still full
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if net := sumNet(rep); net.Lost == 0 {
+		t.Fatal("abandoned delayed delivery not recorded in NetStats.Lost")
+	}
+}
+
+// TestCheckpointCorruptionExcluded: a checkpoint block whose stored
+// bytes were corrupted must be dropped at Restore — counted, traced,
+// and never returned as data.
+func TestCheckpointCorruptionExcluded(t *testing.T) {
+	rep, err := RunOpt(1, Options{Timeout: chaosTimeout}, func(c *Comm) {
+		c.Checkpoint("x", []CkptBlock{
+			{R0: 0, C0: 0, Rows: 1, Cols: 3, Data: []float64{1, 2, 3}},
+			{R0: 1, C0: 0, Rows: 1, Cols: 3, Data: []float64{4, 5, 6}},
+		})
+		got := c.Restore("x")
+		if len(got[0]) != 2 {
+			t.Errorf("intact restore returned %d blocks, want 2", len(got[0]))
+		}
+		// Simulate storage corruption: the restored slices share the
+		// store's memory, so this flips a stored byte.
+		got[0][0].Data[1] = -99
+		again := c.Restore("x")
+		if len(again[0]) != 1 {
+			t.Fatalf("restore after corruption returned %d blocks, want 1", len(again[0]))
+		}
+		if again[0][0].Data[0] != 4 {
+			t.Errorf("surviving block is %v, want the intact one", again[0][0].Data)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if rep.Ranks[0].CkptCorrupt != 1 {
+		t.Fatalf("CkptCorrupt = %d, want 1", rep.Ranks[0].CkptCorrupt)
+	}
+}

@@ -258,3 +258,222 @@ func TestResilientTransposed(t *testing.T) {
 		}
 	})
 }
+
+// netTotals folds every rank's transport/detector counters into one.
+func netTotals(rep *mpi.Report) NetStats {
+	var t NetStats
+	for i := range rep.Ranks {
+		n := rep.Ranks[i].Net
+		t.Retransmits += n.Retransmits
+		t.DupDrops += n.DupDrops
+		t.Lost += n.Lost
+		t.Unreachable += n.Unreachable
+		t.Suspects += n.Suspects
+		t.Confirms += n.Confirms
+	}
+	return t
+}
+
+// perOpRetrans sums the per-op retransmit counters across ranks and ops.
+func perOpRetrans(rep *mpi.Report) int64 {
+	var t int64
+	for i := range rep.Ranks {
+		for _, op := range rep.Ranks[i].PerOp {
+			t += op.Retrans
+		}
+	}
+	return t
+}
+
+// TestDropAllAlgorithmsBitCorrect is the transport acceptance sweep:
+// 5% of every message of every algorithm vanishes in the fabric, and
+// each algorithm must still produce exactly the C it produces on a
+// lossless fabric (drop+retransmit may reorder wall-clock time, never
+// arithmetic) — itself verified against the serial reference — with
+// the retransmissions visible in the per-op stats.
+func TestDropAllAlgorithmsBitCorrect(t *testing.T) {
+	const m, n, k, p = 48, 40, 36, 8
+	a := Random(m, k, 21)
+	b := Random(k, n, 22)
+	want := GemmRef(a, b, false, false)
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			runGuarded(t, string(alg), func() {
+				clean, _, _, err := Multiply(a, b, p, Config{Algorithm: alg})
+				if err != nil {
+					t.Fatalf("clean run failed: %v", err)
+				}
+				cfg := Config{
+					Algorithm: alg,
+					Timeout:   10 * time.Second,
+					Fault: &FaultPlan{Seed: 7, Specs: []FaultSpec{
+						{Kind: FaultDrop, Rank: -1, Prob: 0.05},
+					}},
+					Net: &ReliableOptions{RTO: 2 * time.Millisecond},
+				}
+				c, rep, _, err := Multiply(a, b, p, cfg)
+				if err != nil {
+					t.Fatalf("lossy run failed: %v", err)
+				}
+				if d := MaxAbsDiff(c, clean); d != 0 {
+					t.Errorf("lossy result differs from lossless result by %g; retransmission changed arithmetic", d)
+				}
+				if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+					t.Errorf("result off the serial reference by %g", d)
+				}
+				if r := perOpRetrans(rep); r == 0 {
+					t.Error("5%% drop fired no retransmissions in Stats.PerOp")
+				}
+				if netTotals(rep).Retransmits == 0 {
+					t.Error("5%% drop fired no retransmissions in NetStats")
+				}
+			})
+		})
+	}
+}
+
+// TestResilientPartitionHealsNoShrink: a partition that heals inside
+// the retransmit budget must cost retransmissions only — no fencing,
+// no shrink, and a correct result on the full process count.
+func TestResilientPartitionHealsNoShrink(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 31)
+	b := Random(chaosK, chaosN, 32)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "partition-heal", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 3, Specs: []FaultSpec{
+			{Kind: FaultPartition, Rank: 0, Call: 1, Delay: 100 * time.Millisecond, Group: []int{6, 7}},
+		}}, 3)
+		cfg.Net = &ReliableOptions{RTO: 5 * time.Millisecond}
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     10 * time.Millisecond,
+			SuspectAfter: 60 * time.Millisecond,
+			ConfirmAfter: 10 * time.Second, // far beyond the heal: never confirm
+		}
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("run across healing partition failed: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		net := netTotals(rep)
+		if net.Retransmits == 0 {
+			t.Error("no retransmissions across the partition window")
+		}
+		if net.Confirms != 0 {
+			t.Errorf("healing partition fenced %d rank(s); shrink where none was needed", net.Confirms)
+		}
+	})
+}
+
+// TestResilientPartitionOutlastsAndShrinks: a permanent partition must
+// be resolved by the failure detector — the majority fences the
+// isolated ranks, the survivors shrink-replan, and the run still
+// produces a verified C instead of deadlocking into the timeout.
+func TestResilientPartitionOutlastsAndShrinks(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 33)
+	b := Random(chaosK, chaosN, 34)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "partition-shrink", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 4, Specs: []FaultSpec{
+			{Kind: FaultPartition, Rank: 0, Call: 2, Group: []int{6, 7}}, // Delay 0: permanent
+		}}, 4)
+		cfg.Net = &ReliableOptions{RTO: 5 * time.Millisecond, Budget: 6}
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     10 * time.Millisecond,
+			SuspectAfter: 50 * time.Millisecond,
+			ConfirmAfter: 250 * time.Millisecond,
+		}
+		start := time.Now()
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("permanent partition not recovered: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		net := netTotals(rep)
+		if net.Confirms != 2 {
+			t.Errorf("confirms = %d, want exactly 2 (ranks 6 and 7 fenced once each)", net.Confirms)
+		}
+		if elapsed > 2*chaosOpTimeout {
+			t.Errorf("recovery took %v; the run leaned on the deadlock timeout instead of the detector", elapsed)
+		}
+	})
+}
+
+// TestResilientPartitionPlusCrash: an injected crash and a permanent
+// partition in the same run — the survivors must shrink around both
+// casualties and still produce a verified C.
+func TestResilientPartitionPlusCrash(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 35)
+	b := Random(chaosK, chaosN, 36)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "partition+crash", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 6, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 1, Call: 3},
+			{Kind: FaultPartition, Rank: 0, Call: 2, Group: []int{7}},
+		}}, 6)
+		cfg.MaxRetries = 5
+		cfg.Net = &ReliableOptions{RTO: 5 * time.Millisecond}
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     10 * time.Millisecond,
+			SuspectAfter: 50 * time.Millisecond,
+			ConfirmAfter: 250 * time.Millisecond,
+		}
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("partition+crash not recovered: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		if net := netTotals(rep); net.Confirms == 0 {
+			t.Error("isolated rank never fenced by the detector")
+		}
+	})
+}
+
+// TestResilientDropPlusStraggle: packet loss plus a straggler — the
+// transport absorbs the loss, the detector suspects the straggler but
+// must not fence it, and no shrink happens.
+func TestResilientDropPlusStraggle(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 37)
+	b := Random(chaosK, chaosN, 38)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "drop+straggle", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 8, Specs: []FaultSpec{
+			{Kind: FaultDrop, Rank: -1, Prob: 0.05},
+			{Kind: FaultStraggle, Rank: 2, Call: 0, Delay: time.Millisecond},
+		}}, 8)
+		cfg.Net = &ReliableOptions{RTO: 2 * time.Millisecond}
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     5 * time.Millisecond,
+			StraggleRTT:  300 * time.Microsecond,
+			ConfirmAfter: 10 * time.Second,
+		}
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("drop+straggle run failed: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		net := netTotals(rep)
+		if net.Retransmits == 0 {
+			t.Error("no retransmissions under 5%% drop")
+		}
+		if net.Suspects == 0 {
+			t.Error("straggler never suspected")
+		}
+		if net.Confirms != 0 {
+			t.Errorf("straggler fenced (%d confirms): slowness mistaken for death", net.Confirms)
+		}
+	})
+}

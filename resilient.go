@@ -25,6 +25,16 @@ type (
 	RankFailure = mpi.RankFailure
 	// Injection records one fired fault (see Report stats).
 	Injection = mpi.Injection
+	// ReliableOptions tunes the ack/retransmit delivery transport that
+	// carries a run across FaultDrop and FaultPartition injections.
+	ReliableOptions = mpi.ReliableOptions
+	// HeartbeatOptions tunes the heartbeat failure detector that
+	// distinguishes stragglers (suspected, waited on) from dead or
+	// partitioned ranks (confirmed, fenced, shrunk away).
+	HeartbeatOptions = mpi.HeartbeatOptions
+	// NetStats is a rank's reliable-transport and detector activity
+	// (retransmits, suppressed duplicates, losses, suspects, confirms).
+	NetStats = mpi.NetStats
 )
 
 // Injectable fault classes.
@@ -35,12 +45,17 @@ const (
 	FaultDuplicate = mpi.FaultDuplicate
 	FaultReorder   = mpi.FaultReorder
 	FaultStraggle  = mpi.FaultStraggle
+	FaultDrop      = mpi.FaultDrop
+	FaultPartition = mpi.FaultPartition
 )
 
 // Typed failure sentinels; match with errors.Is.
 var (
 	// ErrRankFailed marks any error caused by a crashed rank.
 	ErrRankFailed = mpi.ErrRankFailed
+	// ErrUnreachable marks a rank fenced by the failure detector or
+	// the retransmit budget (wraps ErrRankFailed).
+	ErrUnreachable = mpi.ErrUnreachable
 	// ErrVerifyFailed marks output that failed Freivalds verification.
 	ErrVerifyFailed = core.ErrVerifyFailed
 	// ErrRetriesExhausted marks a resilient run that ran out of budget.
@@ -71,6 +86,10 @@ type ResilientConfig struct {
 	Timeout time.Duration
 	// Fault optionally injects deterministic faults into the run.
 	Fault *FaultPlan
+	// Net tunes the reliable transport (see Config.Net).
+	Net *ReliableOptions
+	// Heartbeat tunes the failure detector (see Config.Heartbeat).
+	Heartbeat *HeartbeatOptions
 	// DisableRecovery turns the self-healing loop off: the first
 	// failure surfaces as a typed error instead of being retried.
 	DisableRecovery bool
@@ -175,7 +194,13 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 		mu      sync.Mutex
 		rankErr error
 	)
-	rep, err := mpi.RunOpt(p, mpi.Options{Timeout: rc.Timeout, Fault: fault, Obs: rc.Trace}, func(c *Comm) {
+	rep, err := mpi.RunOpt(p, mpi.Options{
+		Timeout:   rc.Timeout,
+		Fault:     fault,
+		Obs:       rc.Trace,
+		Reliable:  rc.Net,
+		Heartbeat: rc.Heartbeat,
+	}, func(c *Comm) {
 		out, rerr := core.ResilientExecute(c, m, n, k, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, ro)
 		mu.Lock()
 		defer mu.Unlock()
