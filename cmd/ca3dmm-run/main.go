@@ -47,8 +47,11 @@ func main() {
 	chaosDelay := flag.Float64("chaos-delay", 0, "per-message delay probability (latency chaos)")
 	chaosDrop := flag.Float64("chaos-drop", 0, "per-message drop probability (loss chaos; recovered by the reliable transport)")
 	chaosPartition := flag.Duration("chaos-partition", 0, "isolate the upper half of the ranks for this duration (0 = off; negative = permanent, resolved by the failure detector)")
+	chaosHeal := flag.Duration("chaos-heal", 0, "partition the upper half and heal after this duration, long enough for the detector to fence the minority first — healed ranks rejoin the spare pool (0 = off)")
 	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
-	retries := flag.Int("retries", 4, "shrink-replan retry budget of the self-healing executor")
+	retries := flag.Int("retries", 4, "recovery retry budget (replace or shrink-replan) of the self-healing executor")
+	spares := flag.Int("spares", 0, "reserve this many ranks as a hot-spare pool: the grid is planned for p-spares and dead ranks are replaced from the pool at the same process count")
+	quorum := flag.Int("quorum", 0, "quorum floor: fail fast with ErrNoQuorum instead of recovering below this many survivors (0 = no floor)")
 	flag.Parse()
 
 	cfg := ca3dmm.Config{
@@ -97,7 +100,8 @@ func main() {
 		runChaos(a, b, *p, cfg, chaosOpts{
 			seed: *chaosSeed, crashes: *chaosCrash, corrupts: *chaosCorrupt,
 			delayProb: *chaosDelay, dropProb: *chaosDrop, partition: *chaosPartition,
-			retries: *retries, inject: *chaos,
+			heal: *chaosHeal, retries: *retries, spares: *spares, quorum: *quorum,
+			inject:   *chaos,
 			validate: *validate, freivalds: *freivalds,
 		})
 		exportObservability(cfg, *traceOut, *reportOut)
@@ -193,7 +197,10 @@ type chaosOpts struct {
 	delayProb           float64
 	dropProb            float64
 	partition           time.Duration
+	heal                time.Duration
 	retries             int
+	spares              int
+	quorum              int
 	inject              bool
 	validate, freivalds bool
 }
@@ -238,10 +245,20 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 			}
 			plan.Specs = append(plan.Specs, spec)
 		}
+		if o.heal > 0 {
+			// Heal-rejoin scenario: the partition lasts long enough for
+			// the detector to fence the isolated minority, then heals so
+			// the prober re-admits them into the spare pool.
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultPartition, Rank: 0, Call: 2, Delay: o.heal,
+			})
+		}
 	}
 	rc := ca3dmm.ResilientConfig{
 		Config:     cfg,
 		MaxRetries: o.retries,
+		SpareRanks: o.spares,
+		MinQuorum:  o.quorum,
 		VerifySeed: o.seed,
 		Fault:      plan,
 	}
@@ -256,16 +273,35 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 			ConfirmAfter: 2 * time.Second,
 		}
 	}
+	if o.heal > 0 {
+		// The confirm threshold must sit well inside the heal window so
+		// the fence fires before the partition lifts; the retry backoff
+		// pushes the next recovery past the heal so the rejoined ranks
+		// are back in the pool when Replace runs.
+		confirm := o.heal / 3
+		if confirm < 50*time.Millisecond {
+			confirm = 50 * time.Millisecond
+		}
+		rc.Heartbeat = &ca3dmm.HeartbeatOptions{
+			Interval:     5 * time.Millisecond,
+			SuspectAfter: 25 * time.Millisecond,
+			ConfirmAfter: confirm,
+		}
+		rc.Backoff = o.heal
+	}
 	start := time.Now()
 	c, rep, err := ca3dmm.ResilientMultiply(a, b, p, rc)
 	elapsed := time.Since(start)
 	fmt.Println()
 	fmt.Printf("================ self-healing executor ================\n")
 	if o.inject {
-		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v\n",
-			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition)
+		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v, heal %v\n",
+			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition, o.heal)
 	} else {
 		fmt.Printf("  * Fault plan              : none\n")
+	}
+	if o.spares > 0 || o.quorum > 0 {
+		fmt.Printf("  * Elastic config          : %d reserved spare(s), quorum floor %d\n", o.spares, o.quorum)
 	}
 	if err != nil {
 		log.Fatalf("resilient execution failed: %v", err)
@@ -280,6 +316,7 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 	}
 	fmt.Printf("  * Faults fired            : %d\n", fired)
 	var net ca3dmm.NetStats
+	var promoted, released, remaining int64
 	for i := range rep.Ranks {
 		s := rep.Ranks[i].Net
 		net.Retransmits += s.Retransmits
@@ -288,12 +325,26 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 		net.Unreachable += s.Unreachable
 		net.Suspects += s.Suspects
 		net.Confirms += s.Confirms
+		net.Clears += s.Clears
+		net.Rejoins += s.Rejoins
+		promoted += rep.Ranks[i].Promotions
+		released += rep.Ranks[i].CkptReleased
+		// SparesLeft is identical on every survivor of the final epoch
+		// and zero elsewhere, so the max is the pool size at the end.
+		if rep.Ranks[i].SparesLeft > remaining {
+			remaining = rep.Ranks[i].SparesLeft
+		}
 	}
 	if net != (ca3dmm.NetStats{}) {
 		fmt.Printf("  * Transport               : %d retransmit(s), %d duplicate(s) suppressed, %d message(s) lost\n",
 			net.Retransmits, net.DupDrops, net.Lost)
-		fmt.Printf("  * Failure detector        : %d suspect event(s), %d rank(s) fenced\n",
-			net.Suspects, net.Confirms)
+		fmt.Printf("  * Failure detector        : %d suspect event(s), %d cleared, %d rank(s) fenced, %d rejoined\n",
+			net.Suspects, net.Clears, net.Confirms, net.Rejoins)
+	}
+	fmt.Printf("  * Spare pool              : %d promoted, %d rejoined, %d remaining\n",
+		promoted, net.Rejoins, remaining)
+	if released > 0 {
+		fmt.Printf("  * Checkpoint GC           : %d superseded block(s) released\n", released)
 	}
 	if o.validate {
 		errs := 0

@@ -1,0 +1,247 @@
+package ca3dmm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Chaos suite for the elastic-recovery ladder: hot-spare replacement,
+// partition-heal rejoin, and the typed degradation rungs. Same
+// contract as resilience_test.go — verified C or typed error, never a
+// hang — plus the elastic guarantees: while spares remain a crash is
+// recovered at the ORIGINAL process count with the ORIGINAL grid.
+
+// traceEventCount returns how many instant events named name the
+// recorder saw across the whole run.
+func traceEventCount(tr *TraceRecorder, name string) int {
+	for _, ec := range tr.BuildReport().Events {
+		if ec.Name == name {
+			return ec.Count
+		}
+	}
+	return 0
+}
+
+// elasticTotals folds the per-rank elastic counters of a report.
+func elasticTotals(rep *mpi.Report) (promotions, released, rejoins, clears, confirms int64) {
+	for i := range rep.Ranks {
+		promotions += rep.Ranks[i].Promotions
+		released += rep.Ranks[i].CkptReleased
+		rejoins += rep.Ranks[i].Net.Rejoins
+		clears += rep.Ranks[i].Net.Clears
+		confirms += rep.Ranks[i].Net.Confirms
+	}
+	return
+}
+
+// TestResilientCrashWithSparesBitIdentical is the tentpole acceptance
+// scenario: with a reserved spare pool, one crash must be recovered by
+// Replace — same process count, same grid, no replan — and the
+// recovered C must be bit-identical to the fault-free run, because the
+// replace rung restores the original panels and reruns the original
+// schedule.
+func TestResilientCrashWithSparesBitIdentical(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 41)
+	b := Random(chaosK, chaosN, 42)
+	runGuarded(t, "replace-bit-identical", func() {
+		base := chaosConfig(nil, 11)
+		base.SpareRanks = 2
+		clean, _, err := ResilientMultiply(a, b, p, base)
+		if err != nil {
+			t.Fatalf("fault-free baseline failed: %v", err)
+		}
+
+		cfg := chaosConfig(&FaultPlan{Seed: 11, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 1, Call: 3},
+		}}, 11)
+		cfg.SpareRanks = 2
+		cfg.Trace = NewTraceRecorder()
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("crash with spares not recovered: %v", err)
+		}
+		if d := MaxAbsDiff(c, clean); d != 0 {
+			t.Errorf("recovered C differs from fault-free C by %g; replace changed the schedule", d)
+		}
+		if n := traceEventCount(cfg.Trace, "recover:replace"); n == 0 {
+			t.Error("no recover:replace event; the spare pool was not used")
+		}
+		if n := traceEventCount(cfg.Trace, "recover:shrink"); n != 0 {
+			t.Errorf("%d recover:shrink event(s); recovery degraded despite available spares", n)
+		}
+		promotions, released, _, _, _ := elasticTotals(rep)
+		if promotions == 0 {
+			t.Error("no spare promotion recorded")
+		}
+		if released == 0 {
+			t.Error("no checkpoint blocks released; the epoch GC never ran")
+		}
+	})
+}
+
+// TestResilientSparePoolDryFallsBackToShrink: with no spares and a
+// fully-utilized grid, the ladder's replace rung finds an empty pool
+// and must degrade to shrink-replan — and still produce a correct C.
+func TestResilientSparePoolDryFallsBackToShrink(t *testing.T) {
+	const m, n, k, p = 32, 32, 32, 8 // 2x2x2 grid: all 8 ranks compute
+	a := Random(m, k, 43)
+	b := Random(k, n, 44)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "pool-dry-shrink", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 13, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 3, Call: 3},
+		}}, 13)
+		cfg.Trace = NewTraceRecorder()
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("pool-dry crash not recovered: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		if n := traceEventCount(cfg.Trace, "recover:shrink"); n == 0 {
+			t.Error("no recover:shrink event; where did the dead rank's slot go?")
+		}
+		if n := traceEventCount(cfg.Trace, "recover:replace"); n != 0 {
+			t.Errorf("%d recover:replace event(s) with an empty pool", n)
+		}
+		promotions, _, _, _, _ := elasticTotals(rep)
+		if promotions != 0 {
+			t.Errorf("%d promotion(s) out of an empty pool", promotions)
+		}
+	})
+}
+
+// TestResilientPartitionHealRejoinEnablesReplace: a partition isolates
+// the two reserved spares long enough for the detector to fence them,
+// then heals; the prober re-admits them to the pool, and the crash's
+// recovery replaces from the rejoined spares at full strength.
+func TestResilientPartitionHealRejoinEnablesReplace(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 45)
+	b := Random(chaosK, chaosN, 46)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "heal-rejoin-replace", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 17, Specs: []FaultSpec{
+			{Kind: FaultPartition, Rank: 0, Call: 2, Group: []int{6, 7}, Delay: 250 * time.Millisecond},
+			{Kind: FaultCrash, Rank: 1, Call: 15},
+		}}, 17)
+		cfg.SpareRanks = 2 // spares are world ranks 6 and 7: exactly the fenced side
+		cfg.MaxRetries = 6
+		// The backoff pushes the recovery rebuild past the heal so the
+		// fenced spares are back in the lobby pool when Replace runs.
+		cfg.Backoff = 400 * time.Millisecond
+		cfg.Net = &ReliableOptions{RTO: 5 * time.Millisecond}
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     10 * time.Millisecond,
+			SuspectAfter: 40 * time.Millisecond,
+			ConfirmAfter: 80 * time.Millisecond,
+		}
+		cfg.Trace = NewTraceRecorder()
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("partition-heal-crash not recovered: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		_, _, rejoins, _, confirms := elasticTotals(rep)
+		if confirms == 0 {
+			t.Error("isolated spares never fenced; the scenario did not exercise the detector")
+		}
+		if rejoins == 0 {
+			t.Error("no hb:rejoin after the heal; fenced ranks never returned to the pool")
+		}
+		if n := traceEventCount(cfg.Trace, "recover:replace"); n == 0 {
+			t.Error("no recover:replace; the rejoined spares were never claimed")
+		}
+	})
+}
+
+// TestResilientQuorumFloorFailsFast: below MinQuorum survivors the run
+// must abandon recovery with ErrNoQuorum — quickly and typed, never by
+// degrading further or hanging.
+func TestResilientQuorumFloorFailsFast(t *testing.T) {
+	const m, n, k, p = 32, 32, 32, 8
+	a := Random(m, k, 47)
+	b := Random(k, n, 48)
+	runGuarded(t, "quorum-floor", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 19, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 2, Call: 3},
+		}}, 19)
+		cfg.MinQuorum = p // any loss at all is below the floor
+		start := time.Now()
+		_, _, err := ResilientMultiply(a, b, p, cfg)
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatal("run below the quorum floor succeeded; the floor was ignored")
+		}
+		if !errors.Is(err, ErrNoQuorum) {
+			t.Errorf("error does not wrap ErrNoQuorum: %v", err)
+		}
+		if !errors.Is(err, ErrRankFailed) {
+			t.Errorf("ErrNoQuorum does not wrap ErrRankFailed: %v", err)
+		}
+		if errors.Is(err, mpi.ErrTimeout) {
+			t.Errorf("quorum failure surfaced as a timeout: %v", err)
+		}
+		if elapsed > chaosOpTimeout {
+			t.Errorf("quorum fast-fail took %v; it leaned on a timeout", elapsed)
+		}
+	})
+}
+
+// TestResilientStragglerSuspectedNeverConfirmed is the false-suspicion
+// regression: a straggler that is suspected but never confirmed must
+// complete the run with zero membership changes, and the suspicion
+// must be retracted (hb:clear) by run end.
+func TestResilientStragglerSuspectedNeverConfirmed(t *testing.T) {
+	const p = 8
+	a := Random(chaosM, chaosK, 49)
+	b := Random(chaosK, chaosN, 50)
+	want := GemmRef(a, b, false, false)
+	runGuarded(t, "straggler-cleared", func() {
+		cfg := chaosConfig(&FaultPlan{Seed: 23, Specs: []FaultSpec{
+			{Kind: FaultStraggle, Rank: 2, Call: 0, Delay: 2 * time.Millisecond},
+		}}, 23)
+		cfg.Heartbeat = &HeartbeatOptions{
+			Interval:     5 * time.Millisecond,
+			StraggleRTT:  300 * time.Microsecond,
+			ConfirmAfter: 10 * time.Second, // never confirm: slowness is not death
+		}
+		cfg.Trace = NewTraceRecorder()
+		c, rep, err := ResilientMultiply(a, b, p, cfg)
+		if err != nil {
+			t.Fatalf("straggler run failed: %v", err)
+		}
+		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+			t.Fatalf("max diff %g", d)
+		}
+		var suspects int64
+		for i := range rep.Ranks {
+			suspects += rep.Ranks[i].Net.Suspects
+		}
+		if suspects == 0 {
+			t.Error("straggler never suspected; the scenario did not exercise the detector")
+		}
+		_, _, _, clears, confirms := elasticTotals(rep)
+		if confirms != 0 {
+			t.Errorf("straggler fenced (%d confirm(s)): slowness mistaken for death", confirms)
+		}
+		if clears == 0 {
+			t.Error("suspicion never retracted: no hb:clear by run end")
+		}
+		if n := traceEventCount(cfg.Trace, "hb:clear"); n == 0 {
+			t.Error("no hb:clear event in the trace")
+		}
+		for _, ev := range []string{"recover:replace", "recover:shrink"} {
+			if n := traceEventCount(cfg.Trace, ev); n != 0 {
+				t.Errorf("%d %s event(s); a suspected-only straggler caused a membership change", n, ev)
+			}
+		}
+	})
+}

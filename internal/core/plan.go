@@ -56,6 +56,13 @@ type Options struct {
 	// k-task groups until the model fits, or fails if even pk = 1
 	// exceeds the limit. Ignored when Grid is forced.
 	MemoryLimitBytes int64
+	// ReservedSpares holds back this many trailing ranks from the grid
+	// optimizer: the grid is chosen for p - ReservedSpares processes,
+	// so at least that many ranks are guaranteed idle. The elastic
+	// recovery ladder promotes them into compute slots on failure
+	// (same grid, no replan). Ignored when Grid is forced — an explicit
+	// grid already fixes the active count.
+	ReservedSpares int
 	// Trace, when non-nil, records a per-rank stage timeline of every
 	// execution (exportable as a Chrome trace).
 	Trace *trace.Recorder
@@ -151,8 +158,15 @@ func NewPlan(m, n, k, p int, transA, transB bool, opt Options) (*Plan, error) {
 	}
 	g := opt.Grid
 	if g.Procs() == 0 {
+		pOpt := p
+		if opt.ReservedSpares > 0 {
+			pOpt = p - opt.ReservedSpares
+			if pOpt < 1 {
+				return nil, fmt.Errorf("core: %d reserved spare(s) leave no compute ranks out of %d", opt.ReservedSpares, p)
+			}
+		}
 		var err error
-		g, err = grid.Optimize(m, n, k, p, grid.Options{
+		g, err = grid.Optimize(m, n, k, pOpt, grid.Options{
 			LowerUtil:          opt.LowerUtil,
 			NoCannonConstraint: opt.UseSUMMA,
 			MaxK:               opt.MaxPk,
@@ -161,7 +175,7 @@ func NewPlan(m, n, k, p int, transA, transB bool, opt Options) (*Plan, error) {
 			return nil, err
 		}
 		if opt.MemoryLimitBytes > 0 {
-			g, err = fitMemory(m, n, k, p, g, opt)
+			g, err = fitMemory(m, n, k, pOpt, g, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -394,6 +408,12 @@ func (p *Plan) WorkCuboid() (mb, nb, kb int) {
 func (p *Plan) Utilization() float64 {
 	return float64(p.ActiveProcs()) / float64(p.P)
 }
+
+// SpareRanks returns the number of idle processes — the hot-spare pool
+// the elastic recovery ladder can promote into compute slots without
+// replanning (the planner's natural idle tail plus any ranks held back
+// via Options.ReservedSpares).
+func (p *Plan) SpareRanks() int { return p.P - p.ActiveProcs() }
 
 // MemoryModel returns the predicted per-process memory usage in
 // matrix elements from eq. (11): 2(c·mk + kn)/P + pk·mn/P, evaluated

@@ -1,21 +1,34 @@
-// Self-healing CA3DMM execution: shrink-replan-retry on rank failure,
-// Freivalds verification against silent corruption.
+// Self-healing CA3DMM execution: a graceful degradation ladder of
+// replace, shrink-replan, and fail-fast, with Freivalds verification
+// against silent corruption.
 //
-// CA3DMM is uniquely suited to shrink-and-replan recovery because its
-// planner already handles arbitrary, non-ideal process counts by
-// idling ranks (paper Section III-E): losing a rank just means
-// replanning for p' = p - 1 survivors, which the grid optimizer treats
-// like any other process count. The recovery loop is the ULFM pattern:
+// CA3DMM's planner already handles arbitrary, non-ideal process counts
+// by idling ranks (paper Section III-E); those idle ranks are the hot
+// spare pool of the elastic recovery layer. The loop is the ULFM
+// pattern extended with mpi.Replace:
 //
 //  1. checkpoint each rank's input panels to the reliable store,
 //  2. attempt the multiplication; any communication failure
 //     (crashed peer, revoked epoch, timeout) aborts the attempt,
 //  3. verify the output with Freivalds' algorithm (catches payload
 //     corruption that produced a structurally valid but wrong C),
-//  4. agree on the outcome across live ranks; on failure, shrink to
-//     the survivors, replan for p', restore the panels from the
-//     checkpoints, and retry — bounded by a retry budget with
-//     exponential backoff.
+//  4. agree on the outcome across live ranks; on failure, descend the
+//     degradation ladder:
+//     - quorum check: survivors below MinQuorum fail fast with
+//     ErrNoQuorum (never a hang),
+//     - replace: while the spare pool (the plan's idle tail plus any
+//     healed ranks re-admitted by the detector) can refill every
+//     dead compute slot, rebuild the communicator at the same grid
+//     — no replan — restore the replaced ranks' panels from the
+//     checksummed checkpoints, and retry,
+//     - shrink: when the pool is dry, compact to the survivors and
+//     replan for the reduced count,
+//     all bounded by a retry budget with exponential backoff.
+//
+// A rank fenced out of an epoch parks in the world's lobby instead of
+// unwinding: if the partition that isolated it heals, the failure
+// detector re-admits it and a later Replace claims it back into the
+// run (see internal/mpi/spare.go).
 package core
 
 import (
@@ -24,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/grid"
 	"repro/internal/mat"
 	"repro/internal/mpi"
 )
@@ -36,6 +50,13 @@ var ErrVerifyFailed = errors.New("core: output failed Freivalds verification")
 // ErrRetriesExhausted reports a resilient execution that ran out of
 // retry budget before producing a verified result.
 var ErrRetriesExhausted = errors.New("core: resilient execution retries exhausted")
+
+// ErrNoQuorum reports a resilient execution abandoned because the
+// surviving ranks fell below the configured quorum floor
+// (ResilientOptions.MinQuorum): the bottom rung of the degradation
+// ladder. It wraps mpi.ErrRankFailed — rank loss is always the root
+// cause — so errors.Is matches both.
+var ErrNoQuorum = fmt.Errorf("core: survivors below quorum floor: %w", mpi.ErrRankFailed)
 
 // ResilientOptions tunes ResilientExecute.
 type ResilientOptions struct {
@@ -64,6 +85,16 @@ type ResilientOptions struct {
 	// retries: the first failure is returned as a typed error. Used
 	// to demonstrate the failure modes recovery hides.
 	DisableRecovery bool
+	// SpareRanks reserves this many ranks out of the initial planning:
+	// the grid is optimized for Size - SpareRanks processes, so the
+	// reserved tail is guaranteed idle and forms a hot-spare pool on
+	// top of whatever idle ranks the planner produces anyway. Zero
+	// reserves nothing (the natural idle tail still acts as spares).
+	SpareRanks int
+	// MinQuorum is the minimum number of surviving ranks required to
+	// keep recovering; fewer survivors fail fast with ErrNoQuorum
+	// instead of degrading further. Zero or one disables the floor.
+	MinQuorum int
 }
 
 func (ro *ResilientOptions) retries() int {
@@ -124,103 +155,276 @@ type ResilientOutput struct {
 	Row, Col int
 	// Attempts counts executions (1 = first attempt succeeded).
 	Attempts int
-	// Epochs counts communicator shrinks survived.
+	// Epochs counts communicator membership changes survived
+	// (replaces and shrinks).
 	Epochs int
 }
 
-// ckptName namespaces the store entries of one resilient execution.
-const (
-	ckptA = "resilient/A"
-	ckptB = "resilient/B"
-)
+// ckptName scopes a panel checkpoint to its epoch tag so a recovery
+// can write fresh checkpoints under the new epoch and then release the
+// superseded ones (checkpoint-store GC).
+func ckptName(panel string, tag int) string {
+	return fmt.Sprintf("resilient/%s@%d", panel, tag)
+}
+
+// ladderState is the per-rank state of one resilient execution as it
+// descends (and, via readmission, re-ascends) the degradation ladder.
+type ladderState struct {
+	ro      *ResilientOptions
+	m, n, k int
+	// Global dimensions of the stored (pre-op) matrices, for restores.
+	aRows, aCols, bRows, bCols int
+
+	comm         *mpi.Comm
+	curA, curB   *mat.Dense
+	curAL, curBL dist.Layout
+	g            grid.Grid // the current epoch's grid (forced on attempts)
+	act          int       // compute slots: ranks beyond act are spares
+	attempt      int       // retry counter, synchronized across the epoch
+	epochs       int       // membership changes survived
+	ckptTag      int       // epoch tag of the current panel checkpoints
+	needRestore  bool
+	lastErr      error
+}
 
 // ResilientExecute multiplies C = op(A)·op(B) on the calling rank with
-// shrink-replan-retry recovery. aLocal/bLocal are the rank's blocks of
-// the stored matrices under aL/bL (spanning the communicator's full
-// size); m, n, k are the op-applied dimensions. Collective over world.
-// On success every surviving rank returns its column block of C; on
-// failure every live rank returns the same class of typed error
-// (wrapping mpi.ErrRankFailed, ErrVerifyFailed, or
-// ErrRetriesExhausted).
+// elastic recovery: replace from the hot-spare pool while it lasts,
+// shrink-replan when it is dry, fail fast with ErrNoQuorum below the
+// quorum floor. aLocal/bLocal are the rank's blocks of the stored
+// matrices under aL/bL (spanning the communicator's full size); m, n,
+// k are the op-applied dimensions. Collective over world. On success
+// every surviving rank returns its column block of C (ranks parked
+// out of the run return a nil C and no error); on failure every live
+// rank returns the same class of typed error (wrapping
+// mpi.ErrRankFailed, ErrVerifyFailed, ErrRetriesExhausted, or
+// ErrNoQuorum).
 func ResilientExecute(world *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.Layout,
 	bLocal *mat.Dense, bL dist.Layout, ro ResilientOptions) (*ResilientOutput, error) {
+
+	// Plan once up front: the grid (optimized for Size - SpareRanks
+	// when spares are reserved) is pinned for every replace rung, so a
+	// successful recovery reproduces the original schedule exactly.
+	opt := ro.Opt
+	if opt.Grid.Procs() == 0 {
+		opt.ReservedSpares = ro.SpareRanks
+	}
+	pl, err := NewPlan(m, n, k, world.Size(), ro.TransA, ro.TransB, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	// Checkpoint the input panels before any communication can fail:
 	// local store writes, so even a rank crashed at its very first
 	// message has its panels on reliable storage.
-	world.Checkpoint(ckptA, layoutBlocks(aL, world.Rank(), aLocal))
-	world.Checkpoint(ckptB, layoutBlocks(bL, world.Rank(), bLocal))
+	world.Checkpoint(ckptName("A", 0), layoutBlocks(aL, world.Rank(), aLocal))
+	world.Checkpoint(ckptName("B", 0), layoutBlocks(bL, world.Rank(), bLocal))
 
-	comm := world
-	curA, curB := aLocal, bLocal
-	curAL, curBL := aL, bL
-	epochs := 0
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		out, row, col, err := attemptMultiply(comm, m, n, k, curA, curAL, curB, curBL, ro, attempt)
-		if err == nil && ro.DisableRecovery {
-			return &ResilientOutput{C: out, Row: row, Col: col, Attempts: attempt + 1, Epochs: epochs}, nil
+	st := &ladderState{
+		ro: &ro, m: m, n: n, k: k,
+		aRows: aL.GlobalRows(), aCols: aL.GlobalCols(),
+		bRows: bL.GlobalRows(), bCols: bL.GlobalCols(),
+		comm: world,
+		curA: aLocal, curB: bLocal, curAL: aL, curBL: bL,
+		g: pl.G, act: pl.ActiveProcs(),
+	}
+	for {
+		out, rerr, fenced := st.run()
+		if !fenced {
+			// Terminal: release any ranks parked in the lobby so they
+			// never outlive the computation they were fenced from.
+			world.CloseLobby()
+			return out, rerr
 		}
-		if err != nil {
-			lastErr = err
-			if ro.Opt.Trace != nil {
-				ro.Opt.Trace.Instant(comm.WorldRank(), "recover:attempt-failed",
-					fmt.Sprintf("attempt %d: %v", attempt, err))
-			}
-			// Wake peers blocked on ranks that will never answer, so
-			// the whole epoch converges on the Agree quickly.
-			comm.Revoke()
+		// Fenced out of the epoch. Instead of unwinding, park in the
+		// lobby: if the partition that isolated this rank heals, the
+		// detector re-admits it and a later Replace claims it back.
+		ep, ok := world.AwaitReadmission()
+		if !ok {
+			// The run ended — or no heal came within the timeout —
+			// while parked: leave quietly with no block of C.
+			return &ResilientOutput{Attempts: st.attempt, Epochs: st.epochs}, nil
 		}
-		if ro.DisableRecovery {
-			return nil, err
+		if aerr := st.adopt(ep); aerr != nil {
+			return nil, aerr
 		}
-		allOK, _ := comm.Agree(err == nil)
-		if allOK {
-			return &ResilientOutput{C: out, Row: row, Col: col, Attempts: attempt + 1, Epochs: epochs}, nil
-		}
-		if attempt >= ro.retries() {
-			if lastErr == nil {
-				lastErr = fmt.Errorf("%w: a peer failed in every attempt", mpi.ErrRankFailed)
-			}
-			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrRetriesExhausted, attempt+1, lastErr)
-		}
-		time.Sleep(ro.backoffFor(attempt, comm.WorldRank()))
-
-		// Shrink to the survivors and replan. Shrinking also gives a
-		// fresh message context, so stale traffic from the failed
-		// attempt cannot corrupt the retry even when nobody died
-		// (e.g. a verification failure).
-		shrunk := comm.Shrink()
-		if shrunk.Size() != comm.Size() {
-			epochs++
-		}
-		comm = shrunk
-		// Restore the input panels from the checkpoint store into
-		// canonical column-block layouts over the survivors.
-		curAL, curA = restorePanels(comm, ckptA, aL.GlobalRows(), aL.GlobalCols())
-		curBL, curB = restorePanels(comm, ckptB, bL.GlobalRows(), bL.GlobalCols())
 	}
 }
 
-// attemptMultiply runs one plan-execute-verify attempt, converting any
-// communication failure into an error. Returns the rank's column block
-// of C with its global anchor.
-func attemptMultiply(comm *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.Layout,
-	bLocal *mat.Dense, bL dist.Layout, ro ResilientOptions, attempt int) (
-	out *mat.Dense, row, col int, err error) {
+// run descends the ladder until a terminal outcome or until this rank
+// is fenced out of the current epoch (fenced=true; the caller decides
+// whether to park for readmission).
+func (st *ladderState) run() (out *ResilientOutput, err error, fenced bool) {
+	defer mpi.RecoverFence(&fenced)
+	ro := st.ro
+	for {
+		var c *mat.Dense
+		var row, col int
+		aerr := func() error {
+			if st.needRestore {
+				if rerr := st.restoreEpoch(); rerr != nil {
+					return rerr
+				}
+			}
+			var e error
+			c, row, col, e = st.attemptOnce()
+			return e
+		}()
+		if aerr == nil && ro.DisableRecovery {
+			return st.success(c, row, col), nil, false
+		}
+		if aerr != nil {
+			st.lastErr = aerr
+			if ro.Opt.Trace != nil {
+				ro.Opt.Trace.Instant(st.comm.WorldRank(), "recover:attempt-failed",
+					fmt.Sprintf("attempt %d: %v", st.attempt, aerr))
+			}
+			// Wake peers blocked on ranks that will never answer, so
+			// the whole epoch converges on the Agree quickly.
+			st.comm.Revoke()
+		}
+		if ro.DisableRecovery {
+			return nil, aerr, false
+		}
+		allOK, survivors := st.comm.Agree(aerr == nil)
+		if allOK {
+			return st.success(c, row, col), nil, false
+		}
+		// Rung 3: below the quorum floor the epoch abandons recovery
+		// with a typed error instead of degrading further — fail fast,
+		// never a hang. Checked on the Agree's survivor set, which is
+		// identical on every member.
+		if q := ro.MinQuorum; q > 1 && len(survivors) < q {
+			cause := st.lastErr
+			if cause == nil {
+				cause = mpi.ErrRankFailed
+			}
+			return nil, fmt.Errorf("%w: %d survivor(s) below floor %d after attempt %d (last failure: %v)",
+				ErrNoQuorum, len(survivors), q, st.attempt+1, cause), false
+		}
+		if st.attempt >= ro.retries() {
+			if st.lastErr == nil {
+				st.lastErr = fmt.Errorf("%w: a peer failed in every attempt", mpi.ErrRankFailed)
+			}
+			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrRetriesExhausted, st.attempt+1, st.lastErr), false
+		}
+		time.Sleep(ro.backoffFor(st.attempt, st.comm.WorldRank()))
+		st.attempt++
 
+		// Rungs 1 and 2: Replace refills dead compute slots from the
+		// spare pool in position order (same grid, no replan); only
+		// when the pool is dry does it compact — the shrink rung —
+		// and we replan for the reduced count. Either way the result
+		// is a fresh epoch, so stale traffic from the failed attempt
+		// cannot corrupt the retry even when nobody died (e.g. a
+		// verification failure).
+		note := fmt.Sprintf("%d %d %d %d", st.g.Pm, st.g.Pn, st.g.Pk, st.ckptTag)
+		next, full := st.comm.Replace(st.act, st.attempt, note)
+		if next.Size() != st.comm.Size() || !full {
+			st.epochs++
+		}
+		st.comm = next
+		if !full {
+			opt := ro.Opt
+			opt.ReservedSpares = 0 // the pool is dry; don't idle survivors
+			pl, perr := NewPlan(st.m, st.n, st.k, next.Size(), ro.TransA, ro.TransB, opt)
+			if perr != nil {
+				return nil, perr, false
+			}
+			st.g, st.act = pl.G, pl.ActiveProcs()
+		}
+		st.needRestore = true
+	}
+}
+
+// adopt resumes the ladder inside the epoch that claimed this rank
+// back from the lobby: the epoch's note carries the grid and
+// checkpoint tag the survivors were using, so the rejoiner derives
+// exactly the state they hold.
+func (st *ladderState) adopt(ep *mpi.Epoch) error {
+	st.comm = ep.Comm
+	st.attempt = ep.Attempt
+	st.epochs++
+	st.needRestore = true
+	st.lastErr = nil
+	var pm, pn, pk, tag int
+	if _, err := fmt.Sscanf(ep.Note, "%d %d %d %d", &pm, &pn, &pk, &tag); err != nil {
+		return fmt.Errorf("core: malformed epoch note %q: %v", ep.Note, err)
+	}
+	st.ckptTag = tag
+	if ep.Full {
+		st.g = grid.Grid{Pm: pm, Pn: pn, Pk: pk}
+		st.act = st.g.Procs()
+	} else {
+		// The epoch shrank: re-derive the replan exactly as the
+		// survivors did (deterministic for the same size and options).
+		opt := st.ro.Opt
+		opt.ReservedSpares = 0
+		pl, err := NewPlan(st.m, st.n, st.k, st.comm.Size(), st.ro.TransA, st.ro.TransB, opt)
+		if err != nil {
+			return err
+		}
+		st.g, st.act = pl.G, pl.ActiveProcs()
+	}
+	return nil
+}
+
+// success finalizes a verified attempt on this rank. The epoch's
+// unanimous Agree means every member re-deposited its panels under the
+// final tag, so rank 0 releases every superseded panel epoch — the
+// checkpoint-store GC that keeps a long retry chain from accumulating
+// dead ranks' blocks forever.
+func (st *ladderState) success(c *mat.Dense, row, col int) *ResilientOutput {
+	st.comm.Stats().SparesLeft = int64(st.comm.Size() - st.act)
+	if st.comm.Rank() == 0 {
+		for t := 0; t <= st.attempt; t++ {
+			st.comm.ClearCheckpoint(ckptName("A", t))
+			st.comm.ClearCheckpoint(ckptName("B", t))
+		}
+	}
+	return &ResilientOutput{C: c, Row: row, Col: col, Attempts: st.attempt + 1, Epochs: st.epochs}
+}
+
+// restoreEpoch rebuilds the rank's input panels at the start of a new
+// epoch: restore from the predecessor's checkpoints into canonical
+// column-block layouts over the current members, then re-checkpoint
+// under the new epoch's tag with a barrier so the tag is only ever
+// observed fully covered. A failure mid-restore (a crash landing in
+// the barrier) is returned as an error and re-enters the ladder like a
+// failed attempt: the rank keeps its old tag, which stays complete
+// because superseded tags are only released at final success.
+func (st *ladderState) restoreEpoch() (err error) {
 	defer mpi.RecoverComm(&err)
+	st.curAL, st.curA = restorePanels(st.comm, ckptName("A", st.ckptTag), st.aRows, st.aCols)
+	st.curBL, st.curB = restorePanels(st.comm, ckptName("B", st.ckptTag), st.bRows, st.bCols)
+	newTag := st.attempt
+	st.comm.Checkpoint(ckptName("A", newTag), layoutBlocks(st.curAL, st.comm.Rank(), st.curA))
+	st.comm.Checkpoint(ckptName("B", newTag), layoutBlocks(st.curBL, st.comm.Rank(), st.curB))
+	// The barrier completing anywhere proves every member deposited:
+	// only then may this rank treat newTag as its restore source.
+	st.comm.Barrier()
+	st.ckptTag = newTag
+	st.needRestore = false
+	return nil
+}
 
-	p := comm.Size()
-	plan, perr := NewPlan(m, n, k, p, ro.TransA, ro.TransB, ro.Opt)
+// attemptOnce runs one plan-execute-verify attempt under the epoch's
+// pinned grid, converting any communication failure into an error.
+// Returns the rank's column block of C with its global anchor.
+func (st *ladderState) attemptOnce() (out *mat.Dense, row, col int, err error) {
+	defer mpi.RecoverComm(&err)
+	ro := st.ro
+	p := st.comm.Size()
+	opt := ro.Opt
+	opt.Grid = st.g // pinned: a replace rung must not replan
+	plan, perr := NewPlan(st.m, st.n, st.k, p, ro.TransA, ro.TransB, opt)
 	if perr != nil {
 		return nil, 0, 0, perr
 	}
-	cL := dist.Block1DCol{R: m, C: n, P: p}
-	c, _ := plan.Execute(comm, aLocal, aL, bLocal, bL, cL)
-	lo, _ := dist.BlockRange(n, p, comm.Rank())
+	cL := dist.Block1DCol{R: st.m, C: st.n, P: p}
+	c, _ := plan.Execute(st.comm, st.curA, st.curAL, st.curB, st.curBL, cL)
+	lo, _ := dist.BlockRange(st.n, p, st.comm.Rank())
 
-	if verr := verifyAttempt(comm, m, n, k, c, cL, ro, attempt); verr != nil {
+	if verr := st.verifyAttempt(c, cL); verr != nil {
 		return nil, 0, 0, verr
 	}
 	return c, 0, lo, nil
@@ -231,15 +435,16 @@ func attemptMultiply(comm *mpi.Comm, m, n, k int, aLocal *mat.Dense, aL dist.Lay
 // reassembles A, B, and C from the store and verifies, and the verdict
 // is broadcast. O(trials·n²) work on rank 0 — cheap next to the
 // multiplication it guards.
-func verifyAttempt(comm *mpi.Comm, m, n, k int, c *mat.Dense, cL dist.Layout,
-	ro ResilientOptions, attempt int) error {
-
-	name := fmt.Sprintf("resilient/C/%d/%d", comm.Size(), attempt)
+func (st *ladderState) verifyAttempt(c *mat.Dense, cL dist.Layout) error {
+	ro := st.ro
+	comm := st.comm
+	name := fmt.Sprintf("resilient/C/%d/%d", comm.Size(), st.attempt)
 	comm.Checkpoint(name, layoutBlocks(cL, comm.Rank(), c))
 	comm.Barrier() // all deposits visible before rank 0 reads
 
 	verdict := []float64{0}
 	if comm.Rank() == 0 {
+		m, n, k := st.m, st.n, st.k
 		ar, ac := m, k
 		if ro.TransA {
 			ar, ac = k, m
@@ -248,8 +453,8 @@ func verifyAttempt(comm *mpi.Comm, m, n, k int, c *mat.Dense, cL dist.Layout,
 		if ro.TransB {
 			br, bc = n, k
 		}
-		a := assembleNamed(comm, ckptA, ar, ac)
-		b := assembleNamed(comm, ckptB, br, bc)
+		a := assembleNamed(comm, ckptName("A", st.ckptTag), ar, ac)
+		b := assembleNamed(comm, ckptName("B", st.ckptTag), br, bc)
 		cc := assembleNamed(comm, name, m, n)
 		ta, tb := mat.NoTrans, mat.NoTrans
 		if ro.TransA {
@@ -258,7 +463,7 @@ func verifyAttempt(comm *mpi.Comm, m, n, k int, c *mat.Dense, cL dist.Layout,
 		if ro.TransB {
 			tb = mat.Trans
 		}
-		seed := ro.VerifySeed + uint64(attempt)*0x9e3779b9 + 1
+		seed := ro.VerifySeed + uint64(st.attempt)*0x9e3779b9 + 1
 		if mat.Freivalds(ta, tb, a, b, cc, ro.trials(), seed, 1e-9) {
 			verdict[0] = 1
 		}
@@ -266,7 +471,7 @@ func verifyAttempt(comm *mpi.Comm, m, n, k int, c *mat.Dense, cL dist.Layout,
 	verdict = comm.Bcast(0, verdict)
 	comm.ClearCheckpoint(name)
 	if verdict[0] != 1 {
-		return fmt.Errorf("%w (attempt %d, p=%d)", ErrVerifyFailed, attempt, comm.Size())
+		return fmt.Errorf("%w (attempt %d, p=%d)", ErrVerifyFailed, st.attempt, comm.Size())
 	}
 	return nil
 }

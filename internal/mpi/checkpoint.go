@@ -117,9 +117,26 @@ func (c *Comm) Restore(name string) map[int][]CkptBlock {
 	return out
 }
 
-// ClearCheckpoint removes every rank's checkpoint stored under name.
-func (c *Comm) ClearCheckpoint(name string) {
-	c.w.ftMu.Lock()
-	defer c.w.ftMu.Unlock()
-	delete(c.w.ckpt, name)
+// ClearCheckpoint removes every rank's checkpoint stored under name,
+// returning the number of blocks released. The recovery ladder calls
+// it once an epoch's blocks are superseded — per-attempt verification
+// deposits right after the verdict, panel epochs at final success — so
+// stale blocks (including the dead ranks') do not outlive the run;
+// releases are counted in the caller's Stats.CkptReleased.
+func (c *Comm) ClearCheckpoint(name string) int {
+	w := c.w
+	w.ftMu.Lock()
+	blocks := 0
+	for _, bs := range w.ckpt[name] {
+		blocks += len(bs)
+	}
+	delete(w.ckpt, name)
+	w.ftMu.Unlock()
+	if blocks > 0 {
+		c.stats.CkptReleased += int64(blocks)
+		if c.obs != nil {
+			c.obsInstant("ckpt:release", fmt.Sprintf("%s: %d block(s) released", name, blocks))
+		}
+	}
+	return blocks
 }

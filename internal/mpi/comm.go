@@ -49,20 +49,21 @@ func (rv *revocation) revoked() bool {
 // own Comm value; Comm methods are called by that rank's goroutine
 // only.
 type Comm struct {
-	w         *world
-	ctx       string // communicator identity, equal across members
-	rank      int    // my rank within this communicator
-	ranks     []int  // world rank of each member
-	stats     *Stats
-	timeout   time.Duration
-	worldRank int
-	collSeq   int // per-rank collective sequence counter
-	splitSeq  int // per-rank split counter
-	agreeSeq  int // per-rank agreement counter
-	shrinkSeq int // per-rank shrink counter
-	inj       *injector
-	rv        *revocation
-	obs       *obs.Recorder // nil when observability is off
+	w          *world
+	ctx        string // communicator identity, equal across members
+	rank       int    // my rank within this communicator
+	ranks      []int  // world rank of each member
+	stats      *Stats
+	timeout    time.Duration
+	worldRank  int
+	collSeq    int // per-rank collective sequence counter
+	splitSeq   int // per-rank split counter
+	agreeSeq   int // per-rank agreement counter
+	shrinkSeq  int // per-rank shrink counter
+	replaceSeq int // per-rank replace counter
+	inj        *injector
+	rv         *revocation
+	obs        *obs.Recorder // nil when observability is off
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -173,7 +174,7 @@ func (c *Comm) enqueue(op string, dst int, key boxKey, env envelope) {
 	}
 	select {
 	case c.w.box(key) <- env:
-	case <-c.w.deadCh[key.dst]:
+	case <-c.w.deadChan(key.dst):
 		c.abort(c.opError(op, "send", dst, c.w.peerSentinel(key.dst)))
 	case <-c.rv.ch:
 		c.abort(c.opError(op, "send", dst, ErrRevoked))
@@ -207,7 +208,7 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 		var env envelope
 		select {
 		case env = <-ch:
-		case <-c.w.deadCh[key.src]:
+		case <-c.w.deadChan(key.src):
 			// The sender may have enqueued this message before dying.
 			select {
 			case env = <-ch:
@@ -452,7 +453,11 @@ func (w *world) agree(c *Comm, key string, ok bool) *agreeResult {
 			complete, allOK := true, true
 			var survivors []int
 			for _, r := range c.ranks {
-				if w.deadCause[r] != nil {
+				// A parked rank (fenced, waiting in the lobby for
+				// readmission) is excluded exactly like a dead one: it
+				// will never arrive at this epoch's rendezvous, and its
+				// absence forces the result to false.
+				if w.deadCause[r] != nil || w.parkedLocked(r) {
 					allOK = false
 					continue
 				}

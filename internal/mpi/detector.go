@@ -115,8 +115,11 @@ func (w *world) fence(target, by int, cause error) {
 	w.deadCause[target] = f
 	w.crashed = append(w.crashed, f)
 	w.absolved = append(w.absolved, false)
+	// Close under ftMu so the close pairs with the current channel
+	// incarnation (a readmission swaps in a fresh channel under the
+	// same lock).
+	close(w.deadChan(target))
 	w.ftMu.Unlock()
-	close(w.deadCh[target])
 	w.addNet(by, func(n *NetStats) { n.Confirms++ })
 	w.netInstant("hb:confirm", fmt.Sprintf("rank %d fenced by rank %d: %v", target, by, cause))
 	w.revokeAll()
@@ -145,7 +148,10 @@ func (w *world) revokeAll() {
 // straggle delay as RTT. Staleness beyond SuspectAfter raises a
 // suspect; beyond ConfirmAfter — and only when this prober sits with
 // the reachable majority — the peer is fenced. An elevated RTT raises a
-// straggler suspect once per episode and never escalates.
+// straggler suspect once per episode and never escalates. Retracted
+// suspicions emit hb:clear. The prober also sweeps the fenced set: a
+// peer fenced as unreachable that is parked in the spare lobby and is
+// reachable again (its partition healed) is re-admitted to the pool.
 func (w *world) probeLoop(rank int, stop <-chan struct{}) {
 	defer w.netWG.Done()
 	opt := w.det.opt
@@ -155,6 +161,14 @@ func (w *world) probeLoop(rank int, stop <-chan struct{}) {
 		lastOK[i] = now
 	}
 	suspected := make([]bool, w.size)
+	wasDead := make([]bool, w.size)
+	clear := func(q int, why string) {
+		suspected[q] = false
+		if w.everSuspected[q].CompareAndSwap(true, false) {
+			w.addNet(rank, func(n *NetStats) { n.Clears++ })
+			w.netInstant("hb:clear", fmt.Sprintf("rank %d suspicion cleared by rank %d: %s", q, rank, why))
+		}
+	}
 	ticker := time.NewTicker(opt.Interval)
 	defer ticker.Stop()
 	for {
@@ -169,10 +183,27 @@ func (w *world) probeLoop(rank int, stop <-chan struct{}) {
 			return
 		}
 		now = time.Now()
+		// Readmission sweep: fenced-as-unreachable peers whose partition
+		// healed and that are waiting in the lobby come back as spares.
+		for q := 0; q < w.size; q++ {
+			if q == rank || !w.isDead(q) {
+				continue
+			}
+			if !w.partitionBlocked(rank, q) {
+				w.tryReadmit(q, rank)
+			}
+		}
 		live := w.liveRanks()
 		for _, q := range live {
 			if q == rank {
 				continue
+			}
+			if wasDead[q] {
+				// The peer was re-admitted since the last round: reset
+				// its staleness clock so it is not instantly re-fenced.
+				wasDead[q] = false
+				lastOK[q] = now
+				suspected[q] = false
 			}
 			if w.doneOK(q) {
 				lastOK[q] = now
@@ -184,17 +215,19 @@ func (w *world) probeLoop(rank int, stop <-chan struct{}) {
 				if rtt := w.straggleNs(q); rtt > opt.StraggleRTT {
 					if !suspected[q] {
 						suspected[q] = true
+						w.everSuspected[q].Store(true)
 						w.addNet(rank, func(n *NetStats) { n.Suspects++ })
 						w.netInstant("hb:suspect", fmt.Sprintf("rank %d straggling (probe rtt %v) seen by rank %d", q, rtt, rank))
 					}
-				} else {
-					suspected[q] = false
+				} else if suspected[q] {
+					clear(q, "probe rtt recovered")
 				}
 				continue
 			}
 			stale := now.Sub(lastOK[q])
 			if stale > opt.SuspectAfter && !suspected[q] {
 				suspected[q] = true
+				w.everSuspected[q].Store(true)
 				w.addNet(rank, func(n *NetStats) { n.Suspects++ })
 				w.netInstant("hb:suspect", fmt.Sprintf("rank %d unreachable for %v seen by rank %d", q, stale, rank))
 			}
@@ -202,6 +235,11 @@ func (w *world) probeLoop(rank int, stop <-chan struct{}) {
 				cause := fmt.Errorf("mpi: rank %d: no heartbeat from rank %d for %v (confirm threshold %v): %w",
 					rank, q, stale, opt.ConfirmAfter, ErrUnreachable)
 				w.fence(q, rank, cause)
+			}
+		}
+		for q := 0; q < w.size; q++ {
+			if q != rank && w.isDead(q) {
+				wasDead[q] = true
 			}
 		}
 	}

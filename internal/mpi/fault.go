@@ -479,7 +479,7 @@ func (c *Comm) deliverAfter(op string, key boxKey, env envelope, d time.Duration
 		}
 		select {
 		case w.box(key) <- env:
-		case <-w.deadCh[key.dst]:
+		case <-w.deadChan(key.dst):
 		case <-w.shutdown:
 			if env.seq == 0 {
 				w.noteLost(key.src, op, "run ended before delayed delivery")

@@ -81,11 +81,15 @@ type world struct {
 	failMu  sync.Mutex
 	failure error
 
-	// deadCh[r] is closed when world rank r's goroutine unwinds; the
-	// slice itself is immutable after Run starts, so lookups are
-	// lock-free. Blocked operations select on their peer's channel to
-	// fail fast with ErrRankFailed instead of waiting for the timeout.
-	deadCh []chan struct{}
+	// deadCh[r] holds rank r's current death channel, closed when the
+	// rank dies or is fenced; lookups are lock-free via deadChan. The
+	// channel is an *incarnation*: when a healed partition lets the
+	// detector re-admit a fenced rank into the spare pool, a fresh open
+	// channel is swapped in, so peers again block on (rather than
+	// instantly abort against) the re-admitted rank. Blocked operations
+	// select on their peer's current channel to fail fast with
+	// ErrRankFailed instead of waiting for the timeout.
+	deadCh []atomic.Pointer[chan struct{}]
 
 	// Reliable-transport and failure-detector state. tr and det are
 	// nil when the respective subsystem is off; shutdown is closed
@@ -106,38 +110,46 @@ type world struct {
 	parts    []partitionState
 	partOn   atomic.Int32 // fast-path flag: any partition ever activated
 
+	// everSuspected[r] is set when any prober suspects rank r and
+	// cleared (once, with an hb:clear event) when the suspicion is
+	// retracted — RTT recovered, partition healed, or r finished.
+	everSuspected []atomic.Bool
+
 	// ftMu guards the remaining fault-tolerance state.
 	ftMu      sync.Mutex
-	ftCond    *sync.Cond     // broadcast on deaths and agreement arrivals
+	ftCond    *sync.Cond     // broadcast on deaths, arrivals, lobby claims
 	deadCause []error        // per world rank; non-nil once dead
 	crashed   []*RankFailure // injected crashes, in detection order
-	absolved  []bool         // crash was absorbed by a Shrink
+	absolved  []bool         // crash was absorbed by a Shrink/Replace
 	agrees    map[string]*agreeState
+	replaces  map[string]*replaceState       // Replace rendezvous, keyed like agrees
 	rvs       map[string]*revocation         // shared revocation per shrink epoch
 	ckpt      map[string]map[int][]CkptBlock // name -> world rank -> blocks
+	lobby     map[int]*lobbyEntry            // parked fenced ranks awaiting readmission
+	lobbyShut bool                           // set once recovery ends; parked ranks leave
 }
 
+// deadChan returns rank r's current death-channel incarnation.
+func (w *world) deadChan(r int) chan struct{} { return *w.deadCh[r].Load() }
+
 // markDead records rank r's departure with its cause and wakes every
-// blocked peer and agreement waiter.
+// blocked peer and agreement waiter. The death channel is closed under
+// ftMu so it always pairs with the current incarnation (a concurrent
+// readmission cannot race the close against a channel swap).
 func (w *world) markDead(r int, cause error) {
 	w.ftMu.Lock()
-	already := w.deadCause[r] != nil
-	if !already {
+	if w.deadCause[r] == nil {
 		w.deadCause[r] = cause
+		close(w.deadChan(r))
+		w.ftCond.Broadcast()
 	}
 	w.ftMu.Unlock()
-	if !already {
-		close(w.deadCh[r])
-		w.ftMu.Lock()
-		w.ftCond.Broadcast()
-		w.ftMu.Unlock()
-	}
 }
 
 // isDead reports whether rank r's goroutine has unwound (lock-free).
 func (w *world) isDead(r int) bool {
 	select {
-	case <-w.deadCh[r]:
+	case <-w.deadChan(r):
 		return true
 	default:
 		return false
@@ -339,24 +351,28 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		opt.ChanCap = defaultChanCap
 	}
 	w := &world{
-		size:      p,
-		opt:       opt,
-		boxes:     make(map[boxKey]chan envelope),
-		stats:     make([]Stats, p),
-		deadCh:    make([]chan struct{}, p),
-		deadCause: make([]error, p),
-		agrees:    make(map[string]*agreeState),
-		rvs:       make(map[string]*revocation),
-		ckpt:      make(map[string]map[int][]CkptBlock),
-		shutdown:  make(chan struct{}),
-		doneOKs:   make([]atomic.Bool, p),
-		slowNs:    make([]atomic.Int64, p),
-		net:       make([]NetStats, p),
-		opNet:     make([]map[string]*opNetDelta, p),
+		size:          p,
+		opt:           opt,
+		boxes:         make(map[boxKey]chan envelope),
+		stats:         make([]Stats, p),
+		deadCh:        make([]atomic.Pointer[chan struct{}], p),
+		deadCause:     make([]error, p),
+		agrees:        make(map[string]*agreeState),
+		replaces:      make(map[string]*replaceState),
+		rvs:           make(map[string]*revocation),
+		ckpt:          make(map[string]map[int][]CkptBlock),
+		lobby:         make(map[int]*lobbyEntry),
+		shutdown:      make(chan struct{}),
+		doneOKs:       make([]atomic.Bool, p),
+		slowNs:        make([]atomic.Int64, p),
+		everSuspected: make([]atomic.Bool, p),
+		net:           make([]NetStats, p),
+		opNet:         make([]map[string]*opNetDelta, p),
 	}
 	w.ftCond = sync.NewCond(&w.ftMu)
 	for r := range w.deadCh {
-		w.deadCh[r] = make(chan struct{})
+		ch := make(chan struct{})
+		w.deadCh[r].Store(&ch)
 		w.opNet[r] = make(map[string]*opNetDelta)
 	}
 	var seed uint64
@@ -407,8 +423,15 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 					// Normal return: the rank is done, but peers may
 					// legitimately still hold buffered messages from
 					// it, so it is not marked dead — and it may no
-					// longer be suspected or fenced.
+					// longer be suspected or fenced. Any outstanding
+					// suspicion is retracted here so a straggler that
+					// completed is visibly cleared, not just forgotten
+					// (the suspect ≠ fence contract).
 					w.doneOKs[rank].Store(true)
+					if w.everSuspected[rank].CompareAndSwap(true, false) && !w.isDead(rank) {
+						w.addNet(rank, func(n *NetStats) { n.Clears++ })
+						w.netInstant("hb:clear", fmt.Sprintf("rank %d completed; suspicion cleared without a fence", rank))
+					}
 					return
 				case rankFenced:
 					// A peer's failure detector (or retransmit budget)

@@ -48,7 +48,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	w := c.w
 	box := w.box(key)
 	timeout := c.timeout
-	deadCh := w.deadCh[key.src]
+	deadCh := w.deadChan(key.src)
 	rvCh := c.rv.ch
 	// The background goroutine only moves the payload (suppressing
 	// sequenced duplicates and restoring send order like a blocking

@@ -1,0 +1,404 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the elastic-recovery layer: the hot-spare pool and the
+// Replace verb that sits next to Revoke/Agree/Shrink.
+//
+// CA3DMM's planner idles the tail ranks of a communicator whenever the
+// process count is not ideal (paper Section III-E). Those idle ranks
+// are a natural hot-spare pool: on a confirmed rank failure the
+// survivors can assign a spare the dead rank's identity and rebuild
+// the communicator at the *same* logical capacity — same grid, no
+// replan — instead of shrinking to a worse one. Two mechanisms feed
+// the pool:
+//
+//   - the planner's idle tail (members of the communicator beyond the
+//     active compute slots), and
+//   - the lobby: fenced ranks parked in AwaitReadmission. A rank fenced
+//     as unreachable whose partition later heals is re-admitted by the
+//     failure detector (tryReadmit) and claimed into the next epoch.
+//
+// Replace is an agree-style rendezvous: the last arriving survivor
+// computes the new epoch once — compute slots in position order, dead
+// slots filled from the pool head, unfillable slots compacted away —
+// and everyone (including claimed lobby ranks) builds an identical
+// communicator from the published epochRecord.
+
+// lobbyEntry is one fenced rank parked in the world's lobby awaiting
+// readmission into a later epoch.
+type lobbyEntry struct {
+	claim *epochRecord // set under ftMu when a Replace adopts the rank
+}
+
+// epochRecord is the published description of a Replace epoch, equal
+// for every member (survivors and claimed lobby ranks alike).
+type epochRecord struct {
+	ctx      string
+	ranks    []int // world ranks in new communicator order
+	active   int   // leading compute slots of ranks
+	attempt  int   // caller's retry counter carried across the handoff
+	full     bool  // every compute slot of the old epoch is still filled
+	note     string
+	promoted []int // world ranks promoted from the pool into compute slots
+}
+
+// replaceState is one in-progress Replace rendezvous, keyed like an
+// agreement in world.replaces.
+type replaceState struct {
+	arrived map[int]bool
+	res     *epochRecord
+}
+
+// Epoch is what a re-admitted rank receives from AwaitReadmission: the
+// communicator of the epoch that claimed it, plus the recovery state
+// the survivors carried through Replace so the rank can resume the
+// ladder exactly where they are.
+type Epoch struct {
+	Comm *Comm
+	// Attempt is the retry counter the epoch starts at.
+	Attempt int
+	// Full reports whether the epoch kept every compute slot of its
+	// predecessor (same-grid replace) rather than compacting (shrink).
+	Full bool
+	// Note is the opaque caller payload threaded through Replace.
+	Note string
+}
+
+// parkedLocked reports whether world rank r is parked in the lobby and
+// not yet claimed by an epoch. Caller holds ftMu.
+func (w *world) parkedLocked(r int) bool {
+	e := w.lobby[r]
+	return e != nil && e.claim == nil
+}
+
+// Replace is the elastic sibling of Shrink: it rebuilds the
+// communicator after a failure by filling the dead members' positions
+// from the spare pool instead of compacting them away. The first
+// `active` positions of the communicator are the compute slots; the
+// tail positions and any ranks waiting in the lobby form the pool.
+// Vacant compute slots are filled in position order from the pool, so
+// grid identities are preserved and the caller can retry under the
+// same plan; only when the pool runs dry are the unfillable slots
+// compacted away (the shrink rung of the degradation ladder). The
+// second result reports full strength: true when every compute slot is
+// still occupied. note is an opaque payload published to claimed lobby
+// ranks (see Epoch.Note). Like Shrink, Replace absolves the dead, is
+// collective over the live members, and returns a fresh epoch; a
+// caller not part of the new epoch leaves via the fence unwind.
+func (c *Comm) Replace(active, attempt int, note string) (*Comm, bool) {
+	c.checkSelfAlive()
+	if active < 0 || active > len(c.ranks) {
+		c.w.fail(fmt.Errorf("mpi: rank %d (%s): Replace active %d out of range [0,%d]",
+			c.rank, c.ctx, active, len(c.ranks)))
+	}
+	key := fmt.Sprintf("%s#p%d", c.ctx, c.replaceSeq)
+	c.replaceSeq++
+	ctx := fmt.Sprintf("%s>%d", c.ctx, c.replaceSeq)
+	rec, builtByMe := c.w.replace(c, key, ctx, active, attempt, note)
+	if rec == nil {
+		c.abort(c.opError("replace", "rendezvous", c.rank, ErrTimeout))
+	}
+	c.w.absolveDead(c.ranks)
+	myNew := -1
+	for i, r := range rec.ranks {
+		if r == c.worldRank {
+			myNew = i
+		}
+	}
+	if c.obs != nil && builtByMe {
+		// Epoch-level events are emitted once, by the member that
+		// completed the rendezvous.
+		if rec.full {
+			c.obsInstant("recover:replace", fmt.Sprintf("%d dead slot(s) refilled, %d rank(s) at full strength (%d compute + %d spare)",
+				len(rec.promoted), len(rec.ranks), rec.active, len(rec.ranks)-rec.active))
+		} else {
+			c.obsInstant("recover:shrink", fmt.Sprintf("spare pool dry: %d -> %d compute slot(s), %d rank(s)",
+				active, rec.active, len(rec.ranks)))
+		}
+	}
+	if myNew < 0 {
+		// Fenced between the agreement and here: the survivors have
+		// excluded this rank, so it must leave the run.
+		panic(rankFenced{})
+	}
+	if c.rank >= active && myNew < rec.active {
+		c.stats.Promotions++
+		if c.obs != nil {
+			c.obsInstant("spare:promote", fmt.Sprintf("world rank %d promoted from the spare pool into compute slot %d", c.worldRank, myNew))
+		}
+	}
+	return &Comm{
+		w:         c.w,
+		ctx:       rec.ctx,
+		rank:      myNew,
+		ranks:     append([]int(nil), rec.ranks...),
+		stats:     c.stats,
+		timeout:   c.timeout,
+		worldRank: c.worldRank,
+		inj:       c.inj,
+		obs:       c.obs,
+		// Same shared-instance rule as Shrink: every member resolves
+		// the epoch's revocation through the world registry.
+		rv: c.w.revocationFor(rec.ctx),
+	}, rec.full
+}
+
+// replace runs the rendezvous for one Replace call: the last arriving
+// live member builds the epoch once, and everyone returns the same
+// record (builtByMe is true for the member that built it). Returns nil
+// on timeout.
+func (w *world) replace(c *Comm, key, ctx string, active, attempt int, note string) (rec *epochRecord, builtByMe bool) {
+	deadline := time.Now().Add(c.timeout)
+	timer := time.AfterFunc(c.timeout, func() {
+		w.ftMu.Lock()
+		w.ftCond.Broadcast()
+		w.ftMu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	st := w.replaces[key]
+	if st == nil {
+		st = &replaceState{arrived: make(map[int]bool)}
+		w.replaces[key] = st
+	}
+	st.arrived[c.worldRank] = true
+	w.ftCond.Broadcast()
+	for {
+		if st.res == nil {
+			complete := true
+			for _, r := range c.ranks {
+				if w.deadCause[r] != nil || w.parkedLocked(r) {
+					continue
+				}
+				if !st.arrived[r] {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				st.res = w.buildEpochLocked(c.ranks, active, ctx, attempt, note)
+				builtByMe = true
+				w.ftCond.Broadcast()
+			}
+		}
+		if st.res != nil {
+			return st.res, builtByMe
+		}
+		if time.Now().After(deadline) {
+			return nil, false
+		}
+		w.ftCond.Wait()
+	}
+}
+
+// buildEpochLocked computes a Replace epoch under ftMu: surviving
+// compute slots keep their positions, vacancies are filled in position
+// order from the pool (surviving tail members first, then lobby ranks
+// by world rank), unfillable vacancies are compacted away, and the
+// remaining pool forms the new tail. Claimed lobby ranks get the
+// record delivered through their lobby entry.
+func (w *world) buildEpochLocked(oldRanks []int, active int, ctx string, attempt int, note string) *epochRecord {
+	present := func(r int) bool {
+		return w.deadCause[r] == nil && !w.parkedLocked(r)
+	}
+	if active > len(oldRanks) {
+		active = len(oldRanks)
+	}
+	slots := make([]int, 0, active) // -1 marks a vacancy
+	for _, r := range oldRanks[:active] {
+		if present(r) {
+			slots = append(slots, r)
+		} else {
+			slots = append(slots, -1)
+		}
+	}
+	var pool []int
+	for _, r := range oldRanks[active:] {
+		if present(r) {
+			pool = append(pool, r)
+		}
+	}
+	// Every unclaimed, re-admitted lobby rank is claimable — including
+	// former members of this very communicator (a fenced member parks
+	// in the lobby and is invisible to the slot scan above, so it is
+	// never double-counted).
+	var joiners []int
+	for r, e := range w.lobby {
+		if e.claim == nil && w.deadCause[r] == nil {
+			joiners = append(joiners, r)
+		}
+	}
+	sort.Ints(joiners)
+	pool = append(pool, joiners...)
+
+	var newRanks, promoted []int
+	pi := 0
+	for _, r := range slots {
+		if r >= 0 {
+			newRanks = append(newRanks, r)
+			continue
+		}
+		if pi < len(pool) {
+			newRanks = append(newRanks, pool[pi])
+			promoted = append(promoted, pool[pi])
+			pi++
+		}
+		// else: the slot is compacted away — the shrink rung.
+	}
+	rec := &epochRecord{
+		ctx:      ctx,
+		active:   len(newRanks),
+		attempt:  attempt,
+		full:     len(newRanks) == active,
+		note:     note,
+		promoted: promoted,
+	}
+	rec.ranks = append(newRanks, pool[pi:]...)
+	// Deliver the claim to every lobby rank adopted into the epoch
+	// (promoted into a compute slot or joined as a tail spare).
+	for _, r := range joiners {
+		w.lobby[r].claim = rec
+	}
+	w.ftCond.Broadcast()
+	return rec
+}
+
+// RecoverFence is RecoverComm's sibling for the fence unwind: deferred
+// around a recovery loop, it catches the rankFenced panic — the rank
+// has been excluded from the run by a peer's failure detector or by a
+// Replace/Shrink epoch — and records the fact in *fenced instead of
+// unwinding the rank goroutine, so the caller can park the rank in the
+// lobby (AwaitReadmission) and rejoin a later epoch after a heal.
+// Everything else re-panics.
+func RecoverFence(fenced *bool) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if _, ok := rec.(rankFenced); ok {
+		*fenced = true
+		return
+	}
+	panic(rec)
+}
+
+// AwaitReadmission parks the calling (fenced) rank in the world's
+// lobby until a Replace epoch claims it as a spare, the lobby is
+// closed (recovery ended), or the communicator timeout expires —
+// whichever comes first, so a parked rank never hangs. On a claim it
+// returns the new epoch; otherwise ok is false and the rank should
+// leave the run quietly.
+func (c *Comm) AwaitReadmission() (*Epoch, bool) {
+	w := c.w
+	if c.obs != nil {
+		c.obsInstant("spare:park", fmt.Sprintf("world rank %d parked in the lobby awaiting readmission", c.worldRank))
+	}
+	deadline := time.Now().Add(c.timeout)
+	timer := time.AfterFunc(c.timeout, func() {
+		w.ftMu.Lock()
+		w.ftCond.Broadcast()
+		w.ftMu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.ftMu.Lock()
+	if w.lobbyShut {
+		w.ftMu.Unlock()
+		return nil, false
+	}
+	e := &lobbyEntry{}
+	w.lobby[c.worldRank] = e
+	for {
+		if e.claim != nil {
+			rec := e.claim
+			delete(w.lobby, c.worldRank)
+			w.ftMu.Unlock()
+			myNew := -1
+			for i, r := range rec.ranks {
+				if r == c.worldRank {
+					myNew = i
+				}
+			}
+			if myNew < 0 {
+				return nil, false
+			}
+			nc := &Comm{
+				w:         w,
+				ctx:       rec.ctx,
+				rank:      myNew,
+				ranks:     append([]int(nil), rec.ranks...),
+				stats:     c.stats,
+				timeout:   c.timeout,
+				worldRank: c.worldRank,
+				inj:       c.inj,
+				obs:       c.obs,
+				rv:        w.revocationFor(rec.ctx),
+			}
+			if myNew < rec.active {
+				c.stats.Promotions++
+				if c.obs != nil {
+					c.obsInstant("spare:promote", fmt.Sprintf("world rank %d promoted from the lobby into compute slot %d", c.worldRank, myNew))
+				}
+			} else if c.obs != nil {
+				c.obsInstant("spare:join", fmt.Sprintf("world rank %d rejoined epoch %q as a tail spare", c.worldRank, rec.ctx))
+			}
+			return &Epoch{Comm: nc, Attempt: rec.attempt, Full: rec.full, Note: rec.note}, true
+		}
+		if w.lobbyShut || time.Now().After(deadline) {
+			delete(w.lobby, c.worldRank)
+			w.ftMu.Unlock()
+			return nil, false
+		}
+		w.ftCond.Wait()
+	}
+}
+
+// CloseLobby ends the run's recovery era: parked ranks are released
+// (AwaitReadmission returns false) and future parks return
+// immediately. Called by the recovery ladder on every terminal path —
+// success, exhausted retries, lost quorum — so fenced ranks never
+// outlive the computation they were fenced from. Idempotent.
+func (c *Comm) CloseLobby() {
+	w := c.w
+	w.ftMu.Lock()
+	w.lobbyShut = true
+	w.ftCond.Broadcast()
+	w.ftMu.Unlock()
+}
+
+// tryReadmit returns a fenced rank to the living on behalf of prober
+// rank `by`: only ranks fenced as unreachable (partition or retransmit
+// budget — never a real crash) that are parked in the lobby and not
+// yet claimed are eligible. The rank's death cause is cleared, a fresh
+// dead-channel incarnation is swapped in so peers block on it again,
+// and the fence's failure records are absolved. The rank then waits in
+// the lobby for the next Replace to claim it.
+func (w *world) tryReadmit(q, by int) {
+	w.ftMu.Lock()
+	e := w.lobby[q]
+	cause := w.deadCause[q]
+	if e == nil || e.claim != nil || cause == nil || w.lobbyShut || !errors.Is(cause, ErrUnreachable) {
+		w.ftMu.Unlock()
+		return
+	}
+	w.deadCause[q] = nil
+	ch := make(chan struct{})
+	w.deadCh[q].Store(&ch)
+	for i, f := range w.crashed {
+		if f.Rank == q {
+			w.absolved[i] = true
+		}
+	}
+	w.ftCond.Broadcast()
+	w.ftMu.Unlock()
+	w.addNet(by, func(n *NetStats) { n.Rejoins++ })
+	w.netInstant("hb:rejoin", fmt.Sprintf("rank %d re-admitted to the spare pool by rank %d after heal", q, by))
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for the elastic-recovery layer: the Replace verb, the spare
+// pool, the lobby, and the detector's heal-rejoin sweep. The tests use
+// the mpi vocabulary directly (Revoke/Agree/Replace) the way the core
+// recovery ladder does; every scenario runs under the file-wide chaos
+// timeout so a protocol bug surfaces as a failure, never a hang.
+
+// TestReplaceRefillsFromTailSpare: world of 5 with 4 compute slots and
+// one tail spare. Slot 2 crashes; Replace must put the spare into the
+// dead slot — same capacity, full strength — and the new epoch must be
+// collective-capable.
+func TestReplaceRefillsFromTailSpare(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  5,
+		Specs: []FaultSpec{{Kind: FaultCrash, Rank: 2, Op: "allreduce", Call: 0}},
+	}
+	var slotOfSpare atomic.Int64
+	slotOfSpare.Store(-1)
+	var sum atomic.Value
+	rep, err := RunOpt(5, Options{Timeout: chaosTimeout, Fault: plan}, func(c *Comm) {
+		const active = 4
+		var aerr error
+		if c.Rank() < active {
+			func() {
+				defer RecoverComm(&aerr)
+				c.Allreduce([]float64{1})
+			}()
+			if aerr != nil {
+				c.Revoke()
+			}
+		}
+		if ok, _ := c.Agree(aerr == nil); ok {
+			panic("Agree returned true with a dead participant")
+		}
+		nc, full := c.Replace(active, 1, "payload")
+		if !full {
+			panic("Replace reported shrink with a spare available")
+		}
+		if nc.Size() != active {
+			panic(fmt.Sprintf("new epoch size %d, want %d (3 survivors + 1 promoted spare, pool drained)", nc.Size(), active))
+		}
+		if c.Rank() == 4 {
+			slotOfSpare.Store(int64(nc.Rank()))
+		}
+		got := nc.Allreduce([]float64{float64(c.Rank())})
+		sum.Store(got[0])
+	})
+	if err != nil {
+		t.Fatalf("replaced run still failed: %v", err)
+	}
+	// The spare (world rank 4) must occupy exactly the dead slot.
+	if got := slotOfSpare.Load(); got != 2 {
+		t.Fatalf("spare landed in slot %d, want 2 (the crashed rank's position)", got)
+	}
+	// Members of the new epoch: world ranks 0,1,4,3.
+	if got := sum.Load().(float64); got != 0+1+4+3 {
+		t.Fatalf("new-epoch allreduce got %v, want 8", got)
+	}
+	if rep.Ranks[4].Promotions != 1 {
+		t.Fatalf("spare's promotion count = %d, want 1", rep.Ranks[4].Promotions)
+	}
+}
+
+// TestReplacePoolDryCompacts: with no spares, Replace must degrade to
+// the shrink rung — compact the dead slot away and report !full.
+func TestReplacePoolDryCompacts(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  7,
+		Specs: []FaultSpec{{Kind: FaultCrash, Rank: 1, Op: "allreduce", Call: 0}},
+	}
+	var sum atomic.Value
+	rep, err := RunOpt(4, Options{Timeout: chaosTimeout, Fault: plan}, func(c *Comm) {
+		var aerr error
+		func() {
+			defer RecoverComm(&aerr)
+			c.Allreduce([]float64{1})
+		}()
+		if aerr != nil {
+			c.Revoke()
+		}
+		if ok, _ := c.Agree(aerr == nil); ok {
+			panic("Agree returned true with a dead participant")
+		}
+		nc, full := c.Replace(4, 1, "")
+		if full {
+			panic("Replace reported full strength with an empty pool")
+		}
+		if nc.Size() != 3 {
+			panic(fmt.Sprintf("compacted size %d, want 3", nc.Size()))
+		}
+		// Compaction preserves survivor order: world ranks 0,2,3.
+		got := nc.Allreduce([]float64{float64(c.Rank())})
+		sum.Store(got[0])
+	})
+	if err != nil {
+		t.Fatalf("compacted run still failed: %v", err)
+	}
+	if got := sum.Load().(float64); got != 0+2+3 {
+		t.Fatalf("compacted allreduce got %v, want 5", got)
+	}
+	for r := range rep.Ranks {
+		if rep.Ranks[r].Promotions != 0 {
+			t.Fatalf("rank %d reports a promotion out of an empty pool", r)
+		}
+	}
+}
+
+// TestHealRejoinThenReplace is the partition-heal-rejoin protocol
+// end to end at the mpi layer: a partition isolates rank 3, the
+// detector fences it, the rank parks in the lobby, the partition
+// heals, the prober's sweep re-admits it, and the survivors' next
+// Replace claims it back into its old slot at full strength.
+func TestHealRejoinThenReplace(t *testing.T) {
+	plan := &FaultPlan{
+		Seed: 9,
+		Specs: []FaultSpec{
+			{Kind: FaultPartition, Rank: 0, Call: 1, Group: []int{3}, Delay: 250 * time.Millisecond},
+		},
+	}
+	hb := &HeartbeatOptions{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 40 * time.Millisecond,
+		ConfirmAfter: 80 * time.Millisecond,
+	}
+	var rejoinedSlot atomic.Int64
+	rejoinedSlot.Store(-1)
+	var sum atomic.Value
+	rep, err := RunOpt(4, Options{Timeout: 5 * time.Second, Fault: plan, Heartbeat: hb}, func(c *Comm) {
+		var fenced bool
+		func() {
+			defer RecoverFence(&fenced)
+			var aerr error
+			func() {
+				defer RecoverComm(&aerr)
+				// Keep traffic flowing until the fence resolves the
+				// partition one way or the other.
+				for i := 0; i < 200; i++ {
+					c.Allreduce([]float64{1})
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+			if aerr == nil {
+				panic("partition never disturbed the allreduce loop")
+			}
+			c.Revoke()
+			if ok, _ := c.Agree(false); ok {
+				panic("Agree true after a fence")
+			}
+			// Give the heal (250ms) and the prober sweep time to
+			// re-admit the fenced rank before rebuilding.
+			time.Sleep(500 * time.Millisecond)
+			nc, full := c.Replace(4, 1, "post-heal")
+			if !full {
+				panic("rejoined rank not claimed: Replace degraded to shrink")
+			}
+			got := nc.Allreduce([]float64{float64(c.Rank())})
+			sum.Store(got[0])
+		}()
+		if fenced {
+			ep, ok := c.AwaitReadmission()
+			if !ok {
+				return // lobby closed or timed out: leave quietly
+			}
+			rejoinedSlot.Store(int64(ep.Comm.Rank()))
+			if ep.Note != "post-heal" {
+				panic(fmt.Sprintf("note %q did not survive the handoff", ep.Note))
+			}
+			ep.Comm.Allreduce([]float64{float64(c.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatalf("heal-rejoin run failed: %v", err)
+	}
+	if got := rejoinedSlot.Load(); got != 3 {
+		t.Fatalf("rejoined rank landed in slot %d, want its old slot 3", got)
+	}
+	if got := sum.Load().(float64); got != 0+1+2+3 {
+		t.Fatalf("post-heal allreduce got %v, want 6 (all four world ranks back)", got)
+	}
+	var rejoins, promotions int64
+	for r := range rep.Ranks {
+		rejoins += rep.Ranks[r].Net.Rejoins
+		promotions += rep.Ranks[r].Promotions
+	}
+	if rejoins == 0 {
+		t.Error("no hb:rejoin recorded by any prober")
+	}
+	if promotions == 0 {
+		t.Error("rejoined rank never counted as promoted")
+	}
+}
+
+// TestCloseLobbyReleasesParkedRank: a parked rank must be released
+// promptly when the lobby shuts — it must never sit out the full
+// communicator timeout.
+func TestCloseLobbyReleasesParkedRank(t *testing.T) {
+	start := time.Now()
+	_, err := RunOpt(2, Options{Timeout: 30 * time.Second}, func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(50 * time.Millisecond)
+			c.CloseLobby()
+			return
+		}
+		if _, ok := c.AwaitReadmission(); ok {
+			panic("claimed out of a lobby nobody rebuilt")
+		}
+	})
+	if err != nil {
+		t.Fatalf("lobby-shutdown run failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("parked rank released after %v; CloseLobby did not wake it", elapsed)
+	}
+}
+
+// TestClearCheckpointCountsReleases: the GC entry point must report
+// and count exactly the blocks it releases, once.
+func TestClearCheckpointCountsReleases(t *testing.T) {
+	rep, err := RunOpt(3, Options{Timeout: chaosTimeout}, func(c *Comm) {
+		c.Checkpoint("gc/x", []CkptBlock{
+			{R0: 0, C0: 0, Rows: 1, Cols: 2, Data: []float64{1, 2}},
+			{R0: 1, C0: 0, Rows: 1, Cols: 2, Data: []float64{3, 4}},
+		})
+		c.Barrier()
+		if c.Rank() == 0 {
+			if n := c.ClearCheckpoint("gc/x"); n != 6 {
+				panic(fmt.Sprintf("released %d blocks, want 6 (2 from each of 3 ranks)", n))
+			}
+			if n := c.ClearCheckpoint("gc/x"); n != 0 {
+				panic(fmt.Sprintf("second clear released %d blocks, want 0", n))
+			}
+			if n := c.ClearCheckpoint("gc/never-existed"); n != 0 {
+				panic(fmt.Sprintf("clearing an absent name released %d blocks", n))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if rep.Ranks[0].CkptReleased != 6 {
+		t.Fatalf("rank 0 CkptReleased = %d, want 6", rep.Ranks[0].CkptReleased)
+	}
+	if rep.Ranks[1].CkptReleased != 0 || rep.Ranks[2].CkptReleased != 0 {
+		t.Fatal("non-clearing ranks accumulated CkptReleased")
+	}
+}

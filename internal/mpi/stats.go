@@ -32,6 +32,21 @@ type Stats struct {
 	// Restore because their checksum did not match (treated as
 	// missing, never restored as garbage).
 	CkptCorrupt int64
+
+	// CkptReleased counts superseded checkpoint blocks this rank
+	// garbage-collected from the store via ClearCheckpoint, so a long
+	// retry chain's epoch-scoped checkpoints do not accumulate
+	// unboundedly.
+	CkptReleased int64
+
+	// Promotions counts the times this rank was promoted from the
+	// spare pool into a compute slot by a Replace epoch.
+	Promotions int64
+
+	// SparesLeft is the size of the hot-spare pool remaining when the
+	// rank's resilient execution returned (set by the recovery ladder;
+	// meaningful on survivors of the final epoch).
+	SparesLeft int64
 }
 
 // NetStats is one rank's slice of the reliable-transport and
@@ -57,6 +72,14 @@ type NetStats struct {
 	// Confirms counts peers this rank's prober confirmed dead and
 	// fenced out of the run.
 	Confirms int64
+	// Clears counts suspicions this rank retracted without a fence: a
+	// straggler's probe RTT recovered, a partition healed before the
+	// confirm threshold, or the suspected peer finished the run
+	// normally (the suspect ≠ fence contract).
+	Clears int64
+	// Rejoins counts fenced ranks this rank's prober re-admitted into
+	// the spare pool after the partition that isolated them healed.
+	Rejoins int64
 }
 
 // OpStats is the per-operation slice of a rank's traffic, split by

@@ -70,5 +70,30 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// The elastic-recovery events re-labeled as one family, so a
+	// spare-pool dashboard does not need to know the internal event
+	// names: parks into the lobby, heal rejoins, promotions into
+	// compute slots, tail joins, and the epoch verdicts (replace at
+	// full strength vs shrink when the pool ran dry).
+	spareActions := []struct{ event, action string }{
+		{"spare:park", "park"},
+		{"hb:rejoin", "rejoin"},
+		{"spare:promote", "promote"},
+		{"spare:join", "join"},
+		{"recover:replace", "replace"},
+		{"recover:shrink", "shrink"},
+	}
+	if err := write("# HELP ca3dmm_spare_pool_transitions_total Hot-spare pool activity by transition.\n# TYPE ca3dmm_spare_pool_transitions_total counter\n"); err != nil {
+		return err
+	}
+	counts := make(map[string]int, len(events))
+	for _, e := range events {
+		counts[e.Name] = e.Count
+	}
+	for _, sa := range spareActions {
+		if err := write("ca3dmm_spare_pool_transitions_total{action=%q} %d\n", sa.action, counts[sa.event]); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -60,6 +60,9 @@ var (
 	ErrVerifyFailed = core.ErrVerifyFailed
 	// ErrRetriesExhausted marks a resilient run that ran out of budget.
 	ErrRetriesExhausted = core.ErrRetriesExhausted
+	// ErrNoQuorum marks a resilient run abandoned because the survivor
+	// count dropped below MinQuorum (wraps ErrRankFailed).
+	ErrNoQuorum = core.ErrNoQuorum
 )
 
 // ResilientConfig tunes ResilientMultiply.
@@ -67,9 +70,21 @@ type ResilientConfig struct {
 	// Config selects the plan options (Algorithm must be CA3DMM or
 	// CA3DMM-S; the recovery path replans through the CA3DMM planner).
 	Config
-	// MaxRetries bounds shrink-replan retries inside one run
-	// (default 3).
+	// MaxRetries bounds recovery retries (replace or shrink-replan)
+	// inside one run (default 3).
 	MaxRetries int
+	// SpareRanks reserves that many ranks out of the initial plan as a
+	// hot-spare pool: the planner optimizes the grid for p-SpareRanks
+	// processes and the reserved tail idles until a failure promotes it
+	// via Replace. Ignored when Grid is forced (the forced grid already
+	// fixes the compute count). Default 0: only the planner's natural
+	// idle ranks form the pool.
+	SpareRanks int
+	// MinQuorum is the quorum floor: when a failure leaves fewer than
+	// MinQuorum survivors, the run abandons recovery and fails fast
+	// with ErrNoQuorum instead of degrading further. Default 0: no
+	// floor (shrink all the way down to one rank).
+	MinQuorum int
 	// MaxRunRetries bounds whole-run restarts after an unrecoverable
 	// run failure (default 1, i.e. no restart). Each restart derives a
 	// fresh fault seed, modeling chaos that does not replay.
@@ -98,13 +113,15 @@ type ResilientConfig struct {
 // ResilientMultiply is Multiply with the self-healing execution loop:
 // it distributes a and b over p simulated ranks, multiplies with
 // CA3DMM, and recovers from injected rank crashes and payload
-// corruption by shrinking the world to the survivors, replanning for
-// the reduced process count, restoring the inputs from in-run
-// checkpoints, and re-executing — verifying every candidate result
-// with Freivalds' algorithm so corruption is never returned silently.
-// On success the returned C is additionally Freivalds-checked against
-// the original inputs on the driver. On failure the error wraps
-// ErrRankFailed, ErrVerifyFailed, or ErrRetriesExhausted.
+// corruption by descending a degradation ladder — first replacing dead
+// ranks from the hot-spare pool (same grid, no replan), then, when the
+// pool is dry, shrinking the world to the survivors and replanning for
+// the reduced count — restoring the inputs from in-run checkpoints and
+// re-executing, verifying every candidate result with Freivalds'
+// algorithm so corruption is never returned silently. On success the
+// returned C is additionally Freivalds-checked against the original
+// inputs on the driver. On failure the error wraps ErrRankFailed,
+// ErrVerifyFailed, ErrRetriesExhausted, or ErrNoQuorum.
 func ResilientMultiply(a, b *Matrix, p int, rc ResilientConfig) (*Matrix, *mpi.Report, error) {
 	switch rc.Algorithm {
 	case "", CA3DMM, CA3DMMSumma:
@@ -183,6 +200,8 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 		TransA:          rc.TransA,
 		TransB:          rc.TransB,
 		MaxRetries:      rc.MaxRetries,
+		SpareRanks:      rc.SpareRanks,
+		MinQuorum:       rc.MinQuorum,
 		Backoff:         rc.Backoff,
 		VerifyTrials:    rc.VerifyTrials,
 		VerifySeed:      rc.VerifySeed,
@@ -210,6 +229,11 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 			}
 			return
 		}
+		if out.C == nil {
+			// A rank parked out of the run (fenced, never re-claimed)
+			// holds no block of C.
+			return
+		}
 		// Copy this survivor's column block into the global result.
 		// Survivors of the final epoch jointly tile C, so the copies
 		// are disjoint.
@@ -220,6 +244,12 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 		}
 	})
 	if err != nil {
+		if rankErr != nil {
+			// Surface both: the ladder's typed verdict (ErrNoQuorum,
+			// ErrRetriesExhausted, ...) and the run-level failure record
+			// stay matchable with errors.Is.
+			return nil, rep, fmt.Errorf("%w (run: %w)", rankErr, err)
+		}
 		return nil, rep, err
 	}
 	if rankErr != nil {
