@@ -177,6 +177,18 @@ type Config struct {
 	LowerUtil float64
 	// DualBuffer overlaps Cannon shifts with local compute.
 	DualBuffer bool
+	// NoOverlap disables the overlapped execution schedule and forces
+	// fully blocking communication. Overlap is on by default: Cannon
+	// shifts run as nonblocking sendrecv behind the GEMM, SUMMA panel
+	// broadcasts are prefetched with Ibcast, and the replication
+	// allgather hides the padding copy. The accumulation order is fixed
+	// either way, so results are bit-identical with and without
+	// overlap; NoOverlap exists for A/B benchmarking and debugging.
+	NoOverlap bool
+	// OverlapDepth is the SUMMA panel prefetch depth under overlap
+	// (0 = 1, the classic double buffer). Cannon shifts are inherently
+	// depth-1.
+	OverlapDepth int
 	// MultiShift aggregates Cannon shifts for thin k panels (<2 off).
 	MultiShift int
 	// SUMMAPanel is the panel width for SUMMA-based kernels (0 auto).
@@ -246,13 +258,15 @@ func NewPlan(m, n, k, p int, cfg Config) (*Plan, error) {
 	case CA3DMM, CA3DMMSumma:
 		var pl *core.Plan
 		pl, err = core.NewPlan(m, n, k, p, cfg.TransA, cfg.TransB, core.Options{
-			Grid:       cfg.Grid,
-			LowerUtil:  cfg.LowerUtil,
-			DualBuffer: cfg.DualBuffer,
-			MultiShift: cfg.MultiShift,
-			UseSUMMA:   cfg.Algorithm == CA3DMMSumma,
-			SUMMAPanel: cfg.SUMMAPanel,
-			MaxPk:      cfg.MaxPk,
+			Grid:         cfg.Grid,
+			LowerUtil:    cfg.LowerUtil,
+			DualBuffer:   cfg.DualBuffer,
+			Overlap:      !cfg.NoOverlap,
+			OverlapDepth: cfg.OverlapDepth,
+			MultiShift:   cfg.MultiShift,
+			UseSUMMA:     cfg.Algorithm == CA3DMMSumma,
+			SUMMAPanel:   cfg.SUMMAPanel,
+			MaxPk:        cfg.MaxPk,
 
 			MemoryLimitBytes: cfg.MemoryLimitBytes,
 			Trace:            cfg.Trace,

@@ -48,6 +48,8 @@ func main() {
 	chaosDrop := flag.Float64("chaos-drop", 0, "per-message drop probability (loss chaos; recovered by the reliable transport)")
 	chaosPartition := flag.Duration("chaos-partition", 0, "isolate the upper half of the ranks for this duration (0 = off; negative = permanent, resolved by the failure detector)")
 	chaosHeal := flag.Duration("chaos-heal", 0, "partition the upper half and heal after this duration, long enough for the detector to fence the minority first — healed ranks rejoin the spare pool (0 = off)")
+	noOverlap := flag.Bool("no-overlap", false, "disable communication/computation overlap (on by default; results are bit-identical either way)")
+	overlapDepth := flag.Int("overlap-depth", 0, "prefetch depth of the overlapped SUMMA panel pipeline (0 = double buffer)")
 	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
 	retries := flag.Int("retries", 4, "recovery retry budget (replace or shrink-replan) of the self-healing executor")
 	spares := flag.Int("spares", 0, "reserve this many ranks as a hot-spare pool: the grid is planned for p-spares and dead ranks are replaced from the pool at the same process count")
@@ -55,10 +57,12 @@ func main() {
 	flag.Parse()
 
 	cfg := ca3dmm.Config{
-		Algorithm:  ca3dmm.Algorithm(*alg),
-		TransA:     *ta,
-		TransB:     *tb,
-		DualBuffer: true,
+		Algorithm:    ca3dmm.Algorithm(*alg),
+		TransA:       *ta,
+		TransB:       *tb,
+		DualBuffer:   true,
+		NoOverlap:    *noOverlap,
+		OverlapDepth: *overlapDepth,
 	}
 	if *traceOut != "" || *reportOut != "" || *metricsAddr != "" {
 		cfg.Trace = ca3dmm.NewTraceRecorder()

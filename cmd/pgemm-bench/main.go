@@ -7,6 +7,7 @@
 //
 //	pgemm-bench -exp fig3|fig4|fig5|table1|table2|table3|lsweep|all
 //	pgemm-bench -exp real|realmem|realgrid [-procs N]
+//	pgemm-bench -exp overlap [-procs N] [-reps R] [-out BENCH_overlap.json]
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid")
-	procs := flag.Int("procs", 16, "rank count for -exp real")
+	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid overlap")
+	procs := flag.Int("procs", 16, "rank count for -exp real/overlap")
+	reps := flag.Int("reps", 3, "timed repetitions for -exp overlap (best kept)")
+	out := flag.String("out", "BENCH_overlap.json", "output file for -exp overlap (empty to skip)")
 	flag.Parse()
 
 	mach := sim.Phoenix()
@@ -55,5 +58,8 @@ func main() {
 	}
 	if *exp == "realgrid" {
 		run("realgrid", func() error { return experiments.RealGridSweep(w) })
+	}
+	if *exp == "overlap" {
+		run("overlap", func() error { return experiments.RealOverlap(w, *procs, *reps, *out) })
 	}
 }

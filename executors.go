@@ -185,7 +185,10 @@ func newSummaExec(m, n, k, p int, cfg Config) (summaExec, error) {
 	if err != nil {
 		return summaExec{}, err
 	}
-	sc := summa.Config{Pr: pr, Pc: pc, M: m, K: k, N: n, Panel: cfg.SUMMAPanel}
+	sc := summa.Config{
+		Pr: pr, Pc: pc, M: m, K: k, N: n, Panel: cfg.SUMMAPanel,
+		Overlap: !cfg.NoOverlap, Prefetch: cfg.OverlapDepth,
+	}
 	e := summaExec{cfg: sc, p: p, transA: cfg.TransA, transB: cfg.TransB}
 	e.aLayout = dist.NewExplicit(m, k, p)
 	e.bLayout = dist.NewExplicit(k, n, p)

@@ -30,6 +30,14 @@ type Config struct {
 	// overlapping communication with computation (the paper's
 	// dual-buffer optimization). Correctness is unaffected.
 	DualBuffer bool
+	// Overlap runs the shift loop through the nonblocking pipeline:
+	// each step's Isendrecv pair is in flight — send and background
+	// receive both — while that step's GEMM runs on the worker pool,
+	// and only the residual wait is exposed. Strictly stronger than
+	// DualBuffer (which overlaps the send only); takes precedence over
+	// it. The accumulation order is unchanged, so the result is
+	// bit-identical to the blocking path.
+	Overlap bool
 	// MultiShift aggregates up to MultiShift consecutive shift steps
 	// into a single wider local multiplication when the per-block
 	// k-dimension is thin ("we perform multiple shifts for one local
@@ -130,6 +138,8 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 
 	if aggregate {
 		multiplyAggregated(c, curA, curB, cPad, cfg, row, col, &tm)
+	} else if cfg.Overlap {
+		multiplyOverlapped(c, curA, curB, cPad, cfg, row, col, &tm)
 	} else if cfg.DualBuffer {
 		// Post the shift of the current blocks, multiply the local
 		// copies, then receive the next blocks: the send is in flight
@@ -166,6 +176,58 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 	}
 
 	return cropC(cPad, cfg, row, col), tm
+}
+
+// multiplyOverlapped is the double-buffered shift loop: step i's GEMM
+// runs on the current blocks while step i+1's blocks are already in
+// flight (eager sends out, background receives claiming), so only the
+// comm time exceeding the GEMM is exposed in tm.Comm. The received
+// payloads become the second buffer set — no copy back into the
+// current blocks. Cannon's shift carries a true data dependence (a
+// step sends the blocks it just received), so the pipeline depth is
+// inherently one; deeper prefetch exists only on the SUMMA path, whose
+// panels are independent. The GEMM runs on the shared worker pool,
+// which consumes (MC,NC) tiles as they are scheduled and is
+// bit-identical to the serial engine, so enabling Overlap cannot
+// change the result.
+func multiplyOverlapped(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, row, col int, tm *Timings) {
+	s := cfg.S
+	am, ak, bn := cfg.BlockShape()
+	rank := func(r, cc int) int { return ((r+s)%s)*s + (cc+s)%s }
+	const tagA, tagB = 0, 1
+	var reqA, reqB *mpi.Request
+	// If a Wait aborts (dead neighbor, revocation, timeout), the
+	// sibling request is cancelled: its background claim is drained by
+	// the runtime, not leaked.
+	defer func() {
+		if reqA != nil {
+			reqA.Cancel()
+		}
+		if reqB != nil {
+			reqB.Cancel()
+		}
+	}()
+	for step := 0; step < s; step++ {
+		if step < s-1 {
+			tc := time.Now()
+			reqA = c.Isendrecv(rank(row, col-1), rank(row, col+1), tagA, curA.Data)
+			reqB = c.Isendrecv(rank(row-1, col), rank(row+1, col), tagB, curB.Data)
+			tm.Comm += time.Since(tc)
+		}
+		tg := time.Now()
+		mat.Gemm(mat.NoTrans, mat.NoTrans, 1, curA, curB, 1, cPad)
+		tm.Compute += time.Since(tg)
+		if step < s-1 {
+			tc := time.Now()
+			a := reqA.Wait()
+			reqA = nil
+			b := reqB.Wait()
+			reqB = nil
+			curA = mat.FromSlice(am, ak, a)
+			curB = mat.FromSlice(ak, bn, b)
+			tm.Comm += time.Since(tc)
+		}
+	}
 }
 
 // multiplyAggregated performs the shifts in groups, concatenating g

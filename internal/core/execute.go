@@ -138,16 +138,43 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 	cfg := cannon.Config{
 		S: p.S, M: m1 - m0, K: kg, N: n1 - n0,
 		DualBuffer: p.Opt.DualBuffer,
+		Overlap:    p.Opt.Overlap,
 		MultiShift: p.Opt.MultiShift,
 		MinKBlock:  p.Opt.MinKBlock,
 	}
 	am, ak, bn := cfg.BlockShape()
 
-	// Step 5: replicate the split matrix across Cannon groups.
+	// Step 5: replicate the split matrix across Cannon groups. Under
+	// Overlap the allgather runs as an Iallgatherv and the padding of
+	// the non-replicated matrix (a pure local copy) proceeds while it
+	// is in flight; tm.Allgather then includes that pad, which is the
+	// point — the copy is hidden inside the communication window.
 	ta := time.Now()
 	endSpan := p.Opt.Trace.Begin(world.WorldRank(), "allgather")
-	var aBlock, bBlock *mat.Dense
-	if p.RepA {
+	var aBlock, bBlock, aPad, bPad *mat.Dense
+	if p.Opt.Overlap && p.Crep > 1 {
+		sub, isA := bNat, false
+		if p.RepA {
+			sub, isA = aNat, true
+		}
+		rows, cols, counts := p.replLayout(isA, role, cfg)
+		req := repComm.Iallgatherv(sub.Pack(), counts)
+		if p.RepA {
+			bBlock = bNat
+			bPad = cannon.PadBlock(bBlock, ak, bn)
+		} else {
+			aBlock = aNat
+			aPad = cannon.PadBlock(aBlock, am, ak)
+		}
+		full := assembleFrom(req.Wait(), rows, cols, counts, isA)
+		if p.RepA {
+			aBlock = full
+			world.RecordAlloc(int64(8 * (len(aBlock.Data) - len(aNat.Data))))
+		} else {
+			bBlock = full
+			world.RecordAlloc(int64(8 * (len(bBlock.Data) - len(bNat.Data))))
+		}
+	} else if p.RepA {
 		aBlock = p.assembleReplicated(repComm, aNat, true, role, cfg)
 		bBlock = bNat
 		world.RecordAlloc(int64(8 * (len(aBlock.Data) - len(aNat.Data))))
@@ -160,9 +187,14 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 	tm.Allgather += time.Since(ta)
 
 	// Step 6: Cannon within the Cannon group. The padded copies stand
-	// in for the dual buffers of the reference implementation.
-	aPad := cannon.PadBlock(aBlock, am, ak)
-	bPad := cannon.PadBlock(bBlock, ak, bn)
+	// in for the dual buffers of the reference implementation. One of
+	// the pads may already have been built under the allgather above.
+	if aPad == nil {
+		aPad = cannon.PadBlock(aBlock, am, ak)
+	}
+	if bPad == nil {
+		bPad = cannon.PadBlock(bBlock, ak, bn)
+	}
 	padBytes := int64(8 * (len(aPad.Data) + len(bPad.Data)))
 	world.RecordAlloc(padBytes)
 	// Each rank performs S local GEMMs of (am x ak)·(ak x bn) during
@@ -192,14 +224,22 @@ func (p *Plan) assembleReplicated(repComm *mpi.Comm, sub *mat.Dense, isA bool, r
 	if p.Crep == 1 {
 		return sub
 	}
-	var rows, cols int
+	rows, cols, counts := p.replLayout(isA, role, cfg)
+	all := repComm.Allgatherv(sub.Pack(), counts)
+	return assembleFrom(all, rows, cols, counts, isA)
+}
+
+// replLayout computes the assembled block shape and the per-replica
+// element counts of the replication allgather. Split out from
+// assembleReplicated so the overlapped path can initiate the
+// Iallgatherv before doing local work.
+func (p *Plan) replLayout(isA bool, role rankRole, cfg cannon.Config) (rows, cols int, counts []int) {
 	if isA {
 		_, _, rows, cols = cannon.ABlockOwned(cfg, role.i, role.j)
 	} else {
 		_, _, rows, cols = cannon.BBlockOwned(cfg, role.i, role.j)
 	}
-	full := mat.New(rows, cols)
-	counts := make([]int, p.Crep)
+	counts = make([]int, p.Crep)
 	for q := 0; q < p.Crep; q++ {
 		if isA {
 			lo, hi := dist.BlockRange(cols, p.Crep, q)
@@ -209,17 +249,25 @@ func (p *Plan) assembleReplicated(repComm *mpi.Comm, sub *mat.Dense, isA bool, r
 			counts[q] = (hi - lo) * cols
 		}
 	}
-	all := repComm.Allgatherv(sub.Pack(), counts)
+	return rows, cols, counts
+}
+
+// assembleFrom reassembles the full rows x cols block from the
+// concatenated allgather payload: replica q's slice is a column strip
+// (A) or row strip (B) of the block.
+func assembleFrom(all []float64, rows, cols int, counts []int, isA bool) *mat.Dense {
+	full := mat.New(rows, cols)
+	crep := len(counts)
 	off := 0
-	for q := 0; q < p.Crep; q++ {
+	for q := 0; q < crep; q++ {
 		if counts[q] == 0 {
 			continue
 		}
 		if isA {
-			lo, hi := dist.BlockRange(cols, p.Crep, q)
+			lo, hi := dist.BlockRange(cols, crep, q)
 			full.View(0, lo, rows, hi-lo).Unpack(all[off : off+counts[q]])
 		} else {
-			lo, hi := dist.BlockRange(rows, p.Crep, q)
+			lo, hi := dist.BlockRange(rows, crep, q)
 			full.View(lo, 0, hi-lo, cols).Unpack(all[off : off+counts[q]])
 		}
 		off += counts[q]
@@ -270,7 +318,9 @@ func (p *Plan) executeSUMMA(kanComm, redComm *mpi.Comm,
 	cfg := summa.Config{
 		Pr: p.G.Pm, Pc: p.G.Pn,
 		M: p.M, K: kg, N: p.N,
-		Panel: p.Opt.SUMMAPanel,
+		Panel:    p.Opt.SUMMAPanel,
+		Overlap:  p.Opt.Overlap,
+		Prefetch: p.Opt.OverlapDepth,
 	}
 	span := p.Opt.Trace.Start(world.WorldRank(), "summa")
 	cPart, stm := summa.Multiply(kanComm, aNat, bNat, cfg)

@@ -40,6 +40,20 @@ type Options struct {
 	MultiShift int
 	// MinKBlock is the k-width threshold for MultiShift (0 = 64).
 	MinKBlock int
+	// Overlap enables communication/computation overlap throughout the
+	// execution: the Cannon stage shifts with nonblocking sendrecv
+	// behind the GEMM, the SUMMA stage prefetches panel broadcasts with
+	// Ibcast, and the replication allgather overlaps the padding of the
+	// non-replicated matrix. Accumulation order is fixed, so results
+	// are bit-identical to the blocking path. Strictly stronger than
+	// DualBuffer (which only double-buffers the Cannon shift targets).
+	Overlap bool
+	// OverlapDepth is the prefetch depth of the SUMMA panel pipeline
+	// under Overlap (how many panels may be in flight ahead of the one
+	// being computed). Zero means 1, the classic double buffer. Cannon
+	// shifts are inherently depth-1 (each shift sends the block just
+	// received), so this knob does not affect the Cannon stage.
+	OverlapDepth int
 	// UseSUMMA replaces the Cannon kernel with SUMMA inside each
 	// k-task group (the CA3DMM-S variant of Section III-E, for
 	// ablation). The grid is then chosen without constraint (7).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"time"
 )
 
@@ -181,10 +182,14 @@ func (i Injection) String() string {
 
 const defaultFaultDelay = time.Millisecond
 
-// injector is the per-rank fault engine. It is owned by the rank's
-// goroutine (single-threaded) and shared by every Comm the rank
-// derives, so call counts span communicators.
+// injector is the per-rank fault engine, shared by every Comm the rank
+// derives, so call counts span communicators. The rank's nonblocking
+// operations run their communication on background goroutines that
+// share this injector, so the event hook serializes on mu: the rank
+// still has one fault-decision stream, its events just interleave with
+// those of its own in-flight requests.
 type injector struct {
+	mu    sync.Mutex
 	plan  *FaultPlan
 	rank  int
 	rng   *rand.Rand
@@ -320,6 +325,12 @@ func (c *Comm) event(op string, key boxKey, env envelope, send bool) []envelope 
 	if in == nil {
 		return out
 	}
+	// The lock covers the whole decision (and any injected sleep): a
+	// FaultCrash panic still unlocks via the defer, and serializing a
+	// straggler's sleeps across the rank's threads models one slow
+	// process rather than one slow thread.
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	call := in.calls
 	in.calls++
 	if in.slow > 0 {
@@ -442,7 +453,12 @@ func (c *Comm) flushStash() {
 // lost — and recorded as such; a sequenced one is still covered by its
 // retransmit loop.
 func (in *injector) flush(w *world) {
-	if in == nil || !in.hasPending {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.hasPending {
 		return
 	}
 	select {

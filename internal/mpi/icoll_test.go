@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// --- Nonblocking collectives ---------------------------------------
+//
+// Every I-collective must produce exactly the blocking result, compose
+// with further (blocking or nonblocking) operations on the same
+// communicator while in flight, fold its traffic into the owner's
+// statistics, and be drained by the runtime when abandoned.
+
+func TestIallgatherMatchesBlocking(t *testing.T) {
+	for p := 1; p <= 5; p++ {
+		_, err := Run(p, func(c *Comm) {
+			me := float64(c.Rank())
+			want := c.Allgather([]float64{me, -me})
+			got := c.Iallgather([]float64{me, -me}).Wait()
+			if len(got) != len(want) {
+				t.Errorf("p=%d rank %d: len %d want %d", p, c.Rank(), len(got), len(want))
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("p=%d rank %d: got %v want %v", p, c.Rank(), got, want)
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestIallgathervMatchesBlocking(t *testing.T) {
+	for p := 1; p <= 5; p++ {
+		_, err := Run(p, func(c *Comm) {
+			counts := make([]int, p)
+			for i := range counts {
+				counts[i] = i + 1
+			}
+			send := make([]float64, c.Rank()+1)
+			for i := range send {
+				send[i] = float64(10*c.Rank() + i)
+			}
+			want := c.Allgatherv(send, counts)
+			got := c.Iallgatherv(send, counts).Wait()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("p=%d rank %d: got %v want %v", p, c.Rank(), got, want)
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestIbcastAllSizesAllRoots(t *testing.T) {
+	for p := 1; p <= 4; p++ {
+		for root := 0; root < p; root++ {
+			_, err := Run(p, func(c *Comm) {
+				data := make([]float64, 3)
+				if c.Rank() == root {
+					data = []float64{1, 2, 3}
+				}
+				got := c.Ibcast(root, data).Wait()
+				if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+					t.Errorf("p=%d root=%d rank %d: got %v", p, root, c.Rank(), got)
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestIreduceMatchesBlocking(t *testing.T) {
+	for p := 1; p <= 4; p++ {
+		_, err := Run(p, func(c *Comm) {
+			me := float64(c.Rank())
+			got := c.Ireduce(0, []float64{me, 2 * me}).Wait()
+			if c.Rank() == 0 {
+				sum := float64(p*(p-1)) / 2
+				if got == nil || got[0] != sum || got[1] != 2*sum {
+					t.Errorf("p=%d: root got %v want sum %v", p, got, sum)
+				}
+			} else if got != nil {
+				t.Errorf("p=%d rank %d: non-root got %v", p, c.Rank(), got)
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestIsendrecvRingShift(t *testing.T) {
+	const p = 5
+	_, err := Run(p, func(c *Comm) {
+		r := c.Isendrecv((c.Rank()+1)%p, (c.Rank()-1+p)%p, 4, []float64{float64(c.Rank())})
+		got := r.Wait()
+		want := float64((c.Rank() - 1 + p) % p)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("rank %d: got %v want %v", c.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICollectivesComposeWhileInFlight(t *testing.T) {
+	// Blocking collectives, point-to-point traffic on user tags, and a
+	// second nonblocking collective may all run between initiation and
+	// Wait, in the same order on every rank; tag reservation at
+	// initiation keeps the sequences aligned.
+	const p = 4
+	_, err := Run(p, func(c *Comm) {
+		me := float64(c.Rank())
+		r1 := c.Iallgather([]float64{me})
+		sum := c.Allreduce([]float64{1})
+		r2 := c.Ibcast(1, []float64{me * 10})
+		c.Sendrecv((c.Rank()+1)%p, (c.Rank()-1+p)%p, 3, []float64{me})
+		out := WaitAll(r1, r2)
+		if sum[0] != p {
+			t.Errorf("rank %d: allreduce got %v", c.Rank(), sum)
+		}
+		for i := 0; i < p; i++ {
+			if out[0][i] != float64(i) {
+				t.Errorf("rank %d: allgather got %v", c.Rank(), out[0])
+				return
+			}
+		}
+		if out[1][0] != 10 {
+			t.Errorf("rank %d: bcast got %v", c.Rank(), out[1])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICollStatsFoldedIntoOwner(t *testing.T) {
+	const p = 4
+	rep, err := Run(p, func(c *Comm) {
+		c.Iallgather(make([]float64, 8)).Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range rep.Ranks {
+		os, ok := st.PerOp["allgather"]
+		if !ok || os.RecvBytes == 0 || os.Bytes == 0 {
+			t.Fatalf("rank %d: allgather traffic not folded: %+v", r, st.PerOp)
+		}
+	}
+}
+
+func TestICollOverlapSpanRecorded(t *testing.T) {
+	rec := obs.NewRecorder()
+	_, err := RunOpt(2, Options{Obs: rec}, func(c *Comm) {
+		r := c.Iallgather([]float64{float64(c.Rank())})
+		time.Sleep(2 * time.Millisecond) // the window Wait should report
+		r.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlap, comm int
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case obs.KindOverlap:
+			overlap++
+			if !strings.HasPrefix(s.Name, "overlap:") || s.Op != "allgather" {
+				t.Fatalf("bad overlap span %+v", s)
+			}
+			if s.Dur() < time.Millisecond {
+				t.Fatalf("overlap window %v shorter than the compute it covered", s.Dur())
+			}
+		case obs.KindComm:
+			comm++
+		}
+	}
+	if overlap != 2 {
+		t.Fatalf("want one overlap span per rank, got %d", overlap)
+	}
+	if comm == 0 {
+		t.Fatal("exposed comm spans missing")
+	}
+}
+
+func TestAbandonedRequestsDrainedAtRunEnd(t *testing.T) {
+	// Requests that are never waited on — a posted receive with no
+	// matching send, and an I-collective some members never complete —
+	// must not hang Run: the end-of-run revocation wakes their
+	// background goroutines and the asyncWG join collects them.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(3, func(c *Comm) {
+			c.Irecv((c.Rank()+1)%3, 11) // no sender, never waited
+			if c.Rank() == 0 {
+				c.Iallgather([]float64{1}) // rank 0 never waits; 1 and 2 never initiate
+			}
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain abandoned requests")
+	}
+}
+
+func TestICollDoubleWaitFails(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		r := c.Iallgather([]float64{1})
+		r.Wait()
+		r.Wait()
+	})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -100,15 +100,22 @@ type world struct {
 	det      *detector
 	shutdown chan struct{}
 	netWG    sync.WaitGroup
-	doneOKs  []atomic.Bool  // rank returned normally
-	slowNs   []atomic.Int64 // rank's injected straggle delay (ns)
-	netMu    sync.Mutex     // guards net and opNet
-	net      []NetStats     // per-rank transport/detector counters
-	opNet    []map[string]*opNetDelta
-	obsMu    sync.Mutex   // serializes the obs "fabric" lane
-	partMu   sync.RWMutex // guards parts
-	parts    []partitionState
-	partOn   atomic.Int32 // fast-path flag: any partition ever activated
+	// asyncWG joins the background goroutines of nonblocking operations
+	// (Irecv claims, I-collective bodies). They are joined before
+	// shutdown closes — after revoking every epoch, so an abandoned
+	// request cannot block the join — because their communication may
+	// still arm netWG-tracked work (retransmit registration, delayed
+	// deliveries), which must all be added before netWG.Wait begins.
+	asyncWG sync.WaitGroup
+	doneOKs []atomic.Bool  // rank returned normally
+	slowNs  []atomic.Int64 // rank's injected straggle delay (ns)
+	netMu   sync.Mutex     // guards net and opNet
+	net     []NetStats     // per-rank transport/detector counters
+	opNet   []map[string]*opNetDelta
+	obsMu   sync.Mutex   // serializes the obs "fabric" lane
+	partMu  sync.RWMutex // guards parts
+	parts   []partitionState
+	partOn  atomic.Int32 // fast-path flag: any partition ever activated
 
 	// everSuspected[r] is set when any prober suspects rank r and
 	// cleared (once, with an hb:clear event) when the suspicion is
@@ -472,6 +479,12 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		}(r)
 	}
 	wg.Wait()
+	// Drain nonblocking operations abandoned without a Wait (a consumer
+	// that unwound mid-prefetch): revoking every epoch wakes their
+	// blocked claims, and the join guarantees no request goroutine is
+	// still running — or about to arm more background work — below.
+	w.revokeAll()
+	w.asyncWG.Wait()
 	// Join every background goroutine (retransmit loops, probers,
 	// delayed deliveries) before folding their accumulators into the
 	// per-rank Stats: after the join nothing concurrently touches them.

@@ -19,6 +19,13 @@ type Request struct {
 	// receive plumbing
 	payload chan irecvResult
 	src     int
+	// overlap-window bookkeeping: the obs-clock reading at initiation,
+	// recorded at Wait as the span during which the operation could
+	// proceed behind the rank's other work.
+	initObs time.Duration
+	hasInit bool
+	// coll is non-nil for nonblocking collectives (see icoll.go).
+	coll *collPending
 }
 
 // irecvResult carries the outcome of a background receive to Wait;
@@ -44,6 +51,10 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	c.checkTag(tag)
 	c.event("p2p", boxKey{}, envelope{}, false)
 	r := &Request{c: c, isRecv: true, payload: make(chan irecvResult, 1), src: src}
+	if c.obs != nil {
+		r.initObs = c.obs.Since()
+		r.hasInit = true
+	}
 	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
 	w := c.w
 	box := w.box(key)
@@ -54,7 +65,12 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	// sequenced duplicates and restoring send order like a blocking
 	// receive would); statistics are recorded in the owning rank's
 	// goroutine inside Wait, keeping the per-rank Stats single-writer.
+	// It is joined at run end via asyncWG: every arm of its select is
+	// woken by the pre-join revocation, so an abandoned claim cannot
+	// leak past the run.
+	w.asyncWG.Add(1)
 	go func() {
+		defer w.asyncWG.Done()
 		for {
 			if data, ok := w.nextBuffered(key); ok {
 				r.payload <- irecvResult{data: data}
@@ -87,6 +103,17 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	return r
 }
 
+// recordOverlap records the request's overlap window — initiation to
+// Wait entry — on the owner's timeline. The window is the time the
+// operation had available to complete behind the rank's other work;
+// whatever remained is the exposed comm span Wait records separately.
+func (r *Request) recordOverlap(op string) {
+	if !r.hasInit || r.c.obs == nil {
+		return
+	}
+	r.c.obs.OverlapSpan(r.c.worldRank, op, r.initObs)
+}
+
 // Wait completes the request. For receives it returns the payload; a
 // timed-out receive or a failed sender aborts like a blocking Recv
 // would (catchable via RecoverComm).
@@ -95,9 +122,13 @@ func (r *Request) Wait() []float64 {
 		r.c.w.fail(fmt.Errorf("mpi: rank %d: Wait called twice on the same request", r.c.rank))
 	}
 	r.done = true
+	if r.coll != nil {
+		return r.waitColl()
+	}
 	if !r.isRecv {
 		return nil
 	}
+	r.recordOverlap("p2p")
 	defer r.c.commEnd(r.c.commBegin("p2p", 1))
 	res := <-r.payload
 	if res.sentinel != nil {
@@ -107,6 +138,36 @@ func (r *Request) Wait() []float64 {
 	r.c.stats.MsgsRecv++
 	r.c.stats.addOpRecv("p2p", int64(8*len(res.data)))
 	return res.data
+}
+
+// waitColl joins an async collective body: fold its private statistics
+// into the owner (the channel receive orders the body's writes before
+// the fold), then replay on the owning goroutine whatever unwound it —
+// a comm abort, an injected crash, a misuse abort — so failure handling
+// is indistinguishable from the blocking call. The deferred comm span
+// runs after the fold, so it carries the collective's byte deltas, and
+// it records even on the abort path (the chaos-trace contract).
+func (r *Request) waitColl() []float64 {
+	cp := r.coll
+	r.recordOverlap(cp.op)
+	defer r.c.commEnd(r.c.commBegin(cp.op, cp.peers))
+	res := <-cp.res
+	if res.stats != nil {
+		r.c.stats.fold(res.stats)
+	}
+	if res.panicked != nil {
+		panic(res.panicked)
+	}
+	return res.data
+}
+
+// Cancel abandons a request the caller will never Wait on (e.g. the
+// sibling of a prefetch whose partner already aborted). The in-flight
+// background claim keeps running; it is woken by the next revocation at
+// the latest and joined before Run returns, and its result and private
+// statistics are discarded.
+func (r *Request) Cancel() {
+	r.done = true
 }
 
 // WaitAll completes a set of requests in order, returning the payloads

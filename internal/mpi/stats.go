@@ -127,6 +127,36 @@ func (s *Stats) addInjection(rec Injection) {
 	s.Injected = append(s.Injected, rec)
 }
 
+// fold merges the private Stats shard of a completed nonblocking
+// operation into s. The shard was written only by the operation's
+// background goroutine, and fold runs on the owning rank's goroutine at
+// Wait (after the result handoff established happens-before), so the
+// per-rank single-writer discipline holds throughout. Only the fields a
+// collective body can touch — traffic counters, per-op rows, fired
+// injections — are merged; allocation and checkpoint tracking stay with
+// the owner.
+func (s *Stats) fold(d *Stats) {
+	s.BytesSent += d.BytesSent
+	s.BytesRecv += d.BytesRecv
+	s.MsgsSent += d.MsgsSent
+	s.MsgsRecv += d.MsgsRecv
+	for op, e := range d.PerOp {
+		if s.PerOp == nil {
+			s.PerOp = make(map[string]OpStats)
+		}
+		t := s.PerOp[op]
+		t.Bytes += e.Bytes
+		t.Msgs += e.Msgs
+		t.RecvBytes += e.RecvBytes
+		t.RecvMsgs += e.RecvMsgs
+		t.Calls += e.Calls
+		t.Retrans += e.Retrans
+		t.DupDrops += e.DupDrops
+		s.PerOp[op] = t
+	}
+	s.Injected = append(s.Injected, d.Injected...)
+}
+
 func (s *Stats) addCall(op string) {
 	if s.PerOp == nil {
 		s.PerOp = make(map[string]OpStats)

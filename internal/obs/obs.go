@@ -34,13 +34,23 @@ const (
 	// KindComm is a communication operation (a collective or a
 	// point-to-point call) recorded by the message-passing runtime.
 	KindComm
+	// KindOverlap is the overlap window of a nonblocking operation:
+	// initiation to Wait, during which the communication could proceed
+	// behind the rank's compute. The report treats the per-rank union
+	// of these windows as hidden communication time, kept apart from
+	// KindComm so exposed-comm accounting is unaffected.
+	KindOverlap
 )
 
 func (k Kind) String() string {
-	if k == KindComm {
+	switch k {
+	case KindComm:
 		return "comm"
+	case KindOverlap:
+		return "overlap"
+	default:
+		return "stage"
 	}
-	return "stage"
 }
 
 // Span is one timed operation on one rank.
@@ -261,6 +271,19 @@ func (r *Recorder) CommSpan(rank int, op string, start time.Duration, sent, recv
 	r.shard(rank).addSpan(Span{
 		Rank: rank, Name: op, Kind: KindComm, Op: op,
 		SentBytes: sent, RecvBytes: recv, Peers: peers,
+		Start: start, End: time.Since(r.epoch),
+	})
+}
+
+// OverlapSpan records the overlap window of a nonblocking operation on
+// a rank: start is the initiation time, the end is now (the owner
+// entering Wait). Named "overlap:<op>" on the timeline.
+func (r *Recorder) OverlapSpan(rank int, op string, start time.Duration) {
+	if r == nil {
+		return
+	}
+	r.shard(rank).addSpan(Span{
+		Rank: rank, Name: "overlap:" + op, Kind: KindOverlap, Op: op,
 		Start: start, End: time.Since(r.epoch),
 	})
 }

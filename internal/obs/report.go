@@ -22,6 +22,14 @@ type Report struct {
 	RankStats []RankStat   `json:"rank_stats"`
 	Critical  []PathStep   `json:"critical_path"`
 	Events    []EventCount `json:"events,omitempty"`
+
+	// HiddenCommUS sums the ranks' hidden-communication time: the
+	// per-rank union of overlap windows, during which nonblocking
+	// operations were in flight behind the rank's compute.
+	// HiddenCommFrac is hidden / (hidden + exposed comm) over all
+	// ranks — the fraction of communication the overlap pipeline hid.
+	HiddenCommUS   int64   `json:"hidden_comm_us,omitempty"`
+	HiddenCommFrac float64 `json:"hidden_comm_frac,omitempty"`
 }
 
 // StageStat aggregates one stage name across ranks.
@@ -58,6 +66,10 @@ type RankStat struct {
 	RecvBytes int64   `json:"recv_bytes"`
 	Flops     int64   `json:"flops"`
 	GFLOPS    float64 `json:"gflops"` // flops / busy time
+	// HiddenUS is the union of the rank's overlap windows: time during
+	// which at least one nonblocking operation was in flight behind
+	// whatever else the rank was doing.
+	HiddenUS int64 `json:"hidden_us,omitempty"`
 }
 
 // PathStep is one outermost span on the critical (slowest) rank.
@@ -180,6 +192,36 @@ func (r *Recorder) BuildReport() *Report {
 		}
 	}
 
+	// Hidden-comm pass: per rank, the union of overlap windows (windows
+	// of pipelined requests interleave, so summing durations would
+	// double-count). spans are sorted by (rank, start), so a single
+	// sweep merges each rank's intervals.
+	lastRank := -1
+	var ivStart, ivEnd time.Duration
+	flushIv := func() {
+		if lastRank < 0 {
+			return
+		}
+		rs := ranks[lastRank]
+		if rs == nil {
+			rs = &RankStat{Rank: lastRank}
+			ranks[lastRank] = rs
+		}
+		rs.HiddenUS += (ivEnd - ivStart).Microseconds()
+	}
+	for _, s := range spans {
+		if s.Kind != KindOverlap {
+			continue
+		}
+		if s.Rank != lastRank || s.Start > ivEnd {
+			flushIv()
+			lastRank, ivStart, ivEnd = s.Rank, s.Start, s.End
+		} else if s.End > ivEnd {
+			ivEnd = s.End
+		}
+	}
+	flushIv()
+
 	rep.Ranks = len(ranks)
 	for name, ag := range stages {
 		st := StageStat{Name: name, Flops: ag.flops, Calls: ag.calls}
@@ -214,14 +256,21 @@ func (r *Recorder) BuildReport() *Report {
 	})
 
 	critRank, critBusy := -1, int64(-1)
+	var totalComm, totalHidden int64
 	for _, rs := range ranks {
 		if rs.BusyUS > 0 {
 			rs.GFLOPS = float64(rs.Flops) / 1e3 / float64(rs.BusyUS)
 		}
+		totalComm += rs.CommUS
+		totalHidden += rs.HiddenUS
 		rep.RankStats = append(rep.RankStats, *rs)
 		if rs.BusyUS+rs.CommUS > critBusy {
 			critBusy, critRank = rs.BusyUS+rs.CommUS, rs.Rank
 		}
+	}
+	rep.HiddenCommUS = totalHidden
+	if totalComm+totalHidden > 0 {
+		rep.HiddenCommFrac = float64(totalHidden) / float64(totalComm+totalHidden)
 	}
 	sort.Slice(rep.RankStats, func(i, j int) bool { return rep.RankStats[i].Rank < rep.RankStats[j].Rank })
 
@@ -304,6 +353,10 @@ func (rep *Report) Render() string {
 			fmt.Fprintf(&b, "%-6d %10s %10s %10s %10s %8.2f\n",
 				rs.Rank, fmtUS(rs.BusyUS), fmtUS(rs.CommUS), fmtBytes(rs.SentBytes), fmtBytes(rs.RecvBytes), rs.GFLOPS)
 		}
+	}
+	if rep.HiddenCommUS > 0 {
+		fmt.Fprintf(&b, "\nhidden comm: %s overlapped behind compute (%.0f%% of all comm)\n",
+			fmtUS(rep.HiddenCommUS), 100*rep.HiddenCommFrac)
 	}
 	if len(rep.Critical) > 0 {
 		fmt.Fprintf(&b, "\ncritical path (rank %d):\n", rep.Critical[0].Rank)

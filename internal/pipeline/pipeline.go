@@ -1,0 +1,38 @@
+// Package pipeline is the double-buffered step executor behind the
+// overlapped k-loops: a bounded-depth software pipeline that keeps the
+// next step's communication in flight while the current step computes.
+//
+// The executor owns the ordering invariants the overlap machinery
+// depends on:
+//
+//   - Initiations run on the calling goroutine in step order, so the
+//     collective-tag sequences of the underlying communicators stay
+//     aligned across ranks (every rank initiates the same operations
+//     in the same order).
+//   - Compute runs on the calling goroutine in step order, regardless
+//     of the order the in-flight operations complete in, so the
+//     accumulation order — and therefore the floating-point result —
+//     is bit-identical to the blocking schedule.
+package pipeline
+
+// Run executes n steps with up to depth of them prefetched ahead of
+// the compute. initiate(i) starts step i's communication and returns
+// its wait closure; compute(i, v) consumes the waited value. depth <= 0
+// degenerates to initiate-wait-compute (no overlap, same schedule
+// through the nonblocking machinery).
+func Run[T any](n, depth int, initiate func(int) func() T, compute func(int, T)) {
+	if depth < 0 {
+		depth = 0
+	}
+	waits := make([]func() T, 0, depth+1)
+	next := 0
+	for step := 0; step < n; step++ {
+		// Top up the prefetch window: step's own initiation plus up to
+		// depth steps beyond it.
+		for ; next <= step+depth && next < n; next++ {
+			waits = append(waits, initiate(next))
+		}
+		compute(step, waits[0]())
+		waits = waits[1:]
+	}
+}

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+)
+
+// record tags every hook invocation so the tests can assert the exact
+// interleaving the executor guarantees.
+func runTraced(n, depth int) (events []string) {
+	Run(n, depth,
+		func(i int) func() int {
+			events = append(events, fmt.Sprintf("init:%d", i))
+			return func() int {
+				events = append(events, fmt.Sprintf("wait:%d", i))
+				return i * i
+			}
+		},
+		func(i, v int) {
+			if v != i*i {
+				panic(fmt.Sprintf("step %d got %d", i, v))
+			}
+			events = append(events, fmt.Sprintf("compute:%d", i))
+		})
+	return events
+}
+
+func TestZeroDepthDegeneratesToBlocking(t *testing.T) {
+	got := runTraced(3, 0)
+	want := []string{
+		"init:0", "wait:0", "compute:0",
+		"init:1", "wait:1", "compute:1",
+		"init:2", "wait:2", "compute:2",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDepthOneIsDoubleBuffer(t *testing.T) {
+	got := runTraced(3, 1)
+	// Step i+1's initiation precedes step i's wait/compute; waits and
+	// computes stay in step order.
+	want := []string{
+		"init:0", "init:1", "wait:0", "compute:0",
+		"init:2", "wait:1", "compute:1",
+		"wait:2", "compute:2",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDepthExceedingStepsInitiatesAllUpFront(t *testing.T) {
+	got := runTraced(2, 10)
+	want := []string{
+		"init:0", "init:1", "wait:0", "compute:0",
+		"wait:1", "compute:1",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestNegativeDepthClamped(t *testing.T) {
+	if got, want := runTraced(2, -5), runTraced(2, 0); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestZeroSteps(t *testing.T) {
+	if ev := runTraced(0, 2); len(ev) != 0 {
+		t.Fatalf("unexpected events %v", ev)
+	}
+}
+
+func TestComputeOrderFixedForEveryDepth(t *testing.T) {
+	// The accumulation-order invariant: compute always runs 0..n-1
+	// regardless of depth.
+	for depth := 0; depth <= 4; depth++ {
+		var order []int
+		Run(7, depth,
+			func(i int) func() int { return func() int { return i } },
+			func(i, v int) { order = append(order, v) })
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("depth %d: compute order %v", depth, order)
+			}
+		}
+		if len(order) != 7 {
+			t.Fatalf("depth %d: %d computes", depth, len(order))
+		}
+	}
+}

@@ -141,6 +141,12 @@ type Estimate struct {
 	Spread  float64 // internal input movement (2.5D layer spread)
 	Redist  float64 // user-layout conversion (Layout = Col1D)
 	Total   float64
+	// HiddenComm is communication hidden behind local compute by the
+	// overlap schedule (Cannon shifts behind the step GEMM, SUMMA panel
+	// prefetch). It is NOT part of Total — the comm terms above count
+	// only the exposed excess — but HiddenComm/(HiddenComm+comm) is the
+	// predicted hidden-comm fraction the observability report measures.
+	HiddenComm float64
 
 	GridPm, GridPn, GridPk int
 	ActiveRanks            int
@@ -148,4 +154,15 @@ type Estimate struct {
 	// PctPeak is 2mnk / Total divided by the machine peak of the
 	// allocation (the y axis of the paper's Fig. 3).
 	PctPeak float64
+}
+
+// HiddenFrac returns the predicted fraction of all communication that
+// the overlap schedule hides behind compute, matching the
+// hidden-comm-fraction line of the observability report.
+func (e Estimate) HiddenFrac() float64 {
+	comm := e.ReplAB + e.ReduceC + e.Spread + e.Redist
+	if e.HiddenComm+comm <= 0 {
+		return 0
+	}
+	return e.HiddenComm / (e.HiddenComm + comm)
 }

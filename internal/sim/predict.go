@@ -166,8 +166,14 @@ func predictCA3DMM(mach Machine, spec Spec) (Estimate, error) {
 		rounds := float64(maxInt(g.Pm, g.Pn)) * summaPanelRounds
 		rowPl := place(mach, spec, g.Pn, 1)
 		colPl := place(mach, spec, g.Pm, g.Pn)
-		est.ReplAB = rounds * (costmodel.Broadcast(aPanel, rowPl) + costmodel.Broadcast(bPanel, colPl))
+		roundComm := costmodel.Broadcast(aPanel, rowPl) + costmodel.Broadcast(bPanel, colPl)
 		est.Compute = flopsPerRank/rate + gpuStaging(mach, spec, 8*(float64(spec.M)*kg/act+kg*float64(spec.N)/act)*rounds)
+		// Panel prefetch: from round 2 on, a round's broadcasts are
+		// initiated while the previous round's GEMM runs, so only the
+		// excess over the round GEMM is exposed.
+		roundGemm := est.Compute / rounds
+		est.ReplAB = roundComm + (rounds-1)*math.Max(roundComm-roundGemm, 0)
+		est.HiddenComm += (rounds - 1) * math.Min(roundComm, roundGemm)
 	} else {
 		c, s := pl.Crep, pl.S
 		kg := float64(spec.K) / float64(g.Pk)
@@ -199,6 +205,7 @@ func predictCA3DMM(mach Machine, spec Spec) (Estimate, error) {
 			est.ReplAB += stepComm // initial skew is not overlapped
 			for i := 0; i < s-1; i++ {
 				est.ReplAB += math.Max(stepComm-stepGemm, 0)
+				est.HiddenComm += math.Min(stepComm, stepGemm)
 			}
 		}
 		// Step 7: reduce-scatter across pk (members pm*pn apart).

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // The simulator's job is to reproduce the *shape* of the paper's
 // results: who wins, by roughly what factor, and how curves scale.
@@ -192,6 +195,31 @@ func TestPctPeakSane(t *testing.T) {
 	e := predict(t, spec(50000, 50000, 50000, 768, AlgCA3DMM))
 	if e.PctPeak <= 0 || e.PctPeak > 1 {
 		t.Fatalf("PctPeak %v out of (0,1]", e.PctPeak)
+	}
+}
+
+func TestHiddenCommAtPaperScale(t *testing.T) {
+	// The overlap schedule must hide a nonzero amount of communication
+	// at the paper's 3072-rank configurations, and the hidden time must
+	// stay out of Total (which counts only exposed comm).
+	classes := [][3]int{{50000, 50000, 50000}, {6000, 6000, 1200000}, {1200000, 6000, 6000}, {100000, 100000, 5000}}
+	for _, c := range classes {
+		e := predict(t, spec(c[0], c[1], c[2], 3072, AlgCA3DMM))
+		if e.HiddenComm <= 0 {
+			t.Fatalf("%v P=3072: no communication hidden (HiddenComm=%v)", c, e.HiddenComm)
+		}
+		if f := e.HiddenFrac(); f <= 0 || f >= 1 {
+			t.Fatalf("%v P=3072: HiddenFrac %v out of (0,1)", c, f)
+		}
+		sum := e.Compute + e.ReplAB + e.ReduceC + e.Spread + e.Redist
+		if math.Abs(sum-e.Total) > 1e-9*e.Total {
+			t.Fatalf("%v: HiddenComm leaked into Total (%v != %v)", c, sum, e.Total)
+		}
+	}
+	// The SUMMA-kernel variant prefetches panels and must hide too.
+	es := predict(t, spec(50000, 50000, 50000, 3072, AlgCA3DMMS))
+	if es.HiddenComm <= 0 {
+		t.Fatalf("CA3DMM-S P=3072: no communication hidden")
 	}
 }
 

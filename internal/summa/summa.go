@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/mpi"
+	"repro/internal/pipeline"
 )
 
 // Config describes one SUMMA multiplication C(MxN) = A(MxK)·B(KxN) on
@@ -31,6 +32,15 @@ type Config struct {
 	// block (the "largest possible panel sizes" of the paper's
 	// Section III-E analysis, which minimizes the message count).
 	Panel int
+	// Overlap prefetches the next panel's broadcasts (Ibcast) while the
+	// current panel's GEMM runs; panels are accumulated in schedule
+	// order regardless of arrival order, so the result is bit-identical
+	// to the blocking path.
+	Overlap bool
+	// Prefetch is the pipeline depth under Overlap: how many panels may
+	// be in flight ahead of the one being computed. Zero means 1 (the
+	// classic double buffer).
+	Prefetch int
 }
 
 // Timings splits the wall time into broadcast communication and local
@@ -91,9 +101,11 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 
 	// Walk the k dimension over the union of A-column and B-row block
 	// boundaries so each broadcast panel has a single owner on each
-	// side.
-	t := 0
-	for t < cfg.K {
+	// side. The schedule is precomputed so the overlap pipeline can
+	// initiate panel broadcasts ahead of the panel being computed.
+	type panelStep struct{ t, end, ownA, ownB int }
+	var steps []panelStep
+	for t := 0; t < cfg.K; {
 		ownA := blockOwner(cfg.K, cfg.Pc, t)
 		ownB := blockOwner(cfg.K, cfg.Pr, t)
 		_, aHi := dist.BlockRange(cfg.K, cfg.Pc, ownA)
@@ -102,22 +114,72 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 		if cfg.Panel > 0 && end > t+cfg.Panel {
 			end = t + cfg.Panel
 		}
-		w := end - t
+		steps = append(steps, panelStep{t: t, end: end, ownA: ownA, ownB: ownB})
+		t = end
+	}
+
+	packA := func(ps panelStep, w int) []float64 {
+		aPanel := make([]float64, cRows*w)
+		if col == ps.ownA && cRows > 0 && w > 0 {
+			a.View(0, ps.t-aLo, cRows, w).PackInto(aPanel)
+		}
+		return aPanel
+	}
+	packB := func(ps panelStep, w int) []float64 {
+		bPanel := make([]float64, w*cCols)
+		if row == ps.ownB && w > 0 && cCols > 0 {
+			b.View(ps.t-bLo, 0, w, cCols).PackInto(bPanel)
+		}
+		return bPanel
+	}
+
+	if cfg.Overlap {
+		// Pipelined panel loop: the next panel's row and column Ibcasts
+		// are in flight while this panel's GEMM runs on the worker
+		// pool. Accumulation happens in schedule order inside
+		// pipeline.Run, never in arrival order.
+		depth := cfg.Prefetch
+		if depth <= 0 {
+			depth = 1
+		}
+		pipeline.Run(len(steps), depth,
+			func(i int) func() [2][]float64 {
+				ps := steps[i]
+				w := ps.end - ps.t
+				tc := time.Now()
+				ra := rowComm.Ibcast(ps.ownA, packA(ps, w))
+				rb := colComm.Ibcast(ps.ownB, packB(ps, w))
+				tm.Comm += time.Since(tc)
+				return func() [2][]float64 {
+					tw := time.Now()
+					av := ra.Wait()
+					bv := rb.Wait()
+					tm.Comm += time.Since(tw)
+					return [2][]float64{av, bv}
+				}
+			},
+			func(i int, panels [2][]float64) {
+				ps := steps[i]
+				w := ps.end - ps.t
+				tg := time.Now()
+				if cRows > 0 && cCols > 0 && w > 0 {
+					mat.Gemm(mat.NoTrans, mat.NoTrans, 1,
+						mat.FromSlice(cRows, w, panels[0]), mat.FromSlice(w, cCols, panels[1]), 1, cLoc)
+				}
+				tm.Compute += time.Since(tg)
+			})
+		return cLoc, tm
+	}
+
+	for _, ps := range steps {
+		w := ps.end - ps.t
 
 		// Broadcast A(:, t:end) within my process row from column ownA.
 		tc := time.Now()
-		aPanel := make([]float64, cRows*w)
-		if col == ownA && cRows > 0 && w > 0 {
-			a.View(0, t-aLo, cRows, w).PackInto(aPanel)
-		}
-		aPanel = rowComm.Bcast(ownA, aPanel)
+		aPanel := rowComm.Bcast(ps.ownA, packA(ps, w))
 
 		// Broadcast B(t:end, :) within my process column from row ownB.
-		bPanel := make([]float64, w*cCols)
-		if row == ownB && w > 0 && cCols > 0 {
-			b.View(t-bLo, 0, w, cCols).PackInto(bPanel)
-		}
-		bPanel = colComm.Bcast(ownB, bPanel)
+		bPanel := colComm.Bcast(ps.ownB, packB(ps, w))
 		tm.Comm += time.Since(tc)
 
 		tg := time.Now()
@@ -126,7 +188,6 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 				mat.FromSlice(cRows, w, aPanel), mat.FromSlice(w, cCols, bPanel), 1, cLoc)
 		}
 		tm.Compute += time.Since(tg)
-		t = end
 	}
 	return cLoc, tm
 }

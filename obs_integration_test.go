@@ -121,6 +121,37 @@ func TestMultiplyTraceReport(t *testing.T) {
 	}
 }
 
+func TestMultiplyTraceHiddenComm(t *testing.T) {
+	// The critical-path report must show communication hidden behind
+	// compute when overlap (the default) is on, and none when it is off.
+	a := Random(256, 256, 5)
+	b := Random(256, 256, 6)
+	run := func(cfg Config) *obs.Report {
+		cfg.Trace = NewTraceRecorder()
+		got, _, _, err := Multiply(a, b, 4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(GemmRef(a, b, false, false), got); d > 1e-9 {
+			t.Fatalf("wrong by %g", d)
+		}
+		return cfg.Trace.BuildReport()
+	}
+	rep := run(Config{})
+	if rep.HiddenCommUS <= 0 {
+		t.Fatalf("overlapped run hid no communication (HiddenCommUS=%d)", rep.HiddenCommUS)
+	}
+	if rep.HiddenCommFrac <= 0 || rep.HiddenCommFrac >= 1 {
+		t.Fatalf("HiddenCommFrac = %v, want in (0,1)", rep.HiddenCommFrac)
+	}
+	if !strings.Contains(rep.Render(), "hidden comm") {
+		t.Fatal("rendered report missing the hidden-comm line")
+	}
+	if blk := run(Config{NoOverlap: true}); blk.HiddenCommUS != 0 {
+		t.Fatalf("blocking run reports %dus hidden comm, want 0", blk.HiddenCommUS)
+	}
+}
+
 func TestResilientMultiplyTraceEvents(t *testing.T) {
 	a := Random(64, 64, 3)
 	b := Random(64, 64, 4)

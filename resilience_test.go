@@ -2,6 +2,7 @@ package ca3dmm
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -256,6 +257,108 @@ func TestResilientTransposed(t *testing.T) {
 		if d := MaxAbsDiff(c, want); d > chaosAccuracy {
 			t.Fatalf("transposed recovery wrong: max diff %g", d)
 		}
+	})
+}
+
+// TestOverlapChaosMidPrefetch aims each fault class at the middle of
+// the execution, where the overlapped schedule has requests in flight
+// (the replication Iallgatherv, Cannon Isendrecv shifts, prefetched
+// panels). The whole resilience suite already runs with overlap on —
+// it is the default — but this sweep walks the injection call index
+// across the prefetch window explicitly. Contract: a verified-correct
+// C or a typed error, never a hang, never a silently wrong answer.
+func TestOverlapChaosMidPrefetch(t *testing.T) {
+	const p = 8
+	a := Random(32, 32, 41)
+	b := Random(32, 32, 42)
+	want := GemmRef(a, b, false, false)
+	faults := []struct {
+		name string
+		spec func(call int64, seed uint64) []FaultSpec
+	}{
+		{"crash", func(call int64, seed uint64) []FaultSpec {
+			return []FaultSpec{{Kind: FaultCrash, Rank: int(seed) % p, Call: call}}
+		}},
+		{"drop", func(call int64, seed uint64) []FaultSpec {
+			return []FaultSpec{{Kind: FaultDrop, Rank: -1, Prob: 0.05}}
+		}},
+		{"partition", func(call int64, seed uint64) []FaultSpec {
+			return []FaultSpec{{Kind: FaultPartition, Rank: 0, Call: call, Group: []int{int(seed)%(p-1) + 1}}}
+		}},
+		{"straggle", func(call int64, seed uint64) []FaultSpec {
+			return []FaultSpec{{Kind: FaultStraggle, Rank: int(seed) % p, Call: call, Delay: time.Millisecond}}
+		}},
+	}
+	for _, fl := range faults {
+		fl := fl
+		t.Run(fl.name, func(t *testing.T) {
+			for call := int64(1); call <= 6; call++ {
+				seed := uint64(call) * 13
+				runGuarded(t, fl.name, func() {
+					cfg := chaosConfig(&FaultPlan{Seed: seed, Specs: fl.spec(call, seed)}, seed)
+					cfg.Net = &ReliableOptions{RTO: 2 * time.Millisecond}
+					if fl.name == "partition" {
+						cfg.Heartbeat = &HeartbeatOptions{
+							Interval:     10 * time.Millisecond,
+							SuspectAfter: 50 * time.Millisecond,
+							ConfirmAfter: 250 * time.Millisecond,
+						}
+					}
+					c, _, err := ResilientMultiply(a, b, p, cfg)
+					if err != nil {
+						if !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrVerifyFailed) &&
+							!errors.Is(err, ErrRetriesExhausted) && !errors.Is(err, ErrNoQuorum) {
+							t.Errorf("call %d: untyped failure: %v", call, err)
+						}
+						return
+					}
+					if d := MaxAbsDiff(c, want); d > chaosAccuracy {
+						t.Errorf("call %d: silently wrong result, max diff %g", call, d)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRevokeDrainsInFlightRequests is the goroutine-leak regression for
+// the overlap machinery: a crash mid-run unwinds ranks that abandoned
+// nonblocking requests without Wait, and the end-of-run revocation must
+// wake and join every background claim before RunOpt returns. Without
+// the drain, each faulted run leaks blocked receive goroutines and this
+// count climbs monotonically.
+func TestRevokeDrainsInFlightRequests(t *testing.T) {
+	a := Random(32, 32, 43)
+	b := Random(32, 32, 44)
+	crashRun := func(seed uint64) {
+		cfg := Config{
+			Timeout: chaosOpTimeout,
+			Fault: &FaultPlan{Seed: seed, Specs: []FaultSpec{
+				{Kind: FaultCrash, Rank: int(seed) % 8, Call: int64(2 + seed%4)},
+			}},
+		}
+		if _, _, _, err := Multiply(a, b, 8, cfg); err == nil {
+			t.Fatal("crash-faulted run without recovery unexpectedly succeeded")
+		}
+	}
+	runGuarded(t, "revoke-drain", func() {
+		for seed := uint64(0); seed < 3; seed++ { // warm up lazily started runtime helpers
+			crashRun(seed)
+		}
+		runtime.GC()
+		base := runtime.NumGoroutine()
+		for seed := uint64(3); seed < 15; seed++ {
+			crashRun(seed)
+		}
+		var n int
+		for i := 0; i < 50; i++ { // goroutine exits are asynchronous; poll briefly
+			runtime.GC()
+			if n = runtime.NumGoroutine(); n <= base+4 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("goroutines grew from %d to %d across faulted runs: in-flight requests not drained on revoke", base, n)
 	})
 }
 

@@ -190,6 +190,8 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 			Grid:             rc.Grid,
 			LowerUtil:        rc.LowerUtil,
 			DualBuffer:       rc.DualBuffer,
+			Overlap:          !rc.NoOverlap,
+			OverlapDepth:     rc.OverlapDepth,
 			MultiShift:       rc.MultiShift,
 			UseSUMMA:         rc.Algorithm == CA3DMMSumma,
 			SUMMAPanel:       rc.SUMMAPanel,
