@@ -13,9 +13,25 @@
 //	ca3dmm-profile -diff base.json new.json
 //
 // Validate a Chrome/Perfetto trace file structurally (timestamps
-// monotone per track, durations non-negative):
+// monotone per track, durations non-negative, flow events paired):
 //
 //	ca3dmm-profile -validate-trace run.trace.json
+//
+// Subcommands drill into the causal analyses:
+//
+//	ca3dmm-profile blame [-assert-top RANK] [-assert-paired] report.json
+//	    Show the distributed critical path and its per-rank blame
+//	    attribution. -assert-top fails unless RANK is the top
+//	    critical-path contributor; -assert-paired fails if any recv
+//	    edge has no matching send (broken causal stamping).
+//
+//	ca3dmm-profile skew report.json
+//	    Show per-collective arrival-time spread, worst offender first.
+//
+//	ca3dmm-profile divergence [-assert-bytes] [-assert-flagged STAGE] report.json
+//	    Show the measured-vs-cost-model sentinel. -assert-bytes fails
+//	    if any predicted stage's byte ratio left [0.5, 2.0];
+//	    -assert-flagged fails unless STAGE was flagged as divergent.
 package main
 
 import (
@@ -27,11 +43,25 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "blame":
+			cmdBlame(os.Args[2:])
+			return
+		case "skew":
+			cmdSkew(os.Args[2:])
+			return
+		case "divergence":
+			cmdDivergence(os.Args[2:])
+			return
+		}
+	}
+
 	diff := flag.Bool("diff", false, "diff two reports: ca3dmm-profile -diff base.json new.json")
 	validate := flag.Bool("validate-trace", false, "validate a Chrome trace file instead of rendering a report")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage:\n  ca3dmm-profile report.json\n  ca3dmm-profile -diff base.json new.json\n  ca3dmm-profile -validate-trace trace.json\n\nflags:\n")
+			"usage:\n  ca3dmm-profile report.json\n  ca3dmm-profile -diff base.json new.json\n  ca3dmm-profile -validate-trace trace.json\n  ca3dmm-profile blame [-assert-top RANK] [-assert-paired] report.json\n  ca3dmm-profile skew report.json\n  ca3dmm-profile divergence [-assert-bytes] [-assert-flagged STAGE] report.json\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +87,138 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Print(readReport(flag.Arg(0)).Render())
+	}
+}
+
+// cmdBlame renders the distributed critical path with its per-rank
+// blame attribution and the causal-graph health counters.
+func cmdBlame(args []string) {
+	fs := flag.NewFlagSet("blame", flag.ExitOnError)
+	assertTop := fs.Int("assert-top", -1, "exit nonzero unless this rank is the top critical-path contributor")
+	assertPaired := fs.Bool("assert-paired", false, "exit nonzero if any recv edge lacks its matching send")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ca3dmm-profile blame [-assert-top RANK] [-assert-paired] report.json")
+		os.Exit(2)
+	}
+	rep := readReport(fs.Arg(0))
+
+	if es := rep.EdgeStats; es != nil {
+		fmt.Printf("causal graph: %d sends, %d recvs, %d orphan recvs\n", es.Sends, es.Recvs, es.Orphans)
+	} else {
+		fmt.Println("causal graph: no message edges recorded")
+	}
+	if len(rep.Critical) > 0 {
+		fmt.Println("\ncritical path:")
+		for _, p := range rep.Critical {
+			suffix := ""
+			if p.FromRank >= 0 {
+				suffix = fmt.Sprintf("  (waited %dus on rank %d)", p.WaitUS, p.FromRank)
+			}
+			fmt.Printf("  +%-9dus r%-4d %-6s %-18s %dus%s\n", p.StartUS, p.Rank, p.Kind, p.Name, p.DurUS, suffix)
+		}
+	}
+	if len(rep.Blame) > 0 {
+		fmt.Printf("\n%-6s %14s %14s %6s\n", "rank", "caused wait us", "on path us", "steps")
+		for _, b := range rep.Blame {
+			fmt.Printf("%-6d %14d %14d %6d\n", b.Rank, b.WaitUS, b.OnPathUS, b.Steps)
+		}
+	}
+
+	if *assertPaired {
+		switch {
+		case rep.EdgeStats == nil:
+			fatal(fmt.Errorf("assert-paired: report has no causal edge stats"))
+		case rep.EdgeStats.Orphans != 0:
+			fatal(fmt.Errorf("assert-paired: %d orphan recv edges (of %d recvs)",
+				rep.EdgeStats.Orphans, rep.EdgeStats.Recvs))
+		}
+		fmt.Println("\nassert-paired: ok, every recv edge has its send")
+	}
+	if *assertTop >= 0 {
+		if len(rep.Blame) == 0 {
+			fatal(fmt.Errorf("assert-top: report has no blame attribution"))
+		}
+		if got := rep.Blame[0].Rank; got != *assertTop {
+			fatal(fmt.Errorf("assert-top: top critical-path contributor is rank %d, want %d", got, *assertTop))
+		}
+		fmt.Printf("assert-top: ok, rank %d is the top critical-path contributor\n", *assertTop)
+	}
+}
+
+// cmdSkew renders per-collective arrival spread, widest first.
+func cmdSkew(args []string) {
+	fs := flag.NewFlagSet("skew", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ca3dmm-profile skew report.json")
+		os.Exit(2)
+	}
+	rep := readReport(fs.Arg(0))
+	if len(rep.Skew) == 0 {
+		fmt.Println("no collective skew recorded (need >=2 ranks per collective and comm tracing on)")
+		return
+	}
+	fmt.Printf("%-10s %-16s %5s %6s %10s %6s %6s\n", "ctx", "op", "seq", "ranks", "spread us", "first", "last")
+	for _, sk := range rep.Skew {
+		fmt.Printf("%-10s %-16s %5d %6d %10d %6d %6d\n",
+			sk.Ctx, sk.Op, sk.CollSeq, sk.Ranks, sk.SpreadUS, sk.FirstRank, sk.LastRank)
+	}
+}
+
+// cmdDivergence renders the measured-vs-model sentinel rows.
+func cmdDivergence(args []string) {
+	fs := flag.NewFlagSet("divergence", flag.ExitOnError)
+	assertBytes := fs.Bool("assert-bytes", false, "exit nonzero if any predicted stage's byte ratio left the accepted band")
+	assertFlagged := fs.String("assert-flagged", "", "exit nonzero unless this stage was flagged divergent")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ca3dmm-profile divergence [-assert-bytes] [-assert-flagged STAGE] report.json")
+		os.Exit(2)
+	}
+	rep := readReport(fs.Arg(0))
+	if len(rep.Divergence) == 0 {
+		fatal(fmt.Errorf("report has no divergence rows (run ca3dmm-run with tracing on a ca3dmm/ca3dmm-s algorithm)"))
+	}
+	fmt.Printf("%-18s %14s %14s %7s %10s %7s %s\n",
+		"stage", "meas bytes", "pred bytes", "ratio", "meas us", "t-ratio", "flags")
+	for _, d := range rep.Divergence {
+		flags := ""
+		if d.BytesFlagged {
+			flags += " BYTES"
+		}
+		if d.TimeFlagged {
+			flags += " TIME"
+		}
+		fmt.Printf("%-18s %14d %14d %7.2f %10d %7.2f%s\n",
+			d.Stage, d.MeasuredBytes, d.PredictedBytes, d.ByteRatio, d.MeasuredUS, d.TimeRatio, flags)
+	}
+
+	if *assertBytes {
+		bad := 0
+		for _, d := range rep.Divergence {
+			if d.PredictedBytes > 0 && d.BytesFlagged {
+				fmt.Fprintf(os.Stderr, "ca3dmm-profile: stage %q byte ratio %.2f outside accepted band\n", d.Stage, d.ByteRatio)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fatal(fmt.Errorf("assert-bytes: %d stage(s) diverged from the cost model", bad))
+		}
+		fmt.Println("\nassert-bytes: ok, all predicted stages within the byte-ratio band")
+	}
+	if *assertFlagged != "" {
+		found := false
+		for _, d := range rep.Divergence {
+			if d.Stage == *assertFlagged && (d.BytesFlagged || d.TimeFlagged) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("assert-flagged: stage %q was not flagged divergent", *assertFlagged))
+		}
+		fmt.Printf("assert-flagged: ok, stage %q flagged divergent\n", *assertFlagged)
 	}
 }
 

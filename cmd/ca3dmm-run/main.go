@@ -20,6 +20,7 @@ import (
 	"time"
 
 	ca3dmm "repro"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -48,12 +49,15 @@ func main() {
 	chaosDrop := flag.Float64("chaos-drop", 0, "per-message drop probability (loss chaos; recovered by the reliable transport)")
 	chaosPartition := flag.Duration("chaos-partition", 0, "isolate the upper half of the ranks for this duration (0 = off; negative = permanent, resolved by the failure detector)")
 	chaosHeal := flag.Duration("chaos-heal", 0, "partition the upper half and heal after this duration, long enough for the detector to fence the minority first — healed ranks rejoin the spare pool (0 = off)")
+	chaosStraggle := flag.Duration("chaos-straggle", 0, "make one rank sleep this long before every communication call (straggler chaos; see -chaos-straggle-rank)")
+	chaosStraggleRank := flag.Int("chaos-straggle-rank", 0, "rank the -chaos-straggle delay is injected on")
 	noOverlap := flag.Bool("no-overlap", false, "disable communication/computation overlap (on by default; results are bit-identical either way)")
 	overlapDepth := flag.Int("overlap-depth", 0, "prefetch depth of the overlapped SUMMA panel pipeline (0 = double buffer)")
 	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
 	retries := flag.Int("retries", 4, "recovery retry budget (replace or shrink-replan) of the self-healing executor")
 	spares := flag.Int("spares", 0, "reserve this many ranks as a hot-spare pool: the grid is planned for p-spares and dead ranks are replaced from the pool at the same process count")
 	quorum := flag.Int("quorum", 0, "quorum floor: fail fast with ErrNoQuorum instead of recovering below this many survivors (0 = no floor)")
+	postmortem := flag.String("postmortem", "", "flight-recorder mode: bound the recorder to the most recent events per rank and dump a Chrome trace with the causal graph to this file if the run fails")
 	flag.Parse()
 
 	cfg := ca3dmm.Config{
@@ -64,8 +68,13 @@ func main() {
 		NoOverlap:    *noOverlap,
 		OverlapDepth: *overlapDepth,
 	}
-	if *traceOut != "" || *reportOut != "" || *metricsAddr != "" {
+	if *traceOut != "" || *reportOut != "" || *metricsAddr != "" || *postmortem != "" {
 		cfg.Trace = ca3dmm.NewTraceRecorder()
+	}
+	if *postmortem != "" {
+		// Flight-recorder bound: each rank's shard keeps only its most
+		// recent entries, so a dump after hours of running stays small.
+		cfg.Trace.SetRingLimit(flightRingLimit)
 	}
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, cfg.Trace)
@@ -101,23 +110,35 @@ func main() {
 	b := ca3dmm.Random(br, bc, 2)
 
 	if *chaos || *resilient {
-		runChaos(a, b, *p, cfg, chaosOpts{
+		attachPredictions(cfg, *m, *n, *k, *p-*spares, 1, *alg, *mp, *np, *kp)
+		err := runChaos(a, b, *p, cfg, chaosOpts{
 			seed: *chaosSeed, crashes: *chaosCrash, corrupts: *chaosCorrupt,
 			delayProb: *chaosDelay, dropProb: *chaosDrop, partition: *chaosPartition,
-			heal: *chaosHeal, retries: *retries, spares: *spares, quorum: *quorum,
+			heal: *chaosHeal, straggle: *chaosStraggle, straggleRank: *chaosStraggleRank,
+			retries: *retries, spares: *spares, quorum: *quorum,
 			inject:   *chaos,
 			validate: *validate, freivalds: *freivalds,
 		})
+		// Export before deciding the exit: on failure the trace and report
+		// still carry everything recorded up to the abort, which is the
+		// whole point of a flight recorder.
 		exportObservability(cfg, *traceOut, *reportOut)
+		if err != nil {
+			dumpPostmortem(cfg, *postmortem, err)
+			log.Fatalf("resilient execution failed: %v", err)
+		}
 		holdMetrics(*metricsAddr, *metricsHold)
 		return
 	}
+	attachPredictions(cfg, *m, *n, *k, *p, *ntest, *alg, *mp, *np, *kp)
 
 	var last *ca3dmm.Matrix
 	var sumTotal, sumMatmul, sumRedist, sumRepl, sumComp, sumRed time.Duration
 	for t := 0; t < *ntest; t++ {
 		c, _, st, err := ca3dmm.Multiply(a, b, *p, cfg)
 		if err != nil {
+			exportObservability(cfg, *traceOut, *reportOut)
+			dumpPostmortem(cfg, *postmortem, err)
 			log.Fatal(err)
 		}
 		last = c
@@ -202,6 +223,8 @@ type chaosOpts struct {
 	dropProb            float64
 	partition           time.Duration
 	heal                time.Duration
+	straggle            time.Duration
+	straggleRank        int
 	retries             int
 	spares              int
 	quorum              int
@@ -211,8 +234,10 @@ type chaosOpts struct {
 
 // runChaos executes one multiplication through the self-healing
 // executor, optionally under an injected fault plan, and reports every
-// fault that fired alongside the usual correctness check.
-func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
+// fault that fired alongside the usual correctness check. The error is
+// returned (not fatal'd) so the caller can export the recorded
+// observability — the flight recording of the failure — first.
+func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) error {
 	var plan *ca3dmm.FaultPlan
 	if o.inject {
 		plan = &ca3dmm.FaultPlan{Seed: o.seed}
@@ -257,6 +282,15 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 				Kind: ca3dmm.FaultPartition, Rank: 0, Call: 2, Delay: o.heal,
 			})
 		}
+		if o.straggle > 0 {
+			// Straggler chaos: one rank sleeps before every communication
+			// call. The run still completes — this is the scenario the
+			// causal critical path exists for: `ca3dmm-profile blame` must
+			// name this rank as the top contributor.
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultStraggle, Rank: o.straggleRank % p, Call: 0, Delay: o.straggle,
+			})
+		}
 	}
 	rc := ca3dmm.ResilientConfig{
 		Config:     cfg,
@@ -299,8 +333,8 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 	fmt.Println()
 	fmt.Printf("================ self-healing executor ================\n")
 	if o.inject {
-		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v, heal %v\n",
-			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition, o.heal)
+		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v, heal %v, straggle %v@r%d\n",
+			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition, o.heal, o.straggle, o.straggleRank%p)
 	} else {
 		fmt.Printf("  * Fault plan              : none\n")
 	}
@@ -308,7 +342,7 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 		fmt.Printf("  * Elastic config          : %d reserved spare(s), quorum floor %d\n", o.spares, o.quorum)
 	}
 	if err != nil {
-		log.Fatalf("resilient execution failed: %v", err)
+		return err
 	}
 	fmt.Printf("  * Wall clock              : %v\n", elapsed.Round(time.Microsecond))
 	fired := 0
@@ -367,6 +401,58 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) {
 		}
 		fmt.Printf("self-healing output : %d error(s)\n", errs)
 	}
+	return nil
+}
+
+// flightRingLimit bounds each rank's shard in -postmortem mode: recent
+// enough history to reconstruct the failure's causal neighborhood,
+// small enough to dump instantly no matter how long the run was.
+const flightRingLimit = 4096
+
+// attachPredictions prices the run with the analytic cost model and
+// attaches the per-stage predictions to the recorder, arming the
+// divergence sentinel in the report. Algorithms the stage model does
+// not cover simply skip the sentinel. runs scales the single-execution
+// prediction to the recorder's accumulation across -ntest executions.
+func attachPredictions(cfg ca3dmm.Config, m, n, k, ranks, runs int, alg string, mp, np, kp int) {
+	if cfg.Trace == nil || runs < 1 || ranks < 1 {
+		return
+	}
+	pred, err := sim.StagePredictions(sim.Phoenix(), sim.Spec{
+		M: m, N: n, K: k, Ranks: ranks,
+		Alg: sim.Alg(alg), Layout: sim.Col1D,
+		GridPm: mp, GridPn: np, GridPk: kp,
+	})
+	if err != nil {
+		return
+	}
+	for i := range pred {
+		pred[i].Bytes *= int64(runs)
+		pred[i].Msgs *= int64(runs)
+		pred[i].Seconds *= float64(runs)
+	}
+	cfg.Trace.SetPredictions(pred)
+}
+
+// dumpPostmortem writes the flight recording — the bounded ring of
+// recent spans, events, and causal message edges, Chrome-encoded with
+// the flow arrows — and prints the causal analysis of the failure.
+func dumpPostmortem(cfg ca3dmm.Config, path string, runErr error) {
+	if path == "" || cfg.Trace == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("postmortem: %v", err)
+		return
+	}
+	if err := cfg.Trace.WriteChrome(f); err != nil {
+		log.Printf("postmortem: %v", err)
+	}
+	f.Close()
+	fmt.Printf("\npostmortem (%v):\nflight recording written to %s (open in Perfetto; message arrows are causal edges)\n",
+		runErr, path)
+	fmt.Print(cfg.Trace.BuildReport().Render())
 }
 
 // exportObservability writes the requested trace and report files from

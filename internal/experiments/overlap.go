@@ -34,6 +34,52 @@ type OverlapResult struct {
 	Speedup        float64 `json:"speedup"`
 	HiddenCommFrac float64 `json:"hidden_comm_frac"`
 	BitIdentical   bool    `json:"bit_identical"`
+
+	// Per-mode time split (summed over ranks, best repetition), so a
+	// flat speedup is explainable from the JSON alone: a class with
+	// BlockingComm << BlockingGemm has nothing to hide, while one whose
+	// OverlapComm stayed close to BlockingComm failed to hide it.
+	// Gemm is outermost stage time minus the exposed communication
+	// inside it; OverlapHidden is the overlap-window union during which
+	// nonblocking operations ran behind compute.
+	BlockingCommSecs  float64 `json:"blocking_comm_seconds"`
+	BlockingGemmSecs  float64 `json:"blocking_gemm_seconds"`
+	OverlapCommSecs   float64 `json:"overlap_comm_seconds"`
+	OverlapHiddenSecs float64 `json:"overlap_hidden_seconds"`
+	OverlapGemmSecs   float64 `json:"overlap_gemm_seconds"`
+}
+
+// timeSplit is the per-run comm/compute decomposition pulled from the
+// observability report: exposed comm, hidden (overlapped) comm, and
+// the remaining stage time, all summed over ranks.
+type timeSplit struct {
+	comm, hidden, gemm, frac float64
+}
+
+func splitReport(rec *trace.Recorder) timeSplit {
+	rep := rec.BuildReport()
+	var s timeSplit
+	var busy float64
+	for _, rs := range rep.RankStats {
+		s.comm += float64(rs.CommUS) / 1e6
+		s.hidden += float64(rs.HiddenUS) / 1e6
+		busy += float64(rs.BusyUS) / 1e6
+	}
+	// Compute time = outermost stage time minus the communication
+	// attributed to a stage; comm outside any stage (barriers between
+	// executions, gather/scatter) must not be subtracted, or a
+	// comm-bound class would report zero compute.
+	var stageComm float64
+	for _, br := range rep.Breakdown {
+		if br.Stage != "(outside)" {
+			stageComm += float64(br.TotalUS) / 1e6
+		}
+	}
+	if g := busy - stageComm; g > 0 {
+		s.gemm = g
+	}
+	s.frac = rep.HiddenCommFrac
+	return s
 }
 
 type overlapRecord struct {
@@ -65,8 +111,9 @@ func runOverlapClass(cl Class, p, reps int) (OverlapResult, error) {
 	flops := 2 * float64(cl.M) * float64(cl.N) * float64(cl.K)
 
 	// one timed execution: worst rank's matmul-only time, and the obs
-	// report's hidden-comm fraction when a recorder is attached.
-	execute := func(pl *core.Plan, rec *trace.Recorder) (*mat.Dense, time.Duration, float64, error) {
+	// report's comm/gemm/hidden split. Both modes carry a recorder, so
+	// the recording overhead cancels out of the comparison.
+	execute := func(pl *core.Plan, rec *trace.Recorder) (*mat.Dense, time.Duration, error) {
 		outs := make([]*mat.Dense, p)
 		var worst time.Duration
 		var mu sync.Mutex
@@ -80,52 +127,48 @@ func runOverlapClass(cl Class, p, reps int) (OverlapResult, error) {
 			mu.Unlock()
 		})
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, err
 		}
-		var frac float64
-		if rec != nil {
-			frac = rec.BuildReport().HiddenCommFrac
-		}
-		return dist.Assemble(outs, cL), worst, frac, nil
+		return dist.Assemble(outs, cL), worst, nil
 	}
 
-	measure := func(overlap bool) (*mat.Dense, float64, float64, error) {
-		pl, err := core.NewPlan(cl.M, cl.N, cl.K, p, false, false,
-			core.Options{DualBuffer: true, Overlap: overlap})
-		if err != nil {
-			return nil, 0, 0, err
-		}
+	measure := func(overlap bool) (*mat.Dense, float64, timeSplit, error) {
 		var (
-			got      *mat.Dense
-			best     = time.Duration(1<<63 - 1)
-			bestFrac float64
+			got       *mat.Dense
+			best      = time.Duration(1<<63 - 1)
+			bestSplit timeSplit
 		)
 		for r := 0; r < reps; r++ {
-			var rec *trace.Recorder
-			if overlap {
-				rec = trace.NewRecorder()
-			}
-			out, worst, frac, err := execute(pl, rec)
+			// The plan is rebuilt per repetition so its stage spans land
+			// on that repetition's recorder (the comm/GEMM split needs
+			// stage attribution, not just the runtime's comm spans).
+			rec := trace.NewRecorder()
+			pl, err := core.NewPlan(cl.M, cl.N, cl.K, p, false, false,
+				core.Options{DualBuffer: true, Overlap: overlap, Trace: rec})
 			if err != nil {
-				return nil, 0, 0, err
+				return nil, 0, timeSplit{}, err
+			}
+			out, worst, err := execute(pl, rec)
+			if err != nil {
+				return nil, 0, timeSplit{}, err
 			}
 			if got == nil {
 				got = out
 			} else if !identical(got, out) {
-				return nil, 0, 0, fmt.Errorf("overlap=%v: repetition %d differs bitwise from repetition 0", overlap, r)
+				return nil, 0, timeSplit{}, fmt.Errorf("overlap=%v: repetition %d differs bitwise from repetition 0", overlap, r)
 			}
 			if worst < best {
-				best, bestFrac = worst, frac
+				best, bestSplit = worst, splitReport(rec)
 			}
 		}
-		return got, best.Seconds(), bestFrac, nil
+		return got, best.Seconds(), bestSplit, nil
 	}
 
-	blockC, blockSecs, _, err := measure(false)
+	blockC, blockSecs, blockSplit, err := measure(false)
 	if err != nil {
 		return res, err
 	}
-	overC, overSecs, frac, err := measure(true)
+	overC, overSecs, overSplit, err := measure(true)
 	if err != nil {
 		return res, err
 	}
@@ -134,7 +177,12 @@ func runOverlapClass(cl Class, p, reps int) (OverlapResult, error) {
 	res.OverlapSecs = overSecs
 	res.OverlapGFLOPS = flops / overSecs / 1e9
 	res.Speedup = blockSecs / overSecs
-	res.HiddenCommFrac = frac
+	res.HiddenCommFrac = overSplit.frac
+	res.BlockingCommSecs = blockSplit.comm
+	res.BlockingGemmSecs = blockSplit.gemm
+	res.OverlapCommSecs = overSplit.comm
+	res.OverlapHiddenSecs = overSplit.hidden
+	res.OverlapGemmSecs = overSplit.gemm
 	res.BitIdentical = identical(blockC, overC)
 	if !res.BitIdentical {
 		return res, fmt.Errorf("%s: blocking and overlapped results differ bitwise", cl.Name)
@@ -176,16 +224,17 @@ func RealOverlap(w io.Writer, procs, reps int, out string) error {
 		Reps:       reps,
 	}
 	fmt.Fprintf(w, "# Blocking vs overlapped CA3DMM, P=%d goroutine ranks, best of %d reps\n", procs, reps)
-	fmt.Fprintf(w, "%-8s %14s %12s %12s %9s %11s\n",
-		"class", "shape", "blk GFLOP/s", "ovl GFLOP/s", "speedup", "hiddenComm")
+	fmt.Fprintf(w, "%-8s %14s %12s %12s %9s %11s %10s %10s %10s\n",
+		"class", "shape", "blk GFLOP/s", "ovl GFLOP/s", "speedup", "hiddenComm", "blk comm", "ovl comm", "gemm")
 	for _, cl := range RealClasses() {
 		r, err := runOverlapClass(cl, procs, reps)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cl.Name, err)
 		}
 		rec.Results = append(rec.Results, r)
-		fmt.Fprintf(w, "%-8s %14s %12.2f %12.2f %8.2fx %10.1f%%\n",
-			r.Class, r.Shape, r.BlockingGFLOPS, r.OverlapGFLOPS, r.Speedup, 100*r.HiddenCommFrac)
+		fmt.Fprintf(w, "%-8s %14s %12.2f %12.2f %8.2fx %10.1f%% %9.1fms %9.1fms %9.1fms\n",
+			r.Class, r.Shape, r.BlockingGFLOPS, r.OverlapGFLOPS, r.Speedup, 100*r.HiddenCommFrac,
+			1e3*r.BlockingCommSecs, 1e3*r.OverlapCommSecs, 1e3*r.OverlapGemmSecs)
 	}
 	if out == "" {
 		return nil

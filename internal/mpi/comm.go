@@ -64,6 +64,8 @@ type Comm struct {
 	inj        *injector
 	rv         *revocation
 	obs        *obs.Recorder // nil when observability is off
+	epoch      int           // causal epoch: 0 for the world, bumped by Shrink
+	async      bool          // clone driven by a background goroutine, not the rank owner
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -141,6 +143,14 @@ func (c *Comm) deliver(op string, dst, tag int, data []float64) {
 	c.checkSelfAlive()
 	key := boxKey{ctx: c.ctx, src: c.worldRank, dst: c.ranks[dst], tag: tag}
 	env := envelope{data: data}
+	// Causal stamp at the fault-hook boundary: the ID is assigned
+	// before the transport registers the envelope, so retransmitted,
+	// duplicated, and delayed copies all carry the original's identity
+	// and the logical message contributes exactly one send edge.
+	if c.obs != nil {
+		env.cseq = c.w.nextCausalSeq(c.worldRank)
+		env.cep = int32(c.epoch)
+	}
 	if tr := c.w.tr; tr != nil {
 		// Register before the fault hook: a first copy lost to a drop,
 		// stash, or crash is then still covered by retransmission.
@@ -149,6 +159,12 @@ func (c *Comm) deliver(op string, dst, tag int, data []float64) {
 	for _, e := range c.event(op, key, env, true) {
 		c.enqueue(op, dst, key, e)
 	}
+	// The send edge is recorded after the fault hook and the enqueue,
+	// so its timestamp reflects when the message actually entered the
+	// fabric (a straggler's injected sleep delays it, which is what the
+	// blame attribution measures). A crash unwinds before this point
+	// and leaves no dangling edge.
+	c.obsSendEdge(op, key.dst, env, int64(8*len(data)))
 	c.stats.BytesSent += int64(8 * len(data))
 	c.stats.MsgsSent++
 	c.stats.addOp(op, int64(8*len(data)))
@@ -195,15 +211,16 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 	key := boxKey{ctx: c.ctx, src: c.ranks[src], dst: c.worldRank, tag: tag}
 	c.event(op, key, envelope{}, false)
 	ch := c.w.box(key)
-	accept := func(data []float64) []float64 {
-		c.stats.BytesRecv += int64(8 * len(data))
+	accept := func(e envelope) []float64 {
+		c.obsRecvEdge(op, key.src, e)
+		c.stats.BytesRecv += int64(8 * len(e.data))
 		c.stats.MsgsRecv++
-		c.stats.addOpRecv(op, int64(8*len(data)))
-		return data
+		c.stats.addOpRecv(op, int64(8*len(e.data)))
+		return e.data
 	}
 	for {
-		if data, ok := c.w.nextBuffered(key); ok {
-			return accept(data)
+		if e, ok := c.w.nextBuffered(key); ok {
+			return accept(e)
 		}
 		var env envelope
 		select {
@@ -220,8 +237,8 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 		case <-time.After(c.timeout):
 			c.abort(c.opError(op, "recv", src, ErrTimeout))
 		}
-		if data, ok := c.w.admitSeq(key, env, op); ok {
-			return accept(data)
+		if e, ok := c.w.admitSeq(key, env, op); ok {
+			return accept(e)
 		}
 	}
 }
@@ -361,6 +378,8 @@ func (c *Comm) Split(color, key int) *Comm {
 		inj:       c.inj,
 		rv:        c.rv, // same epoch: a revoke reaches split comms too
 		obs:       c.obs,
+		epoch:     c.epoch,
+		async:     c.async,
 	}
 }
 
@@ -528,6 +547,7 @@ func (c *Comm) Shrink() *Comm {
 		worldRank: c.worldRank,
 		inj:       c.inj,
 		obs:       c.obs,
+		epoch:     c.epoch + 1, // fresh causal epoch for the shrunken group
 		// The epoch's revocation must be the SAME instance on every
 		// survivor — a revoke only wakes peers if they select on the
 		// same channel — so it is registered in the world under the

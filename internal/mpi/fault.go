@@ -383,7 +383,11 @@ func (c *Comm) event(op string, key boxKey, env envelope, send bool) []envelope 
 		if send {
 			c.stats.addInjection(rec)
 			c.obsFault(rec)
-			dup := envelope{seq: env.seq, data: make([]float64, len(env.data))}
+			// Copy the whole envelope so the duplicate keeps the link
+			// sequence and causal stamp: the receiver's dedup window and
+			// the causal graph both treat it as the same logical message.
+			dup := env
+			dup.data = make([]float64, len(env.data))
 			copy(dup.data, env.data)
 			out = []envelope{env, dup}
 		}

@@ -21,8 +21,14 @@ package mpi
 // (the same contract blocking collectives already impose).
 
 // collPending carries an async collective's identity and result slot.
+// ctx/cseq snapshot the communicator identity and collective sequence
+// at initiation (before the owner reserves the body's tags), so the
+// span Wait records aligns with the same collective on other ranks —
+// whether they ran it blocking or nonblocking.
 type collPending struct {
 	op    string
+	ctx   string
+	cseq  int
 	peers int
 	res   chan collResult
 }
@@ -39,19 +45,25 @@ type collResult struct {
 // communicator size.
 func (c *Comm) iStart(op string, peers, tags int, body func(*Comm) []float64) *Request {
 	c.checkSelfAlive()
-	r := &Request{c: c, isRecv: true, coll: &collPending{op: op, peers: peers, res: make(chan collResult, 1)}}
+	r := &Request{c: c, isRecv: true, coll: &collPending{
+		op: op, ctx: c.ctx, cseq: c.collSeq, peers: peers,
+		res: make(chan collResult, 1),
+	}}
 	if c.obs != nil {
 		r.initObs = c.obs.Since()
 		r.hasInit = true
 	}
 	// The clone shares the world, transport, injector (mutex-guarded),
-	// and revocation epoch, but gets a private Stats shard and no obs
-	// recorder: both are single-writer per rank, so the owner folds the
-	// statistics and records the spans at Wait.
+	// and revocation epoch, but gets a private Stats shard: Stats are
+	// single-writer per rank, so the owner folds them and records the
+	// comm span at Wait. The recorder stays attached with async set —
+	// comm spans are suppressed on the clone, but its messages still
+	// record causal edges (through the fabric lane, since the clone's
+	// goroutine does not own the rank's shard).
 	cc := new(Comm)
 	*cc = *c
 	cc.stats = &Stats{}
-	cc.obs = nil
+	cc.async = true
 	c.collSeq += tags
 	w := c.w
 	cp := r.coll
@@ -76,7 +88,9 @@ func (c *Comm) iStart(op string, peers, tags int, body func(*Comm) []float64) *R
 // singleton communicator) as a Request, so callers handle p==1
 // uniformly.
 func completedColl(c *Comm, op string, data []float64) *Request {
-	r := &Request{c: c, isRecv: true, coll: &collPending{op: op, res: make(chan collResult, 1)}}
+	r := &Request{c: c, isRecv: true, coll: &collPending{
+		op: op, ctx: c.ctx, cseq: c.collSeq, res: make(chan collResult, 1),
+	}}
 	r.coll.res <- collResult{data: data}
 	return r
 }

@@ -112,10 +112,13 @@ type world struct {
 	netMu   sync.Mutex     // guards net and opNet
 	net     []NetStats     // per-rank transport/detector counters
 	opNet   []map[string]*opNetDelta
-	obsMu   sync.Mutex   // serializes the obs "fabric" lane
-	partMu  sync.RWMutex // guards parts
-	parts   []partitionState
-	partOn  atomic.Int32 // fast-path flag: any partition ever activated
+	obsMu   sync.Mutex // serializes the obs "fabric" lane
+	// causalSeq[r] issues rank r's causal message sequence numbers
+	// (atomic: a rank's async clones stamp concurrently with it).
+	causalSeq []atomic.Uint64
+	partMu    sync.RWMutex // guards parts
+	parts     []partitionState
+	partOn    atomic.Int32 // fast-path flag: any partition ever activated
 
 	// everSuspected[r] is set when any prober suspects rank r and
 	// cleared (once, with an hb:clear event) when the suspicion is
@@ -346,6 +349,11 @@ func Run(p int, fn func(*Comm)) (*Report, error) {
 	return RunOpt(p, Options{}, fn)
 }
 
+// worldCtxSeq numbers root communicator contexts across worlds in this
+// process, so repeat executions sharing one obs recorder stay
+// distinguishable (see RunOpt).
+var worldCtxSeq atomic.Uint64
+
 // RunOpt is Run with explicit options.
 func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 	if p <= 0 {
@@ -375,6 +383,7 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		everSuspected: make([]atomic.Bool, p),
 		net:           make([]NetStats, p),
 		opNet:         make([]map[string]*opNetDelta, p),
+		causalSeq:     make([]atomic.Uint64, p),
 	}
 	w.ftCond = sync.NewCond(&w.ftMu)
 	for r := range w.deadCh {
@@ -405,9 +414,14 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 		worldRanks[i] = i
 	}
 	worldRv := &revocation{ch: make(chan struct{})}
+	// The root context name is unique per world: a profiling CLI reuses
+	// one recorder across repeat executions, and collective skew groups
+	// by (ctx, op, seq) — a shared "w" would mix same-numbered
+	// collectives from different runs into one skew row.
+	rootCtx := fmt.Sprintf("w%d", worldCtxSeq.Add(1))
 	// Register the world epoch's revocation so a detector-driven fence
 	// can revoke it alongside every shrink epoch (see revokeAll).
-	w.rvs["w"] = worldRv
+	w.rvs[rootCtx] = worldRv
 
 	var wg sync.WaitGroup
 	errs := make([]error, p)
@@ -465,7 +479,7 @@ func RunOpt(p int, opt Options, fn func(*Comm)) (*Report, error) {
 			}()
 			c := &Comm{
 				w:         w,
-				ctx:       "w",
+				ctx:       rootCtx,
 				rank:      rank,
 				ranks:     worldRanks,
 				stats:     &w.stats[rank],

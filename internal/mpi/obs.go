@@ -1,14 +1,26 @@
 package mpi
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // This file bridges the runtime into the unified observability layer:
 // every collective and point-to-point call records a comm span (op
-// kind, bytes sent/received, peer count) on the rank's timeline, and
-// every injected fault, recovery action, and checkpoint operation
-// records an instant event. All hooks are nil-safe no-ops costing a
-// single branch when no recorder is attached — the disabled path
-// allocates nothing.
+// kind, bytes sent/received, peer count, collective identity) on the
+// rank's timeline, every message contributes a causally stamped
+// send/recv edge pair, and every injected fault, recovery action, and
+// checkpoint operation records an instant event. All hooks are
+// nil-safe no-ops costing a single branch when no recorder is
+// attached — the disabled path allocates nothing.
+//
+// Ownership: a rank's shard may only be written by the rank's own
+// goroutine. The async clones driven by nonblocking collectives (see
+// icoll.go) and the transport's background loops instead write through
+// the fabric lane — a dedicated shard at index w.size guarded by
+// w.obsMu — while the recorded entries keep their logical rank, so
+// reports and traces attribute them correctly.
 
 // commToken marks an in-progress communication span. Byte volumes are
 // measured as deltas of the rank's own monotone stats counters between
@@ -17,23 +29,34 @@ import "time"
 // inner operations.
 type commToken struct {
 	op    string
+	ctx   string // communicator identity, for cross-rank skew alignment
+	cseq  int    // collective sequence at span start
 	start time.Duration
 	sent  int64
 	recv  int64
+	msgs  int64
 	peers int
 	ok    bool
 }
 
-// commBegin opens a comm span for op touching peers other ranks.
+// commBegin opens a comm span for op touching peers other ranks. It is
+// evaluated before the collective bumps its sequence counter (deferred
+// commEnd(commBegin(...)) precedes nextCollTag in every collective),
+// so the captured sequence identifies the same call on every member.
+// Async clones return an inert token: their span is recorded by the
+// owner at Wait.
 func (c *Comm) commBegin(op string, peers int) commToken {
-	if c.obs == nil {
+	if c.obs == nil || c.async {
 		return commToken{}
 	}
 	return commToken{
 		op:    op,
+		ctx:   c.ctx,
+		cseq:  c.collSeq,
 		start: c.obs.Since(),
 		sent:  c.stats.BytesSent,
 		recv:  c.stats.BytesRecv,
+		msgs:  c.stats.MsgsSent,
 		peers: peers,
 		ok:    true,
 	}
@@ -46,12 +69,78 @@ func (c *Comm) commEnd(t commToken) {
 	if !t.ok {
 		return
 	}
-	c.obs.CommSpan(c.worldRank, t.op, t.start,
-		c.stats.BytesSent-t.sent, c.stats.BytesRecv-t.recv, t.peers)
+	c.obs.CommSpanTagged(c.worldRank, t.op, t.ctx, t.cseq, t.start,
+		c.stats.BytesSent-t.sent, c.stats.BytesRecv-t.recv,
+		c.stats.MsgsSent-t.msgs, t.peers)
 }
 
-// obsInstant records an instant event on the rank's timeline.
+// obsSendEdge records the send half of a message's causal edge. The
+// envelope carries the (rank, epoch, seq) stamp assigned in deliver;
+// unstamped envelopes (recorder off) are skipped.
+func (c *Comm) obsSendEdge(op string, dst int, env envelope, bytes int64) {
+	if c.obs == nil || env.cseq == 0 {
+		return
+	}
+	e := obs.Edge{
+		Rank: c.worldRank, Dir: obs.EdgeSend, Peer: dst, Op: op,
+		Src: c.worldRank, Epoch: int(env.cep), Seq: env.cseq,
+		Bytes: bytes, TS: c.obs.Since(),
+	}
+	if c.async {
+		c.w.obsMu.Lock()
+		c.obs.EdgeAt(c.w.size, e)
+		c.w.obsMu.Unlock()
+		return
+	}
+	c.obs.EdgeAt(c.worldRank, e)
+}
+
+// obsRecvEdge records the recv half of a causal edge when the accepted
+// envelope carries a stamp.
+func (c *Comm) obsRecvEdge(op string, src int, env envelope) {
+	if c.obs == nil || env.cseq == 0 {
+		return
+	}
+	e := obs.Edge{
+		Rank: c.worldRank, Dir: obs.EdgeRecv, Peer: src, Op: op,
+		Src: src, Epoch: int(env.cep), Seq: env.cseq,
+		Bytes: int64(8 * len(env.data)), TS: c.obs.Since(),
+	}
+	if c.async {
+		c.w.obsMu.Lock()
+		c.obs.EdgeAt(c.w.size, e)
+		c.w.obsMu.Unlock()
+		return
+	}
+	c.obs.EdgeAt(c.worldRank, e)
+}
+
+// obsRecvEdgeAt is obsRecvEdge with an explicit arrival time, used by
+// Wait to record an Irecv's edge at the time the background goroutine
+// actually accepted the message.
+func (c *Comm) obsRecvEdgeAt(op string, src int, env envelope, ts time.Duration) {
+	if c.obs == nil || env.cseq == 0 {
+		return
+	}
+	c.obs.EdgeAt(c.worldRank, obs.Edge{
+		Rank: c.worldRank, Dir: obs.EdgeRecv, Peer: src, Op: op,
+		Src: src, Epoch: int(env.cep), Seq: env.cseq,
+		Bytes: int64(8 * len(env.data)), TS: ts,
+	})
+}
+
+// obsInstant records an instant event on the rank's timeline. Async
+// clones route through the fabric lane (they do not own a shard).
 func (c *Comm) obsInstant(name, detail string) {
+	if c.obs == nil {
+		return
+	}
+	if c.async {
+		c.w.obsMu.Lock()
+		c.obs.Instant(c.w.size, name, detail)
+		c.w.obsMu.Unlock()
+		return
+	}
 	c.obs.Instant(c.worldRank, name, detail)
 }
 
@@ -60,6 +149,15 @@ func (c *Comm) obsInstant(name, detail string) {
 // the same firing record.
 func (c *Comm) obsFault(rec Injection) {
 	if c.obs != nil {
-		c.obs.Instant(c.worldRank, "fault:"+rec.Kind.String(), rec.String())
+		c.obsInstant("fault:"+rec.Kind.String(), rec.String())
 	}
+}
+
+// nextCausalSeq issues the next causal sequence number for a sending
+// rank. Sequences start at 1; 0 marks an unstamped envelope.
+func (w *world) nextCausalSeq(rank int) uint64 {
+	if rank < 0 || rank >= len(w.causalSeq) {
+		return 0
+	}
+	return w.causalSeq[rank].Add(1)
 }

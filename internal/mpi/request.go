@@ -29,9 +29,14 @@ type Request struct {
 }
 
 // irecvResult carries the outcome of a background receive to Wait;
-// sentinel is nil on success and names the failure mode otherwise.
+// sentinel is nil on success and names the failure mode otherwise. env
+// preserves the causal stamp and arrival the obs-clock acceptance
+// time, so Wait can record the recv edge on the owner's shard at the
+// moment the message actually arrived rather than when Wait ran.
 type irecvResult struct {
 	data     []float64
+	env      envelope
+	arrival  time.Duration
 	sentinel error
 }
 
@@ -68,12 +73,19 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	// It is joined at run end via asyncWG: every arm of its select is
 	// woken by the pre-join revocation, so an abandoned claim cannot
 	// leak past the run.
+	obs := c.obs
+	arrive := func() time.Duration {
+		if obs == nil {
+			return 0
+		}
+		return obs.Since()
+	}
 	w.asyncWG.Add(1)
 	go func() {
 		defer w.asyncWG.Done()
 		for {
-			if data, ok := w.nextBuffered(key); ok {
-				r.payload <- irecvResult{data: data}
+			if env, ok := w.nextBuffered(key); ok {
+				r.payload <- irecvResult{data: env.data, env: env, arrival: arrive()}
 				return
 			}
 			var env envelope
@@ -94,8 +106,8 @@ func (c *Comm) Irecv(src, tag int) *Request {
 				r.payload <- irecvResult{sentinel: ErrTimeout}
 				return
 			}
-			if data, ok := w.admitSeq(key, env, "p2p"); ok {
-				r.payload <- irecvResult{data: data}
+			if acc, ok := w.admitSeq(key, env, "p2p"); ok {
+				r.payload <- irecvResult{data: acc.data, env: acc, arrival: arrive()}
 				return
 			}
 		}
@@ -134,6 +146,7 @@ func (r *Request) Wait() []float64 {
 	if res.sentinel != nil {
 		r.c.abort(r.c.opError("p2p", "irecv", r.src, res.sentinel))
 	}
+	r.c.obsRecvEdgeAt("p2p", r.c.ranks[r.src], res.env, res.arrival)
 	r.c.stats.BytesRecv += int64(8 * len(res.data))
 	r.c.stats.MsgsRecv++
 	r.c.stats.addOpRecv("p2p", int64(8*len(res.data)))
@@ -150,7 +163,15 @@ func (r *Request) Wait() []float64 {
 func (r *Request) waitColl() []float64 {
 	cp := r.coll
 	r.recordOverlap(cp.op)
-	defer r.c.commEnd(r.c.commBegin(cp.op, cp.peers))
+	t := r.c.commBegin(cp.op, cp.peers)
+	if t.ok {
+		// Stamp the span with the collective's initiation-time identity:
+		// by Wait the owner's sequence counter has moved past the tags
+		// reserved for this body (and possibly further collectives), but
+		// skew alignment needs the sequence the members agreed on.
+		t.ctx, t.cseq = cp.ctx, cp.cseq
+	}
+	defer r.c.commEnd(t)
 	res := <-cp.res
 	if res.stats != nil {
 		r.c.stats.fold(res.stats)

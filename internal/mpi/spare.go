@@ -45,6 +45,7 @@ type epochRecord struct {
 	attempt  int   // caller's retry counter carried across the handoff
 	full     bool  // every compute slot of the old epoch is still filled
 	note     string
+	epoch    int   // causal epoch of the new communicator (parent + 1)
 	promoted []int // world ranks promoted from the pool into compute slots
 }
 
@@ -143,6 +144,7 @@ func (c *Comm) Replace(active, attempt int, note string) (*Comm, bool) {
 		worldRank: c.worldRank,
 		inj:       c.inj,
 		obs:       c.obs,
+		epoch:     rec.epoch,
 		// Same shared-instance rule as Shrink: every member resolves
 		// the epoch's revocation through the world registry.
 		rv: c.w.revocationFor(rec.ctx),
@@ -185,6 +187,9 @@ func (w *world) replace(c *Comm, key, ctx string, active, attempt int, note stri
 			}
 			if complete {
 				st.res = w.buildEpochLocked(c.ranks, active, ctx, attempt, note)
+				// The builder stamps the causal epoch; claimed lobby ranks
+				// inherit it from the record so every member agrees.
+				st.res.epoch = c.epoch + 1
 				builtByMe = true
 				w.ftCond.Broadcast()
 			}
@@ -340,6 +345,7 @@ func (c *Comm) AwaitReadmission() (*Epoch, bool) {
 				worldRank: c.worldRank,
 				inj:       c.inj,
 				obs:       c.obs,
+				epoch:     rec.epoch,
 				rv:        w.revocationFor(rec.ctx),
 			}
 			if myNew < rec.active {

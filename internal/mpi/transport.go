@@ -24,10 +24,16 @@ import (
 // running — by nudging the detector, which owns the kill decision.
 
 // envelope is one routed message: the payload plus its link sequence
-// number. seq 0 means unsequenced — the raw fabric with the transport
-// off — so existing behavior is untouched unless reliability is on.
+// number and causal stamp. seq 0 means unsequenced — the raw fabric
+// with the transport off — so existing behavior is untouched unless
+// reliability is on. cseq/cep are the (sender, epoch, seq) causal ID
+// assigned once in deliver, before the transport registers the
+// message, so retransmits and injected duplicates carry the same ID as
+// the original; cseq 0 means unstamped (no recorder attached).
 type envelope struct {
 	seq  uint64
+	cseq uint64
+	cep  int32
 	data []float64
 }
 
@@ -88,7 +94,7 @@ type pendingSend struct {
 // transport must restore program order when retransmission breaks it.
 type recvLink struct {
 	floor uint64
-	buf   map[uint64][]float64
+	buf   map[uint64]envelope
 }
 
 // transport holds the reliable-delivery state of one world. All maps
@@ -206,22 +212,22 @@ func (tr *transport) retransmitLoop(key boxKey, op string, env envelope, ps *pen
 }
 
 // admitSeq is the receiver side of the transport: it acknowledges the
-// arrival and decides its fate. The returned payload is non-nil with
-// ok=true exactly when env is the next in-order message; a duplicate is
-// suppressed, and an out-of-order arrival (its predecessor was dropped
-// and is still in retransmission) is parked in the link buffer for
-// nextBuffered to release in sequence. Unsequenced envelopes bypass the
-// window entirely. op names the receiving operation for the duplicate
+// arrival and decides its fate. ok is true exactly when env is the
+// next in-order message; a duplicate is suppressed, and an
+// out-of-order arrival (its predecessor was dropped and is still in
+// retransmission) is parked in the link buffer for nextBuffered to
+// release in sequence. Unsequenced envelopes bypass the window
+// entirely. op names the receiving operation for the duplicate
 // counter.
-func (w *world) admitSeq(key boxKey, env envelope, op string) ([]float64, bool) {
+func (w *world) admitSeq(key boxKey, env envelope, op string) (envelope, bool) {
 	tr := w.tr
 	if tr == nil || env.seq == 0 {
-		return env.data, true
+		return env, true
 	}
 	tr.mu.Lock()
 	lk := tr.recv[key]
 	if lk == nil {
-		lk = &recvLink{floor: 1, buf: make(map[uint64][]float64)}
+		lk = &recvLink{floor: 1, buf: make(map[uint64]envelope)}
 		tr.recv[key] = lk
 	}
 	dup := env.seq < lk.floor
@@ -247,7 +253,7 @@ func (w *world) admitSeq(key boxKey, env envelope, op string) ([]float64, bool) 
 		lk.floor++
 		deliver = true
 	default:
-		lk.buf[env.seq] = env.data
+		lk.buf[env.seq] = env
 	}
 	tr.mu.Unlock()
 	if dup {
@@ -255,32 +261,32 @@ func (w *world) admitSeq(key boxKey, env envelope, op string) ([]float64, bool) 
 		w.netInstant("net:dup-drop", fmt.Sprintf("%s seq %d %d->%d", op, env.seq, key.src, key.dst))
 	}
 	if deliver {
-		return env.data, true
+		return env, true
 	}
-	return nil, false
+	return envelope{}, false
 }
 
-// nextBuffered releases the next in-order payload if a previous arrival
+// nextBuffered releases the next in-order message if a previous arrival
 // parked it (it raced ahead of a retransmitted predecessor). Receivers
 // consult it before blocking on the mailbox.
-func (w *world) nextBuffered(key boxKey) ([]float64, bool) {
+func (w *world) nextBuffered(key boxKey) (envelope, bool) {
 	tr := w.tr
 	if tr == nil {
-		return nil, false
+		return envelope{}, false
 	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	lk := tr.recv[key]
 	if lk == nil {
-		return nil, false
+		return envelope{}, false
 	}
-	data, ok := lk.buf[lk.floor]
+	env, ok := lk.buf[lk.floor]
 	if !ok {
-		return nil, false
+		return envelope{}, false
 	}
 	delete(lk.buf, lk.floor)
 	lk.floor++
-	return data, true
+	return env, true
 }
 
 // partitionState is one active network partition: ranks inside group

@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// This file holds the cross-rank analyses built on the causal message
+// edges: the happens-before graph, the distributed critical path with
+// per-edge blame attribution, the collective skew report, and the
+// measured-vs-predicted divergence sentinel.
+
+// BlameRow attributes critical-path time to one rank. WaitUS is the
+// time other ranks spent on the path waiting for this rank's late
+// sends (the "blame"); OnPathUS is the time this rank's own spans
+// occupy the path. Rows are sorted by WaitUS+OnPathUS, so the first
+// row names the run's dominant critical-path contributor.
+type BlameRow struct {
+	Rank     int   `json:"rank"`
+	WaitUS   int64 `json:"wait_us"`
+	OnPathUS int64 `json:"on_path_us"`
+	Steps    int   `json:"steps"`
+}
+
+// SkewRow is the arrival-time spread of one collective call across its
+// participants: how far apart the ranks entered the same collective.
+// LastRank is the worst offender (the latest arrival).
+type SkewRow struct {
+	Ctx       string `json:"ctx"`
+	Op        string `json:"op"`
+	CollSeq   int    `json:"coll_seq"`
+	Ranks     int    `json:"ranks"`
+	SpreadUS  int64  `json:"spread_us"`
+	FirstRank int    `json:"first_rank"`
+	LastRank  int    `json:"last_rank"`
+	LastUS    int64  `json:"last_us"`
+}
+
+// EdgeStats summarises the causal graph: how many send and recv edge
+// halves were recorded and how many recv halves have no matching send
+// (nonzero only when ring compaction dropped the send, or stamping is
+// broken — CI asserts it is zero on unbounded chaos runs).
+type EdgeStats struct {
+	Sends   int `json:"sends"`
+	Recvs   int `json:"recvs"`
+	Orphans int `json:"orphan_recvs"`
+}
+
+// DivergenceRow joins one stage's measured communication against the
+// analytic cost model's prediction. BytesFlagged marks a stage whose
+// measured/predicted byte ratio left [byteRatioLo, byteRatioHi];
+// TimeFlagged marks a stage whose time ratio is an outlier against the
+// run's median time ratio (self-calibrating, so a uniform model-vs-
+// machine scale offset does not trip it but a straggled stage does).
+type DivergenceRow struct {
+	Stage          string  `json:"stage"`
+	MeasuredBytes  int64   `json:"measured_bytes"`
+	PredictedBytes int64   `json:"predicted_bytes"`
+	ByteRatio      float64 `json:"byte_ratio"`
+	MeasuredMsgs   int64   `json:"measured_msgs"`
+	PredictedMsgs  int64   `json:"predicted_msgs"`
+	MeasuredUS     int64   `json:"measured_us"`
+	PredictedUS    int64   `json:"predicted_us"`
+	TimeRatio      float64 `json:"time_ratio"`
+	BytesFlagged   bool    `json:"bytes_flagged,omitempty"`
+	TimeFlagged    bool    `json:"time_flagged,omitempty"`
+}
+
+// Divergence-sentinel bands: a stage's measured bytes must stay within
+// [byteRatioLo, byteRatioHi] of the model, and its time ratio within
+// timeOutlierFactor of the run's median time ratio.
+const (
+	byteRatioLo       = 0.5
+	byteRatioHi       = 2.0
+	timeOutlierFactor = 4.0
+)
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].TS != edges[j].TS {
+			return edges[i].TS < edges[j].TS
+		}
+		return edges[i].Rank < edges[j].Rank
+	})
+}
+
+type causalKey struct {
+	src int
+	seq uint64
+}
+
+// pathAtom is one non-overlapping slice of a rank's timeline used by
+// the critical-path walk: an outermost comm span, or a piece of an
+// outermost stage span with the comm windows cut out.
+type pathAtom struct {
+	start, end time.Duration
+	name       string
+	kind       Kind
+	comm       bool
+}
+
+// maxPathSteps bounds the backward walk; real paths are far shorter,
+// the cap only guards against degenerate timelines.
+const maxPathSteps = 4096
+
+// buildCriticalPath computes the distributed critical path: a backward
+// walk from the globally latest span that follows each wait through
+// the causal message edge that released it onto the sending rank. With
+// no edges recorded it degenerates to the busiest rank's own timeline
+// (the old per-rank approximation).
+func buildCriticalPath(ctxs []spanCtx, edges []Edge) ([]PathStep, []BlameRow, *EdgeStats) {
+	// Index the causal graph: sends by ID, recvs per rank by time.
+	var stats *EdgeStats
+	sends := map[causalKey]Edge{}
+	recvs := map[int][]Edge{}
+	if len(edges) > 0 {
+		stats = &EdgeStats{}
+		for _, e := range edges {
+			if e.Dir == EdgeSend {
+				stats.Sends++
+				sends[causalKey{e.Src, e.Seq}] = e
+			} else {
+				stats.Recvs++
+				recvs[e.Rank] = append(recvs[e.Rank], e)
+			}
+		}
+		for _, e := range edges {
+			if e.Dir == EdgeRecv {
+				if _, ok := sends[causalKey{e.Src, e.Seq}]; !ok {
+					stats.Orphans++
+				}
+			}
+		}
+		// edges arrive time-sorted, so each rank's recv list is too.
+	}
+
+	atoms := buildAtoms(ctxs)
+	if len(atoms) == 0 {
+		return nil, nil, stats
+	}
+
+	// Start at the rank that finishes last: its final atom's end is the
+	// run's wall clock.
+	cur, t := -1, time.Duration(-1)
+	for r, as := range atoms {
+		if end := as[len(as)-1].end; end > t {
+			cur, t = r, end
+		}
+	}
+
+	blame := map[int]*BlameRow{}
+	touch := func(r int) *BlameRow {
+		b := blame[r]
+		if b == nil {
+			b = &BlameRow{Rank: r}
+			blame[r] = b
+		}
+		return b
+	}
+	var rev []PathStep
+	for len(rev) < maxPathSteps {
+		as := atoms[cur]
+		i := sort.Search(len(as), func(i int) bool { return as[i].start >= t }) - 1
+		if i < 0 {
+			break
+		}
+		a := as[i]
+		segEnd := a.end
+		if segEnd > t {
+			segEnd = t
+		}
+		if segEnd <= a.start {
+			t = a.start
+			continue
+		}
+		step := PathStep{
+			Rank: cur, Name: a.name, Kind: a.kind.String(), FromRank: -1,
+			StartUS: a.start.Microseconds(), DurUS: (segEnd - a.start).Microseconds(),
+		}
+		jumped := false
+		if a.comm {
+			if e, ok := latestRecv(recvs[cur], a.start, segEnd); ok {
+				s, found := sends[causalKey{e.Src, e.Seq}]
+				// Jump to the sender only when it was genuinely late:
+				// its send left after this wait began. A receiver that
+				// is itself slow to accept (e.g. a straggler sleeping
+				// in its own fault hook) keeps the path — and the
+				// blame — on itself.
+				if found && s.Rank != cur && s.TS > a.start && s.TS < t {
+					wait := e.TS - a.start
+					if wait > segEnd-a.start {
+						wait = segEnd - a.start
+					}
+					step.FromRank = s.Rank
+					step.WaitUS = wait.Microseconds()
+					touch(s.Rank).WaitUS += wait.Microseconds()
+					touch(cur).OnPathUS += (segEnd - a.start).Microseconds() - wait.Microseconds()
+					touch(cur).Steps++
+					rev = append(rev, step)
+					cur, t = s.Rank, s.TS
+					jumped = true
+				}
+			}
+		}
+		if !jumped {
+			touch(cur).OnPathUS += (segEnd - a.start).Microseconds()
+			touch(cur).Steps++
+			rev = append(rev, step)
+			t = a.start
+		}
+	}
+
+	steps := make([]PathStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	rows := make([]BlameRow, 0, len(blame))
+	for _, b := range blame {
+		rows = append(rows, *b)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		si, sj := rows[i].WaitUS+rows[i].OnPathUS, rows[j].WaitUS+rows[j].OnPathUS
+		if si != sj {
+			return si > sj
+		}
+		return rows[i].Rank < rows[j].Rank
+	})
+	return steps, rows, stats
+}
+
+// buildAtoms slices each rank's timeline into non-overlapping atoms:
+// outermost comm spans, and outermost stage spans with the comm
+// windows subtracted.
+func buildAtoms(ctxs []spanCtx) map[int][]pathAtom {
+	comms := map[int][]Span{}
+	stages := map[int][]Span{}
+	for _, c := range ctxs {
+		if !c.outermost {
+			continue
+		}
+		switch c.span.Kind {
+		case KindComm:
+			comms[c.span.Rank] = append(comms[c.span.Rank], c.span)
+		case KindStage:
+			stages[c.span.Rank] = append(stages[c.span.Rank], c.span)
+		}
+	}
+	atoms := map[int][]pathAtom{}
+	for r, cs := range comms {
+		for _, s := range cs {
+			atoms[r] = append(atoms[r], pathAtom{start: s.Start, end: s.End, name: s.Name, kind: KindComm, comm: true})
+		}
+	}
+	for r, ss := range stages {
+		// Union of the rank's comm windows, for subtraction.
+		windows := append([]Span(nil), comms[r]...)
+		sort.Slice(windows, func(i, j int) bool { return windows[i].Start < windows[j].Start })
+		for _, s := range ss {
+			lo := s.Start
+			for _, w := range windows {
+				if w.End <= lo || w.Start >= s.End {
+					continue
+				}
+				if w.Start > lo {
+					atoms[r] = append(atoms[r], pathAtom{start: lo, end: w.Start, name: s.Name, kind: KindStage})
+				}
+				if w.End > lo {
+					lo = w.End
+				}
+			}
+			if lo < s.End {
+				atoms[r] = append(atoms[r], pathAtom{start: lo, end: s.End, name: s.Name, kind: KindStage})
+			}
+		}
+	}
+	for r := range atoms {
+		as := atoms[r]
+		sort.Slice(as, func(i, j int) bool {
+			if as[i].start != as[j].start {
+				return as[i].start < as[j].start
+			}
+			return as[i].end < as[j].end
+		})
+		atoms[r] = as
+	}
+	return atoms
+}
+
+// latestRecv returns the latest recv edge with lo < TS <= hi from a
+// time-sorted slice.
+func latestRecv(es []Edge, lo, hi time.Duration) (Edge, bool) {
+	i := sort.Search(len(es), func(i int) bool { return es[i].TS > hi }) - 1
+	if i < 0 || es[i].TS <= lo {
+		return Edge{}, false
+	}
+	return es[i], true
+}
+
+// buildSkew groups outermost collective spans by (communicator,
+// op, sequence) and reports the arrival-time spread of each call,
+// widest first.
+func buildSkew(ctxs []spanCtx) []SkewRow {
+	type member struct {
+		rank  int
+		start time.Duration
+	}
+	groups := map[Span][]member{}
+	for _, c := range ctxs {
+		s := c.span
+		if !c.outermost || s.Kind != KindComm || s.Ctx == "" || s.Op == "p2p" {
+			continue
+		}
+		key := Span{Name: s.Op, Ctx: s.Ctx, CollSeq: s.CollSeq}
+		groups[key] = append(groups[key], member{s.Rank, s.Start})
+	}
+	var rows []SkewRow
+	for key, ms := range groups {
+		if len(ms) < 2 {
+			continue
+		}
+		first, last := ms[0], ms[0]
+		for _, m := range ms[1:] {
+			if m.start < first.start {
+				first = m
+			}
+			if m.start > last.start {
+				last = m
+			}
+		}
+		rows = append(rows, SkewRow{
+			Ctx: key.Ctx, Op: key.Name, CollSeq: key.CollSeq, Ranks: len(ms),
+			SpreadUS:  (last.start - first.start).Microseconds(),
+			FirstRank: first.rank, LastRank: last.rank,
+			LastUS: last.start.Microseconds(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SpreadUS != rows[j].SpreadUS {
+			return rows[i].SpreadUS > rows[j].SpreadUS
+		}
+		if rows[i].Ctx != rows[j].Ctx {
+			return rows[i].Ctx < rows[j].Ctx
+		}
+		return rows[i].CollSeq < rows[j].CollSeq
+	})
+	const maxSkewRows = 24
+	if len(rows) > maxSkewRows {
+		rows = rows[:maxSkewRows]
+	}
+	return rows
+}
+
+// buildDivergence joins the measured per-stage communication against
+// the cost-model predictions. Byte flagging is absolute (the volume
+// the algorithm moves is machine-independent); time flagging is
+// relative to the run's median measured/predicted ratio, so it spots
+// the stage that diverged, not the machine that differs from the model.
+func buildDivergence(stages []StageStat, breakdown []BreakRow, pred []StagePrediction) []DivergenceRow {
+	if len(pred) == 0 {
+		return nil
+	}
+	type meas struct {
+		bytes, msgs int64
+	}
+	byStage := map[string]*meas{}
+	for _, br := range breakdown {
+		m := byStage[br.Stage]
+		if m == nil {
+			m = &meas{}
+			byStage[br.Stage] = m
+		}
+		m.bytes += br.SentBytes
+		m.msgs += br.Msgs
+	}
+	maxUS := map[string]int64{}
+	for _, st := range stages {
+		maxUS[st.Name] = st.MaxUS
+	}
+	rows := make([]DivergenceRow, 0, len(pred))
+	for _, p := range pred {
+		row := DivergenceRow{
+			Stage:          p.Stage,
+			PredictedBytes: p.Bytes,
+			PredictedMsgs:  p.Msgs,
+			PredictedUS:    int64(p.Seconds * 1e6),
+			MeasuredUS:     maxUS[p.Stage],
+		}
+		if m := byStage[p.Stage]; m != nil {
+			row.MeasuredBytes = m.bytes
+			row.MeasuredMsgs = m.msgs
+		}
+		if p.Bytes > 0 {
+			row.ByteRatio = float64(row.MeasuredBytes) / float64(p.Bytes)
+			row.BytesFlagged = row.ByteRatio < byteRatioLo || row.ByteRatio > byteRatioHi
+		}
+		if row.PredictedUS > 0 && row.MeasuredUS > 0 {
+			row.TimeRatio = float64(row.MeasuredUS) / float64(row.PredictedUS)
+		}
+		rows = append(rows, row)
+	}
+	var ratios []float64
+	for _, row := range rows {
+		if row.TimeRatio > 0 {
+			ratios = append(ratios, row.TimeRatio)
+		}
+	}
+	if len(ratios) >= 2 {
+		sort.Float64s(ratios)
+		median := ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
+		if median > 0 {
+			for i := range rows {
+				if rows[i].TimeRatio > timeOutlierFactor*median {
+					rows[i].TimeFlagged = true
+				}
+			}
+		}
+	}
+	return rows
+}

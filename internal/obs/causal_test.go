@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func us(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// stragglerFixture builds the canonical two-rank causal scenario: rank
+// 1 computes until t=100us and only then releases the message rank 0
+// has been waiting on since t=10us.
+func stragglerFixture() *Recorder {
+	r := NewRecorder()
+	inject(r,
+		mkSpan(1, "cannon", KindStage, us(0), us(100)),
+		mkSpan(0, "cannon", KindStage, us(0), us(10)),
+		mkSpan(0, "p2p", KindComm, us(10), us(105)),
+	)
+	r.EdgeAt(1, Edge{Rank: 1, Dir: EdgeSend, Peer: 0, Op: "p2p", Src: 1, Seq: 1, Bytes: 64, TS: us(100)})
+	r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeRecv, Peer: 1, Op: "p2p", Src: 1, Seq: 1, Bytes: 64, TS: us(102)})
+	return r
+}
+
+func TestCriticalPathBlamesLateSender(t *testing.T) {
+	rep := stragglerFixture().BuildReport()
+	if rep.EdgeStats == nil || rep.EdgeStats.Sends != 1 || rep.EdgeStats.Recvs != 1 || rep.EdgeStats.Orphans != 0 {
+		t.Fatalf("edge stats %+v", rep.EdgeStats)
+	}
+	var jump *PathStep
+	for i := range rep.Critical {
+		if rep.Critical[i].FromRank >= 0 {
+			jump = &rep.Critical[i]
+		}
+	}
+	if jump == nil {
+		t.Fatalf("no cross-rank jump in path %+v", rep.Critical)
+	}
+	if jump.Rank != 0 || jump.FromRank != 1 || jump.WaitUS != 92 {
+		t.Fatalf("jump step %+v, want rank 0 waiting 92us on rank 1", jump)
+	}
+	if len(rep.Blame) == 0 || rep.Blame[0].Rank != 1 {
+		t.Fatalf("blame %+v, want rank 1 first", rep.Blame)
+	}
+	if rep.Blame[0].WaitUS != 92 {
+		t.Fatalf("blamed wait %d, want 92", rep.Blame[0].WaitUS)
+	}
+}
+
+func TestCriticalPathOrphanRecvStaysLocal(t *testing.T) {
+	r := NewRecorder()
+	inject(r,
+		mkSpan(1, "cannon", KindStage, us(0), us(100)),
+		mkSpan(0, "p2p", KindComm, us(10), us(105)),
+	)
+	// Recv half only: the send was lost (e.g. ring-compacted away).
+	r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeRecv, Peer: 1, Op: "p2p", Src: 1, Seq: 7, TS: us(102)})
+	rep := r.BuildReport()
+	if rep.EdgeStats == nil || rep.EdgeStats.Orphans != 1 {
+		t.Fatalf("edge stats %+v, want 1 orphan", rep.EdgeStats)
+	}
+	for _, p := range rep.Critical {
+		if p.FromRank >= 0 {
+			t.Fatalf("path jumped ranks on an orphan recv: %+v", p)
+		}
+	}
+}
+
+func TestCriticalPathEarlySenderNotBlamed(t *testing.T) {
+	// The send left before the receiver even entered its wait: the
+	// receiver is the slow party and must keep the path.
+	r := NewRecorder()
+	inject(r,
+		mkSpan(1, "cannon", KindStage, us(0), us(5)),
+		mkSpan(0, "p2p", KindComm, us(10), us(105)),
+	)
+	r.EdgeAt(1, Edge{Rank: 1, Dir: EdgeSend, Peer: 0, Op: "p2p", Src: 1, Seq: 1, TS: us(5)})
+	r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeRecv, Peer: 1, Op: "p2p", Src: 1, Seq: 1, TS: us(102)})
+	rep := r.BuildReport()
+	for _, p := range rep.Critical {
+		if p.FromRank >= 0 {
+			t.Fatalf("path blamed an early sender: %+v", p)
+		}
+	}
+	if len(rep.Blame) == 0 || rep.Blame[0].Rank != 0 {
+		t.Fatalf("blame %+v, want rank 0 (the slow receiver) first", rep.Blame)
+	}
+}
+
+func TestBuildSkewGroupsByCollective(t *testing.T) {
+	r := NewRecorder()
+	for rank, start := range []int64{10, 40, 20} {
+		s := mkSpan(rank, "allgather", KindComm, us(start), us(60))
+		s.Ctx, s.CollSeq = "w1", 3
+		inject(r, s)
+	}
+	// p2p and context-less spans must not form skew groups.
+	p := mkSpan(0, "p2p", KindComm, us(70), us(80))
+	p.Ctx = "w1"
+	noCtx := mkSpan(1, "bcast", KindComm, us(70), us(80))
+	inject(r, p, noCtx)
+	rep := r.BuildReport()
+	if len(rep.Skew) != 1 {
+		t.Fatalf("skew rows %+v, want exactly 1", rep.Skew)
+	}
+	sk := rep.Skew[0]
+	if sk.Op != "allgather" || sk.Ctx != "w1" || sk.CollSeq != 3 || sk.Ranks != 3 {
+		t.Fatalf("skew row %+v", sk)
+	}
+	if sk.SpreadUS != 30 || sk.FirstRank != 0 || sk.LastRank != 1 {
+		t.Fatalf("spread %+v, want 30us from rank 0 to rank 1", sk)
+	}
+}
+
+func TestDivergenceSentinelFlags(t *testing.T) {
+	r := NewRecorder()
+	mkStage := func(rank int, name string, lo, hi int64, sent int64) {
+		inject(r, mkSpan(rank, name, KindStage, us(lo), us(hi)))
+		c := mkSpan(rank, "p2p", KindComm, us(lo+1), us(lo+2))
+		c.SentBytes = sent
+		inject(r, c)
+	}
+	mkStage(0, "alpha", 0, 100, 1000)
+	mkStage(0, "beta", 100, 200, 5000)
+	mkStage(0, "gamma", 200, 300, 1000)
+	r.SetPredictions([]StagePrediction{
+		{Stage: "alpha", Bytes: 1000, Msgs: 1, Seconds: 100e-6},
+		{Stage: "beta", Bytes: 1000, Msgs: 1, Seconds: 10e-6}, // time ratio 10 vs median 1
+		{Stage: "gamma", Bytes: 1000, Msgs: 1, Seconds: 100e-6},
+	})
+	rep := r.BuildReport()
+	rows := map[string]DivergenceRow{}
+	for _, d := range rep.Divergence {
+		rows[d.Stage] = d
+	}
+	if len(rows) != 3 {
+		t.Fatalf("divergence rows %+v", rep.Divergence)
+	}
+	if a := rows["alpha"]; a.BytesFlagged || a.TimeFlagged || a.ByteRatio != 1 {
+		t.Fatalf("alpha flagged: %+v", a)
+	}
+	if b := rows["beta"]; !b.BytesFlagged || b.ByteRatio != 5 {
+		t.Fatalf("beta byte flag missing: %+v", b)
+	}
+	if b := rows["beta"]; !b.TimeFlagged {
+		t.Fatalf("beta time flag missing: %+v", b)
+	}
+	if g := rows["gamma"]; g.BytesFlagged || g.TimeFlagged {
+		t.Fatalf("gamma flagged: %+v", g)
+	}
+}
+
+func TestDivergenceWithoutPredictionsIsAbsent(t *testing.T) {
+	_, rep := testReport()
+	if rep.Divergence != nil {
+		t.Fatalf("divergence rows without predictions: %+v", rep.Divergence)
+	}
+}
+
+// TestFlightRecorderTruncatedShards drives a ring-limited recorder way
+// past its bound — the mid-run-fence scenario where only the freshest
+// history survives — and checks every consumer still works: report
+// building, blame on a partial causal graph (orphan recvs), and the
+// Chrome dump round trip.
+func TestFlightRecorderTruncatedShards(t *testing.T) {
+	r := NewRecorder()
+	r.SetRingLimit(8)
+	for i := int64(0); i < 100; i++ {
+		inject(r, mkSpan(0, "work", KindStage, us(i*10), us(i*10+9)))
+		r.Instant(0, "fault:delay", "")
+		r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeSend, Peer: 1, Op: "p2p", Src: 0, Seq: uint64(i + 1), TS: us(i*10 + 1)})
+	}
+	// Rank 1 received only the last few messages; the matching sends for
+	// the older ones were compacted away on rank 0.
+	r.EdgeAt(1, Edge{Rank: 1, Dir: EdgeRecv, Peer: 0, Op: "p2p", Src: 0, Seq: 3, TS: us(995)})
+	r.EdgeAt(1, Edge{Rank: 1, Dir: EdgeRecv, Peer: 0, Op: "p2p", Src: 0, Seq: 100, TS: us(996)})
+	if got := len(r.Spans()); got > 16 {
+		t.Fatalf("ring kept %d spans, want <= 16", got)
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("ring compaction reported no drops")
+	}
+	rep := r.BuildReport()
+	if rep.EdgeStats == nil || rep.EdgeStats.Orphans != 1 {
+		t.Fatalf("edge stats %+v, want exactly the seq-3 orphan", rep.EdgeStats)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("flight dump failed validation: %v", err)
+	}
+	events, err := DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes int
+	for _, e := range events {
+		switch e.Phase {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+		}
+	}
+	// Exactly the matched pair (seq 100) may appear; the orphan must not.
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("flow events %d starts / %d finishes, want 1/1", starts, finishes)
+	}
+}
+
+func TestChromeFlowPairSharesID(t *testing.T) {
+	r := stragglerFixture()
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start, finish *ChromeEvent
+	for i := range events {
+		switch events[i].Phase {
+		case "s":
+			start = &events[i]
+		case "f":
+			finish = &events[i]
+		}
+	}
+	if start == nil || finish == nil {
+		t.Fatalf("missing flow pair in %d events", len(events))
+	}
+	if start.ID == "" || start.ID != finish.ID {
+		t.Fatalf("flow ids %q / %q", start.ID, finish.ID)
+	}
+	if start.TID != 1 || finish.TID != 0 {
+		t.Fatalf("flow tracks start=%d finish=%d, want sender 1 -> receiver 0", start.TID, finish.TID)
+	}
+	if finish.BP != "e" {
+		t.Fatalf("finish binding point %q, want \"e\"", finish.BP)
+	}
+	if _, err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// promValue extracts the value of the first exposition line starting
+// with prefix.
+func promValue(t *testing.T, out, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("bad exposition line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no exposition line with prefix %q:\n%s", prefix, out)
+	return 0
+}
+
+func scrape(t *testing.T, r *Recorder) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRecorder()
+	inject(r, mkSpan(0, `sta"ge\`, KindStage, us(0), us(100)))
+	r.Instant(0, `ev"ent`, "")
+	out := scrape(t, r)
+	if !strings.Contains(out, `ca3dmm_stage_seconds_total{stage="sta\"ge\\"}`) {
+		t.Fatalf("stage label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `ca3dmm_events_total{event="ev\"ent"}`) {
+		t.Fatalf("event label not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPrometheusCountersMonotonicAcrossReset(t *testing.T) {
+	r := NewRecorder()
+	inject(r, mkSpan(0, "cannon", KindStage, us(0), us(100)))
+	c := mkSpan(0, "allgather", KindComm, us(10), us(20))
+	c.SentBytes = 1024
+	inject(r, c)
+	r.Instant(0, "fault:crash", "")
+	stagePfx := `ca3dmm_stage_seconds_total{stage="cannon"}`
+	bytesPfx := `ca3dmm_comm_bytes_total{stage="cannon",op="allgather",dir="sent"}`
+	eventPfx := `ca3dmm_events_total{event="fault:crash"}`
+	out1 := scrape(t, r)
+	v1 := promValue(t, out1, stagePfx)
+	b1 := promValue(t, out1, bytesPfx)
+	e1 := promValue(t, out1, eventPfx)
+
+	r.ResetRank(0)
+	out2 := scrape(t, r)
+	if v2 := promValue(t, out2, stagePfx); v2 < v1 {
+		t.Fatalf("stage counter shrank across reset: %g -> %g", v1, v2)
+	}
+	if b2 := promValue(t, out2, bytesPfx); b2 != b1 {
+		t.Fatalf("byte counter changed across reset: %g -> %g", b1, b2)
+	}
+	if e2 := promValue(t, out2, eventPfx); e2 != e1 {
+		t.Fatalf("event counter changed across reset: %g -> %g", e1, e2)
+	}
+
+	// New recording after the reset adds on top of the banked totals.
+	inject(r, mkSpan(0, "cannon", KindStage, us(0), us(50)))
+	out3 := scrape(t, r)
+	if v3 := promValue(t, out3, stagePfx); v3 <= v1 {
+		t.Fatalf("stage counter not growing after reset: %g -> %g", v1, v3)
+	}
+}
+
+func TestPrometheusCausalFamilies(t *testing.T) {
+	r := stragglerFixture()
+	// Nested comm with traffic so the cannon stage has measured bytes
+	// (the bytes gauge is only emitted for a nonzero ratio).
+	c := mkSpan(1, "allgather", KindComm, us(20), us(30))
+	c.SentBytes = 64
+	inject(r, c)
+	r.SetPredictions([]StagePrediction{{Stage: "cannon", Bytes: 64, Seconds: 1}})
+	out := scrape(t, r)
+	for _, want := range []string{
+		`ca3dmm_causal_edges_total{dir="send"} 1`,
+		`ca3dmm_causal_edges_total{dir="orphan_recv"} 0`,
+		`ca3dmm_blame_wait_seconds{rank="1"}`,
+		`ca3dmm_divergence_ratio{stage="cannon",metric="bytes"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRecorderCausalZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeSend, Src: 0, Seq: 1, TS: 1})
+		r.CommSpanTagged(0, "p2p", "w1", 1, 0, 8, 8, 1, 1)
+		r.SetRingLimit(8)
+		_ = r.Dropped()
+		r.SetPredictions(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder causal path allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestEnabledEdgeZeroAllocSteadyState(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 256; i++ {
+		r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeSend, Src: 0, Seq: uint64(i), TS: 1})
+	}
+	r.ResetRank(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.EdgeAt(0, Edge{Rank: 0, Dir: EdgeSend, Src: 0, Seq: 1, TS: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled edge path allocated %.1f objects per edge, want 0", allocs)
+	}
+}

@@ -9,7 +9,10 @@ import (
 
 // ChromeEvent is one entry of the Chrome trace-event JSON format
 // (loadable in Perfetto / chrome://tracing). Spans are complete ("X")
-// events; instant events use phase "i" with thread scope.
+// events; instant events use phase "i" with thread scope; causal
+// message edges are flow-event pairs ("s" start on the sender, "f"
+// finish on the receiver) sharing an ID, which Perfetto draws as
+// arrows between the rank tracks.
 type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
@@ -19,7 +22,14 @@ type ChromeEvent struct {
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"` // flow binding ID ("s"/"f" events)
+	BP    string         `json:"bp,omitempty"` // flow binding point
 	Args  map[string]any `json:"args,omitempty"`
+}
+
+// flowID packs a causal message ID into the flow-event binding ID.
+func flowID(src, epoch int, seq uint64) string {
+	return fmt.Sprintf("%d.%d.%d", src, epoch, seq)
 }
 
 // WriteChrome exports the timeline as a Chrome trace-event JSON
@@ -31,7 +41,8 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	spans, events := r.snapshot()
 	sortSpans(spans)
 	sortEvents(events)
-	out := make([]ChromeEvent, 0, len(spans)+len(events))
+	edges := r.Edges()
+	out := make([]ChromeEvent, 0, len(spans)+len(events)+len(edges))
 	for _, s := range spans {
 		ev := ChromeEvent{
 			Name:  s.Name,
@@ -69,6 +80,45 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		}
 		out = append(out, ev)
 	}
+	// Causal message arrows: one flow pair per matched send/recv edge.
+	// Only matched pairs are emitted — a flight-recorder ring may have
+	// dropped one half, and an orphan flow event would fail validation.
+	type flowHalf struct {
+		edge Edge
+		ok   bool
+	}
+	pairs := map[causalKey]*[2]flowHalf{}
+	for _, e := range edges {
+		key := causalKey{e.Src, e.Seq}
+		p := pairs[key]
+		if p == nil {
+			p = &[2]flowHalf{}
+			pairs[key] = p
+		}
+		p[e.Dir&1] = flowHalf{edge: e, ok: true}
+	}
+	for _, e := range edges {
+		if e.Dir != EdgeSend {
+			continue
+		}
+		p := pairs[causalKey{e.Src, e.Seq}]
+		recv := p[EdgeRecv&1]
+		if !recv.ok {
+			continue
+		}
+		id := flowID(e.Src, e.Epoch, e.Seq)
+		out = append(out,
+			ChromeEvent{
+				Name: "msg", Cat: "causal", Phase: "s", ID: id,
+				TS: e.TS.Microseconds(), PID: 0, TID: e.Rank,
+				Args: map[string]any{"op": e.Op, "bytes": e.Bytes, "to": e.Peer},
+			},
+			ChromeEvent{
+				Name: "msg", Cat: "causal", Phase: "f", ID: id, BP: "e",
+				TS: recv.edge.TS.Microseconds(), PID: 0, TID: recv.edge.Rank,
+				Args: map[string]any{"op": recv.edge.Op, "bytes": recv.edge.Bytes, "from": e.Src},
+			})
+	}
 	// Merge spans and instants into one per-thread monotone stream.
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].TID != out[j].TID {
@@ -95,16 +145,30 @@ func DecodeChrome(r io.Reader) ([]ChromeEvent, error) {
 
 // ValidateChrome decodes a Chrome trace and checks the structural
 // invariants every export must satisfy: known phases, non-negative
-// timestamps and durations, and per-thread monotone timestamps. It
-// returns the event count.
+// timestamps and durations, per-thread monotone timestamps, and flow
+// pairing (every flow event carries an ID, and every flow finish has a
+// matching start). It returns the event count.
 func ValidateChrome(r io.Reader) (int, error) {
 	events, err := DecodeChrome(r)
 	if err != nil {
 		return 0, err
 	}
 	lastTS := make(map[int]int64)
+	flowStarts := make(map[string]bool)
+	flowFinishes := 0
 	for i, e := range events {
-		if e.Phase != "X" && e.Phase != "i" {
+		switch e.Phase {
+		case "X", "i":
+		case "s", "f":
+			if e.ID == "" {
+				return 0, fmt.Errorf("obs: event %d (%q): flow event without id", i, e.Name)
+			}
+			if e.Phase == "s" {
+				flowStarts[e.ID] = true
+			} else {
+				flowFinishes++
+			}
+		default:
 			return 0, fmt.Errorf("obs: event %d (%q): unexpected phase %q", i, e.Name, e.Phase)
 		}
 		if e.TS < 0 {
@@ -118,6 +182,23 @@ func ValidateChrome(r io.Reader) (int, error) {
 				i, e.Name, e.TS, last, e.TID)
 		}
 		lastTS[e.TID] = e.TS
+	}
+	// Pairing pass: the array is sorted by (tid, ts), so a finish can
+	// precede its start in file order; collect first, then match.
+	if flowFinishes > 0 || len(flowStarts) > 0 {
+		matched := 0
+		for i, e := range events {
+			if e.Phase != "f" {
+				continue
+			}
+			if !flowStarts[e.ID] {
+				return 0, fmt.Errorf("obs: event %d (%q): flow finish id %q has no start", i, e.Name, e.ID)
+			}
+			matched++
+		}
+		if matched != flowFinishes {
+			return 0, fmt.Errorf("obs: %d flow finishes, %d matched", flowFinishes, matched)
+		}
 	}
 	return len(events), nil
 }

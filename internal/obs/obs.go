@@ -66,11 +66,20 @@ type Span struct {
 	// received during a KindComm span (nested operations included).
 	SentBytes int64
 	RecvBytes int64
+	// Msgs is the number of messages this rank sent during the span.
+	Msgs int64
 	// Peers is the number of other ranks the operation may touch
 	// (communicator size - 1 for collectives, 1 for point-to-point).
 	Peers int
 	// Flops is the floating-point work attributed to a compute stage.
 	Flops int64
+
+	// Ctx identifies the communicator a KindComm span ran on and
+	// CollSeq its collective sequence number on that communicator, so
+	// the skew analysis can line up the same collective call across
+	// ranks. Empty/zero for stages and untagged spans.
+	Ctx     string
+	CollSeq int
 }
 
 // Dur returns the span duration.
@@ -85,6 +94,44 @@ type Event struct {
 	TS     time.Duration
 }
 
+// EdgeDir distinguishes the two halves of a message edge.
+type EdgeDir uint8
+
+// Edge directions.
+const (
+	// EdgeSend is recorded when a message enters the fabric.
+	EdgeSend EdgeDir = iota
+	// EdgeRecv is recorded when the matching message is accepted by
+	// its destination rank.
+	EdgeRecv
+)
+
+func (d EdgeDir) String() string {
+	if d == EdgeRecv {
+		return "recv"
+	}
+	return "send"
+}
+
+// Edge is one half of a causal message edge: a send stamped with a
+// (source rank, epoch, sequence) causal ID, or the receive that
+// consumed it. Matching the two halves on (Src, Seq) yields the
+// cross-rank happens-before graph the distributed critical path and
+// the Chrome flow arrows are built from. Retransmitted and duplicated
+// copies of a message share the original's causal ID, so a logical
+// message contributes one edge however often the fabric moved it.
+type Edge struct {
+	Rank  int     // rank that observed this half
+	Dir   EdgeDir // send or recv
+	Peer  int     // the other endpoint's world rank
+	Op    string  // comm op carrying the message ("p2p", "allgather", ...)
+	Src   int     // causal ID: sender's world rank
+	Epoch int     // causal ID: sender's communicator epoch
+	Seq   uint64  // causal ID: sender-local sequence number
+	Bytes int64   // payload bytes
+	TS    time.Duration
+}
+
 // shard is one rank's buffers. The spans/events slices are owned by
 // the rank's recording goroutine; concurrent exporters read only the
 // published (pointer, length) pairs, which expose a consistent,
@@ -94,20 +141,45 @@ type Event struct {
 type shard struct {
 	spans  []Span
 	events []Event
+	edges  []Edge
+
+	// ring, when > 0, bounds each buffer to the most recent entries
+	// (the flight recorder): growth past 2*ring compacts down to the
+	// last ring entries instead of doubling. Fixed at shard creation.
+	ring int
 
 	pubSpans  atomic.Pointer[[]Span] // full-capacity header of spans' array
 	nSpans    atomic.Int64
 	pubEvents atomic.Pointer[[]Event]
 	nEvents   atomic.Int64
+	pubEdges  atomic.Pointer[[]Edge]
+	nEdges    atomic.Int64
+	// dropped counts entries discarded by ring compaction.
+	dropped atomic.Int64
 }
 
 func (s *shard) addSpan(sp Span) {
 	if len(s.spans) == cap(s.spans) {
-		ns := make([]Span, len(s.spans), 2*cap(s.spans)+64)
-		copy(ns, s.spans)
-		s.spans = ns
-		full := ns[:cap(ns)]
-		s.pubSpans.Store(&full)
+		if s.ring > 0 && len(s.spans) >= 2*s.ring {
+			// Flight-recorder compaction: keep only the newest ring
+			// entries in a fresh buffer. The shorter length is
+			// published before the new buffer header so every reader
+			// interleaving sees an initialized prefix (old buffer with
+			// a smaller n, or new buffer with n >= what it holds).
+			ns := make([]Span, s.ring, 2*s.ring)
+			copy(ns, s.spans[len(s.spans)-s.ring:])
+			s.dropped.Add(int64(len(s.spans) - s.ring))
+			s.spans = ns
+			s.nSpans.Store(int64(len(ns)))
+			full := ns[:cap(ns)]
+			s.pubSpans.Store(&full)
+		} else {
+			ns := make([]Span, len(s.spans), 2*cap(s.spans)+64)
+			copy(ns, s.spans)
+			s.spans = ns
+			full := ns[:cap(ns)]
+			s.pubSpans.Store(&full)
+		}
 	}
 	s.spans = append(s.spans, sp)
 	s.nSpans.Store(int64(len(s.spans)))
@@ -115,14 +187,46 @@ func (s *shard) addSpan(sp Span) {
 
 func (s *shard) addEvent(ev Event) {
 	if len(s.events) == cap(s.events) {
-		ns := make([]Event, len(s.events), 2*cap(s.events)+16)
-		copy(ns, s.events)
-		s.events = ns
-		full := ns[:cap(ns)]
-		s.pubEvents.Store(&full)
+		if s.ring > 0 && len(s.events) >= 2*s.ring {
+			ns := make([]Event, s.ring, 2*s.ring)
+			copy(ns, s.events[len(s.events)-s.ring:])
+			s.dropped.Add(int64(len(s.events) - s.ring))
+			s.events = ns
+			s.nEvents.Store(int64(len(ns)))
+			full := ns[:cap(ns)]
+			s.pubEvents.Store(&full)
+		} else {
+			ns := make([]Event, len(s.events), 2*cap(s.events)+16)
+			copy(ns, s.events)
+			s.events = ns
+			full := ns[:cap(ns)]
+			s.pubEvents.Store(&full)
+		}
 	}
 	s.events = append(s.events, ev)
 	s.nEvents.Store(int64(len(s.events)))
+}
+
+func (s *shard) addEdge(e Edge) {
+	if len(s.edges) == cap(s.edges) {
+		if s.ring > 0 && len(s.edges) >= 2*s.ring {
+			ns := make([]Edge, s.ring, 2*s.ring)
+			copy(ns, s.edges[len(s.edges)-s.ring:])
+			s.dropped.Add(int64(len(s.edges) - s.ring))
+			s.edges = ns
+			s.nEdges.Store(int64(len(ns)))
+			full := ns[:cap(ns)]
+			s.pubEdges.Store(&full)
+		} else {
+			ns := make([]Edge, len(s.edges), 2*cap(s.edges)+64)
+			copy(ns, s.edges)
+			s.edges = ns
+			full := ns[:cap(ns)]
+			s.pubEdges.Store(&full)
+		}
+	}
+	s.edges = append(s.edges, e)
+	s.nEdges.Store(int64(len(s.edges)))
 }
 
 func (s *shard) snapshotSpans(out []Span) []Span {
@@ -151,6 +255,19 @@ func (s *shard) snapshotEvents(out []Event) []Event {
 	return append(out, buf[:n]...)
 }
 
+func (s *shard) snapshotEdges(out []Edge) []Edge {
+	hdr := s.pubEdges.Load()
+	if hdr == nil {
+		return out
+	}
+	buf := *hdr
+	n := int(s.nEdges.Load())
+	if n > len(buf) {
+		n = len(buf)
+	}
+	return append(out, buf[:n]...)
+}
+
 // Recorder collects spans and events from all ranks of one or more
 // runs onto a single timeline (its epoch is fixed at creation).
 // Methods are safe on a nil receiver (no-ops), and recording methods
@@ -159,6 +276,86 @@ type Recorder struct {
 	epoch  time.Time
 	shards atomic.Pointer[[]*shard]
 	grow   sync.Mutex // guards shard-table growth only, never recording
+
+	// ringLimit, when > 0, turns the recorder into a flight recorder:
+	// every shard keeps only its most recent entries (see SetRingLimit).
+	ringLimit int
+
+	// pred holds per-stage cost-model predictions joined against
+	// measurements by the divergence sentinel (see SetPredictions).
+	predMu sync.Mutex
+	pred   []StagePrediction
+
+	// ret accumulates the totals of shards cleared by ResetRank so the
+	// Prometheus counters stay monotonic across resets.
+	ret retired
+}
+
+// StagePrediction is one stage's predicted communication volume and
+// wall time from the analytic cost model (internal/costmodel via
+// internal/sim). The divergence sentinel joins these against the
+// measured report and flags stages whose measured/predicted ratio
+// leaves the expected band.
+type StagePrediction struct {
+	Stage   string  `json:"stage"`
+	Bytes   int64   `json:"bytes"`   // total payload bytes sent, summed over ranks
+	Msgs    int64   `json:"msgs"`    // total messages sent, summed over ranks
+	Seconds float64 `json:"seconds"` // predicted stage wall time
+}
+
+// SetPredictions attaches cost-model predictions for the divergence
+// sentinel. Call before or after a run; the reports built afterwards
+// carry the measured-vs-predicted join.
+func (r *Recorder) SetPredictions(pred []StagePrediction) {
+	if r == nil {
+		return
+	}
+	r.predMu.Lock()
+	r.pred = append([]StagePrediction(nil), pred...)
+	r.predMu.Unlock()
+}
+
+func (r *Recorder) predictions() []StagePrediction {
+	if r == nil {
+		return nil
+	}
+	r.predMu.Lock()
+	defer r.predMu.Unlock()
+	return r.pred
+}
+
+// SetRingLimit bounds every shard to roughly limit recent entries per
+// buffer kind (spans, events, edges), turning the recorder into a
+// crash-safe flight recorder: memory stays bounded on arbitrarily long
+// runs and a postmortem dump holds the freshest history. Must be
+// called before recording starts; shards created earlier keep their
+// unbounded buffers.
+func (r *Recorder) SetRingLimit(limit int) {
+	if r == nil {
+		return
+	}
+	r.grow.Lock()
+	r.ringLimit = limit
+	r.grow.Unlock()
+}
+
+// Dropped reports how many entries ring compaction has discarded
+// across all shards (0 unless SetRingLimit is in effect).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	sl := r.shards.Load()
+	if sl == nil {
+		return 0
+	}
+	var n int64
+	for _, sh := range *sl {
+		if sh != nil {
+			n += sh.dropped.Load()
+		}
+	}
+	return n
 }
 
 // NewRecorder returns an empty recorder whose time origin is now.
@@ -204,7 +401,7 @@ func (r *Recorder) growShard(rank int) *shard {
 		ns = grown
 	}
 	if ns[rank] == nil {
-		ns[rank] = &shard{}
+		ns[rank] = &shard{ring: r.ringLimit}
 	}
 	r.shards.Store(&ns)
 	return ns[rank]
@@ -273,6 +470,57 @@ func (r *Recorder) CommSpan(rank int, op string, start time.Duration, sent, recv
 		SentBytes: sent, RecvBytes: recv, Peers: peers,
 		Start: start, End: time.Since(r.epoch),
 	})
+}
+
+// CommSpanTagged is CommSpan with the collective identity (communicator
+// context and sequence number) and sent-message count attached, so the
+// skew analysis can align the same collective call across ranks.
+func (r *Recorder) CommSpanTagged(rank int, op, ctx string, collSeq int, start time.Duration, sent, recv, msgs int64, peers int) {
+	if r == nil {
+		return
+	}
+	r.shard(rank).addSpan(Span{
+		Rank: rank, Name: op, Kind: KindComm, Op: op,
+		SentBytes: sent, RecvBytes: recv, Msgs: msgs, Peers: peers,
+		Ctx: ctx, CollSeq: collSeq,
+		Start: start, End: time.Since(r.epoch),
+	})
+}
+
+// EdgeAt records one half of a causal message edge into the shard at
+// index shard. The shard index usually equals e.Rank; the fabric lane
+// (background delivery goroutines that own no rank shard) passes its
+// own index while e.Rank keeps the logical rank. The enabled path
+// allocates nothing beyond amortized buffer growth; nil recorders
+// no-op.
+func (r *Recorder) EdgeAt(shard int, e Edge) {
+	if r == nil {
+		return
+	}
+	if e.TS == 0 {
+		e.TS = time.Since(r.epoch)
+	}
+	r.shard(shard).addEdge(e)
+}
+
+// Edges returns all recorded causal edges sorted by time. Safe to call
+// concurrently with recording.
+func (r *Recorder) Edges() []Edge {
+	if r == nil {
+		return nil
+	}
+	sl := r.shards.Load()
+	if sl == nil {
+		return nil
+	}
+	var edges []Edge
+	for _, sh := range *sl {
+		if sh != nil {
+			edges = sh.snapshotEdges(edges)
+		}
+	}
+	sortEdges(edges)
+	return edges
 }
 
 // OverlapSpan records the overlap window of a nonblocking operation on
@@ -348,19 +596,84 @@ func (r *Recorder) StageTotals() map[string]time.Duration {
 	return totals
 }
 
+// stageOpKey indexes the retired comm accumulators.
+type stageOpKey struct{ stage, op string }
+
+// retired accumulates the contribution of shards cleared by ResetRank,
+// so the Prometheus counter families remain monotonic across resets:
+// a scrape after a reset reports retired + live, never less than a
+// scrape before it.
+type retired struct {
+	mu        sync.Mutex
+	stageUS   map[string]int64
+	commUS    map[stageOpKey]int64
+	sentBytes map[stageOpKey]int64
+	recvBytes map[stageOpKey]int64
+	rankFlops map[int]int64
+	events    map[string]int
+}
+
+// fold runs the same nesting pass the report uses over one rank's
+// spans and banks the counter-family contributions.
+func (t *retired) fold(spans []Span, events []Event) {
+	sorted := append([]Span(nil), spans...)
+	sortSpans(sorted)
+	ctxs := nestSpans(sorted)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stageUS == nil {
+		t.stageUS = map[string]int64{}
+		t.commUS = map[stageOpKey]int64{}
+		t.sentBytes = map[stageOpKey]int64{}
+		t.recvBytes = map[stageOpKey]int64{}
+		t.rankFlops = map[int]int64{}
+		t.events = map[string]int{}
+	}
+	for _, c := range ctxs {
+		s := c.span
+		switch s.Kind {
+		case KindStage:
+			t.stageUS[s.Name] += s.Dur().Microseconds()
+			t.rankFlops[s.Rank] += s.Flops
+		case KindComm:
+			if !c.outermost {
+				continue
+			}
+			stage := c.stage
+			if stage == "" {
+				stage = "(outside)"
+			}
+			key := stageOpKey{stage, s.Op}
+			t.commUS[key] += s.Dur().Microseconds()
+			t.sentBytes[key] += s.SentBytes
+			t.recvBytes[key] += s.RecvBytes
+		}
+	}
+	for _, e := range events {
+		t.events[e.Name]++
+	}
+}
+
 // ResetRank discards everything recorded for one rank, keeping the
-// buffers (no allocation). It may only be called from the goroutine
-// that records for that rank, and not concurrently with exporters —
-// unlike recording, reset reuses the buffer in place, so a concurrent
-// snapshot could observe recycled entries. It exists so long-lived
-// servers and benchmarks can bound recorder memory.
+// buffers (no allocation beyond the retired fold). It may only be
+// called from the goroutine that records for that rank, and not
+// concurrently with exporters — unlike recording, reset reuses the
+// buffer in place, so a concurrent snapshot could observe recycled
+// entries. The cleared totals are banked so Prometheus counters stay
+// monotonic. It exists so long-lived servers and benchmarks can bound
+// recorder memory.
 func (r *Recorder) ResetRank(rank int) {
 	if r == nil {
 		return
 	}
 	sh := r.shard(rank)
+	if len(sh.spans) > 0 || len(sh.events) > 0 {
+		r.ret.fold(sh.spans, sh.events)
+	}
 	sh.spans = sh.spans[:0]
 	sh.nSpans.Store(0)
 	sh.events = sh.events[:0]
 	sh.nEvents.Store(0)
+	sh.edges = sh.edges[:0]
+	sh.nEdges.Store(0)
 }

@@ -9,19 +9,87 @@ import (
 // WritePrometheus renders the recorder's current state in the
 // Prometheus text exposition format (version 0.0.4). It is built on
 // the same concurrent-safe snapshot as the other exporters, so a live
-// /metrics endpoint can scrape mid-run.
+// /metrics endpoint can scrape mid-run. Counter families merge the
+// live report with the totals banked by ResetRank, so they are
+// monotonic across shard resets.
 func (r *Recorder) WritePrometheus(w io.Writer) error {
 	rep := r.BuildReport()
+
+	// Merge the live report into copies of the retired accumulators.
+	stageUS := map[string]int64{}
+	commUS := map[stageOpKey]int64{}
+	sentBytes := map[stageOpKey]int64{}
+	recvBytes := map[stageOpKey]int64{}
+	rankFlops := map[int]int64{}
+	eventCounts := map[string]int{}
+	if r != nil {
+		r.ret.mu.Lock()
+		for k, v := range r.ret.stageUS {
+			stageUS[k] = v
+		}
+		for k, v := range r.ret.commUS {
+			commUS[k] = v
+		}
+		for k, v := range r.ret.sentBytes {
+			sentBytes[k] = v
+		}
+		for k, v := range r.ret.recvBytes {
+			recvBytes[k] = v
+		}
+		for k, v := range r.ret.rankFlops {
+			rankFlops[k] = v
+		}
+		for k, v := range r.ret.events {
+			eventCounts[k] = v
+		}
+		r.ret.mu.Unlock()
+	}
+	for _, st := range rep.Stages {
+		stageUS[st.Name] += st.TotalUS
+	}
+	for _, br := range rep.Breakdown {
+		key := stageOpKey{br.Stage, br.Op}
+		commUS[key] += br.TotalUS
+		sentBytes[key] += br.SentBytes
+		recvBytes[key] += br.RecvBytes
+	}
+	for _, rs := range rep.RankStats {
+		rankFlops[rs.Rank] += rs.Flops
+	}
+	for _, e := range rep.Events {
+		eventCounts[e.Name] += e.Count
+	}
 
 	write := func(format string, args ...any) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
+	sortedStages := make([]string, 0, len(stageUS))
+	for name := range stageUS {
+		sortedStages = append(sortedStages, name)
+	}
+	sort.Strings(sortedStages)
+	sortedOps := make([]stageOpKey, 0, len(commUS))
+	for key := range commUS {
+		sortedOps = append(sortedOps, key)
+	}
+	sort.Slice(sortedOps, func(i, j int) bool {
+		if sortedOps[i].stage != sortedOps[j].stage {
+			return sortedOps[i].stage < sortedOps[j].stage
+		}
+		return sortedOps[i].op < sortedOps[j].op
+	})
+	sortedRanks := make([]int, 0, len(rankFlops))
+	for rank := range rankFlops {
+		sortedRanks = append(sortedRanks, rank)
+	}
+	sort.Ints(sortedRanks)
+
 	if err := write("# HELP ca3dmm_stage_seconds_total Stage time summed across ranks.\n# TYPE ca3dmm_stage_seconds_total counter\n"); err != nil {
 		return err
 	}
-	for _, st := range rep.Stages {
-		if err := write("ca3dmm_stage_seconds_total{stage=%q} %g\n", st.Name, float64(st.TotalUS)/1e6); err != nil {
+	for _, name := range sortedStages {
+		if err := write("ca3dmm_stage_seconds_total{stage=%q} %g\n", name, float64(stageUS[name])/1e6); err != nil {
 			return err
 		}
 	}
@@ -36,37 +104,40 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	if err := write("# HELP ca3dmm_comm_seconds_total Outermost communication time by stage and op.\n# TYPE ca3dmm_comm_seconds_total counter\n"); err != nil {
 		return err
 	}
-	for _, br := range rep.Breakdown {
-		if err := write("ca3dmm_comm_seconds_total{stage=%q,op=%q} %g\n", br.Stage, br.Op, float64(br.TotalUS)/1e6); err != nil {
+	for _, key := range sortedOps {
+		if err := write("ca3dmm_comm_seconds_total{stage=%q,op=%q} %g\n", key.stage, key.op, float64(commUS[key])/1e6); err != nil {
 			return err
 		}
 	}
 	if err := write("# HELP ca3dmm_comm_bytes_total Bytes moved by stage, op, and direction.\n# TYPE ca3dmm_comm_bytes_total counter\n"); err != nil {
 		return err
 	}
-	for _, br := range rep.Breakdown {
-		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"sent\"} %d\n", br.Stage, br.Op, br.SentBytes); err != nil {
+	for _, key := range sortedOps {
+		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"sent\"} %d\n", key.stage, key.op, sentBytes[key]); err != nil {
 			return err
 		}
-		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"recv\"} %d\n", br.Stage, br.Op, br.RecvBytes); err != nil {
+		if err := write("ca3dmm_comm_bytes_total{stage=%q,op=%q,dir=\"recv\"} %d\n", key.stage, key.op, recvBytes[key]); err != nil {
 			return err
 		}
 	}
 	if err := write("# HELP ca3dmm_rank_flops_total Floating-point operations attributed per rank.\n# TYPE ca3dmm_rank_flops_total counter\n"); err != nil {
 		return err
 	}
-	for _, rs := range rep.RankStats {
-		if err := write("ca3dmm_rank_flops_total{rank=\"%d\"} %d\n", rs.Rank, rs.Flops); err != nil {
+	for _, rank := range sortedRanks {
+		if err := write("ca3dmm_rank_flops_total{rank=\"%d\"} %d\n", rank, rankFlops[rank]); err != nil {
 			return err
 		}
 	}
 	if err := write("# HELP ca3dmm_events_total Instant events (faults, recovery actions) by name.\n# TYPE ca3dmm_events_total counter\n"); err != nil {
 		return err
 	}
-	events := append([]EventCount(nil), rep.Events...)
-	sort.Slice(events, func(i, j int) bool { return events[i].Name < events[j].Name })
-	for _, e := range events {
-		if err := write("ca3dmm_events_total{event=%q} %d\n", e.Name, e.Count); err != nil {
+	sortedEvents := make([]string, 0, len(eventCounts))
+	for name := range eventCounts {
+		sortedEvents = append(sortedEvents, name)
+	}
+	sort.Strings(sortedEvents)
+	for _, name := range sortedEvents {
+		if err := write("ca3dmm_events_total{event=%q} %d\n", name, eventCounts[name]); err != nil {
 			return err
 		}
 	}
@@ -86,13 +157,71 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	if err := write("# HELP ca3dmm_spare_pool_transitions_total Hot-spare pool activity by transition.\n# TYPE ca3dmm_spare_pool_transitions_total counter\n"); err != nil {
 		return err
 	}
-	counts := make(map[string]int, len(events))
-	for _, e := range events {
-		counts[e.Name] = e.Count
-	}
 	for _, sa := range spareActions {
-		if err := write("ca3dmm_spare_pool_transitions_total{action=%q} %d\n", sa.action, counts[sa.event]); err != nil {
+		if err := write("ca3dmm_spare_pool_transitions_total{action=%q} %d\n", sa.action, eventCounts[sa.event]); err != nil {
 			return err
+		}
+	}
+	// Causal-tracing families: happens-before graph size, per-rank
+	// critical-path blame, worst collective skew per op, and the
+	// divergence sentinel's measured/predicted ratios.
+	if es := rep.EdgeStats; es != nil {
+		if err := write("# HELP ca3dmm_causal_edges_total Causal message edge halves recorded.\n# TYPE ca3dmm_causal_edges_total counter\n"); err != nil {
+			return err
+		}
+		if err := write("ca3dmm_causal_edges_total{dir=\"send\"} %d\nca3dmm_causal_edges_total{dir=\"recv\"} %d\nca3dmm_causal_edges_total{dir=\"orphan_recv\"} %d\n",
+			es.Sends, es.Recvs, es.Orphans); err != nil {
+			return err
+		}
+	}
+	if len(rep.Blame) > 0 {
+		if err := write("# HELP ca3dmm_blame_wait_seconds Critical-path wait attributed to a rank's late sends.\n# TYPE ca3dmm_blame_wait_seconds gauge\n"); err != nil {
+			return err
+		}
+		blame := append([]BlameRow(nil), rep.Blame...)
+		sort.Slice(blame, func(i, j int) bool { return blame[i].Rank < blame[j].Rank })
+		for _, b := range blame {
+			if err := write("ca3dmm_blame_wait_seconds{rank=\"%d\"} %g\n", b.Rank, float64(b.WaitUS)/1e6); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Skew) > 0 {
+		worst := map[string]int64{}
+		for _, sk := range rep.Skew {
+			if sk.SpreadUS > worst[sk.Op] {
+				worst[sk.Op] = sk.SpreadUS
+			}
+		}
+		ops := make([]string, 0, len(worst))
+		for op := range worst {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		if err := write("# HELP ca3dmm_collective_skew_seconds Worst arrival-time spread observed per collective op.\n# TYPE ca3dmm_collective_skew_seconds gauge\n"); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := write("ca3dmm_collective_skew_seconds{op=%q} %g\n", op, float64(worst[op])/1e6); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Divergence) > 0 {
+		if err := write("# HELP ca3dmm_divergence_ratio Measured/predicted ratio per stage and metric.\n# TYPE ca3dmm_divergence_ratio gauge\n"); err != nil {
+			return err
+		}
+		for _, d := range rep.Divergence {
+			if d.ByteRatio > 0 {
+				if err := write("ca3dmm_divergence_ratio{stage=%q,metric=\"bytes\"} %g\n", d.Stage, d.ByteRatio); err != nil {
+					return err
+				}
+			}
+			if d.TimeRatio > 0 {
+				if err := write("ca3dmm_divergence_ratio{stage=%q,metric=\"time\"} %g\n", d.Stage, d.TimeRatio); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -23,6 +23,15 @@ type Report struct {
 	Critical  []PathStep   `json:"critical_path"`
 	Events    []EventCount `json:"events,omitempty"`
 
+	// Blame attributes critical-path time per rank (from the causal
+	// message edges), Skew reports per-collective arrival spread,
+	// Divergence is the measured-vs-cost-model sentinel, and EdgeStats
+	// summarises the happens-before graph the path was built from.
+	Blame      []BlameRow      `json:"blame,omitempty"`
+	Skew       []SkewRow       `json:"skew,omitempty"`
+	Divergence []DivergenceRow `json:"divergence,omitempty"`
+	EdgeStats  *EdgeStats      `json:"edge_stats,omitempty"`
+
 	// HiddenCommUS sums the ranks' hidden-communication time: the
 	// per-rank union of overlap windows, during which nonblocking
 	// operations were in flight behind the rank's compute.
@@ -54,6 +63,7 @@ type BreakRow struct {
 	TotalUS   int64  `json:"total_us"`
 	SentBytes int64  `json:"sent_bytes"`
 	RecvBytes int64  `json:"recv_bytes"`
+	Msgs      int64  `json:"msgs,omitempty"`
 	Calls     int    `json:"calls"`
 }
 
@@ -72,13 +82,18 @@ type RankStat struct {
 	HiddenUS int64 `json:"hidden_us,omitempty"`
 }
 
-// PathStep is one outermost span on the critical (slowest) rank.
+// PathStep is one segment of the distributed critical path. When the
+// segment is a wait released by a remote rank's message, FromRank
+// names that sender and WaitUS how long the path waited for it;
+// FromRank is -1 for segments that stayed on the same rank.
 type PathStep struct {
-	Rank    int    `json:"rank"`
-	Name    string `json:"name"`
-	Kind    string `json:"kind"`
-	StartUS int64  `json:"start_us"`
-	DurUS   int64  `json:"dur_us"`
+	Rank     int    `json:"rank"`
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	StartUS  int64  `json:"start_us"`
+	DurUS    int64  `json:"dur_us"`
+	FromRank int    `json:"from_rank"`
+	WaitUS   int64  `json:"wait_us,omitempty"`
 }
 
 // EventCount tallies instant events by name.
@@ -188,6 +203,7 @@ func (r *Recorder) BuildReport() *Report {
 			br.TotalUS += s.Dur().Microseconds()
 			br.SentBytes += s.SentBytes
 			br.RecvBytes += s.RecvBytes
+			br.Msgs += s.Msgs
 			br.Calls++
 		}
 	}
@@ -255,7 +271,6 @@ func (r *Recorder) BuildReport() *Report {
 		return rep.Breakdown[i].Op < rep.Breakdown[j].Op
 	})
 
-	critRank, critBusy := -1, int64(-1)
 	var totalComm, totalHidden int64
 	for _, rs := range ranks {
 		if rs.BusyUS > 0 {
@@ -264,9 +279,6 @@ func (r *Recorder) BuildReport() *Report {
 		totalComm += rs.CommUS
 		totalHidden += rs.HiddenUS
 		rep.RankStats = append(rep.RankStats, *rs)
-		if rs.BusyUS+rs.CommUS > critBusy {
-			critBusy, critRank = rs.BusyUS+rs.CommUS, rs.Rank
-		}
 	}
 	rep.HiddenCommUS = totalHidden
 	if totalComm+totalHidden > 0 {
@@ -274,16 +286,13 @@ func (r *Recorder) BuildReport() *Report {
 	}
 	sort.Slice(rep.RankStats, func(i, j int) bool { return rep.RankStats[i].Rank < rep.RankStats[j].Rank })
 
-	// Critical path: the outermost spans of the busiest rank, in order.
-	for _, c := range ctxs {
-		if c.span.Rank != critRank || !c.outermost {
-			continue
-		}
-		rep.Critical = append(rep.Critical, PathStep{
-			Rank: c.span.Rank, Name: c.span.Name, Kind: c.span.Kind.String(),
-			StartUS: c.span.Start.Microseconds(), DurUS: c.span.Dur().Microseconds(),
-		})
-	}
+	// Distributed critical path: a backward walk from the last span to
+	// finish, following waits through the causal message edges onto the
+	// sending ranks. Without edges it degenerates to the slowest rank's
+	// own timeline.
+	rep.Critical, rep.Blame, rep.EdgeStats = buildCriticalPath(ctxs, r.Edges())
+	rep.Skew = buildSkew(ctxs)
+	rep.Divergence = buildDivergence(rep.Stages, rep.Breakdown, r.predictions())
 
 	counts := map[string]int{}
 	for _, e := range events {
@@ -359,9 +368,43 @@ func (rep *Report) Render() string {
 			fmtUS(rep.HiddenCommUS), 100*rep.HiddenCommFrac)
 	}
 	if len(rep.Critical) > 0 {
-		fmt.Fprintf(&b, "\ncritical path (rank %d):\n", rep.Critical[0].Rank)
+		fmt.Fprintf(&b, "\ncritical path:\n")
 		for _, p := range rep.Critical {
-			fmt.Fprintf(&b, "  +%-10s %-6s %-18s %s\n", fmtUS(p.StartUS), p.Kind, p.Name, fmtUS(p.DurUS))
+			suffix := ""
+			if p.FromRank >= 0 {
+				suffix = fmt.Sprintf("  (waited %s on rank %d)", fmtUS(p.WaitUS), p.FromRank)
+			}
+			fmt.Fprintf(&b, "  +%-10s r%-4d %-6s %-18s %s%s\n", fmtUS(p.StartUS), p.Rank, p.Kind, p.Name, fmtUS(p.DurUS), suffix)
+		}
+	}
+	if len(rep.Blame) > 0 {
+		fmt.Fprintf(&b, "\nblame (critical-path attribution):\n%-6s %12s %12s %6s\n", "rank", "caused wait", "on path", "steps")
+		for _, bl := range rep.Blame {
+			fmt.Fprintf(&b, "%-6d %12s %12s %6d\n", bl.Rank, fmtUS(bl.WaitUS), fmtUS(bl.OnPathUS), bl.Steps)
+		}
+	}
+	if len(rep.Skew) > 0 {
+		fmt.Fprintf(&b, "\ncollective skew (arrival spread, widest first):\n%-16s %5s %6s %10s %6s %6s\n",
+			"op", "seq", "ranks", "spread", "first", "last")
+		for _, sk := range rep.Skew {
+			fmt.Fprintf(&b, "%-16s %5d %6d %10s %6d %6d\n",
+				sk.Op, sk.CollSeq, sk.Ranks, fmtUS(sk.SpreadUS), sk.FirstRank, sk.LastRank)
+		}
+	}
+	if len(rep.Divergence) > 0 {
+		fmt.Fprintf(&b, "\ndivergence sentinel (measured vs cost model):\n%-18s %12s %12s %7s %9s %7s %s\n",
+			"stage", "meas bytes", "pred bytes", "ratio", "time", "t-ratio", "flags")
+		for _, d := range rep.Divergence {
+			flags := ""
+			if d.BytesFlagged {
+				flags += " BYTES"
+			}
+			if d.TimeFlagged {
+				flags += " TIME"
+			}
+			fmt.Fprintf(&b, "%-18s %12s %12s %7.2f %9s %7.2f%s\n",
+				d.Stage, fmtBytes(d.MeasuredBytes), fmtBytes(d.PredictedBytes), d.ByteRatio,
+				fmtUS(d.MeasuredUS), d.TimeRatio, flags)
 		}
 	}
 	if len(rep.Events) > 0 {

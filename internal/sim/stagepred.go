@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// StagePredictions prices one CA3DMM run stage by stage, in the stage
+// vocabulary of the execution trace ("redistribute-in", "allgather",
+// "cannon", "reduce-scatter", "redistribute-out"), for the divergence
+// sentinel: feed the result to obs.Recorder.SetPredictions and
+// BuildReport joins it against the measured per-stage traffic.
+//
+// Byte and message counts are global totals across ranks, computed
+// from the same plan the execution uses: the redistribution stages are
+// exact (layout-intersection volumes via dist.TransferVolumeOp, self
+// blocks excluded like the runtime excludes them), and the
+// replication/Cannon/reduction stages follow the ring and shift
+// schedules of the implemented collectives. Seconds come from the
+// machine's alpha-beta model; on a local goroutine runtime their scale
+// is wrong by a constant factor, which is why the sentinel flags time
+// only against the median ratio across stages, not absolutely.
+//
+// Only AlgCA3DMM and AlgCA3DMMS are supported; for CA3DMM-S the inner
+// kernel ("summa") is not priced, so its row is simply absent.
+// The return is named so the deferred redistribute-out append (it must
+// land after every algorithm stage row) reaches the caller.
+func StagePredictions(mach Machine, spec Spec) (out []obs.StagePrediction, err error) {
+	if spec.Alg != AlgCA3DMM && spec.Alg != AlgCA3DMMS {
+		return nil, fmt.Errorf("sim: stage predictions support ca3dmm variants, not %q", spec.Alg)
+	}
+	if spec.ThreadsPerRank <= 0 {
+		spec.ThreadsPerRank = 1
+	}
+	if spec.RanksPerNode <= 0 {
+		spec.RanksPerNode = mach.CoresPerNode / spec.ThreadsPerRank
+		if spec.RanksPerNode < 1 {
+			spec.RanksPerNode = 1
+		}
+	}
+	opt := core.Options{DualBuffer: true, UseSUMMA: spec.Alg == AlgCA3DMMS}
+	if spec.GridPm > 0 {
+		opt.Grid = grid.Grid{Pm: spec.GridPm, Pn: spec.GridPn, Pk: spec.GridPk}
+	}
+	pl, err := core.NewPlan(spec.M, spec.N, spec.K, spec.Ranks, false, false, opt)
+	if err != nil {
+		return nil, err
+	}
+	g := pl.G
+	act := pl.ActiveProcs()
+	rate := rankGemmRate(mach, spec)
+
+	// User-layout conversion stages: exact volumes from the layouts.
+	if spec.Layout == Col1D {
+		aUser := dist.Block1DCol{R: spec.M, C: spec.K, P: spec.Ranks}
+		bUser := dist.Block1DCol{R: spec.K, C: spec.N, P: spec.Ranks}
+		cUser := dist.Block1DCol{R: spec.M, C: spec.N, P: spec.Ranks}
+		aEl, aMsg := dist.TransferVolume(aUser, pl.ALayout)
+		bEl, bMsg := dist.TransferVolume(bUser, pl.BLayout)
+		cEl, cMsg := dist.TransferVolume(pl.CLayout, cUser)
+		pp := place(mach, spec, spec.Ranks, 1)
+		price := func(el int64) float64 {
+			perRank := 8 * float64(el) / float64(spec.Ranks)
+			return costmodel.AllToAll(2*perRank, pp) + 3*2*perRank*mach.PackBeta
+		}
+		out = append(out, obs.StagePrediction{
+			Stage: "redistribute-in", Bytes: 8 * (aEl + bEl), Msgs: aMsg + bMsg,
+			Seconds: price(aEl + bEl),
+		})
+		defer func() {
+			out = append(out, obs.StagePrediction{
+				Stage: "redistribute-out", Bytes: 8 * cEl, Msgs: cMsg,
+				Seconds: price(cEl),
+			})
+		}()
+	}
+
+	if spec.Alg == AlgCA3DMM {
+		c, s := pl.Crep, pl.S
+		kg := float64(spec.K) / float64(g.Pk)
+		var aBlk, bBlk float64 // Cannon block sizes, elements
+		if pl.RepA {
+			aBlk = float64(spec.M) / float64(s) * kg / float64(s)
+			bBlk = kg / float64(s) * float64(spec.N) / float64(c) / float64(s)
+		} else {
+			aBlk = float64(spec.M) / float64(c) / float64(s) * kg / float64(s)
+			bBlk = kg / float64(s) * float64(spec.N) / float64(s)
+		}
+		// Step 5: ring allgather of the replicated matrix — each member
+		// of a replication group forwards every block except one, so the
+		// group moves (c-1) full blocks; summed over all groups that is
+		// (c-1) copies of the whole replicated matrix.
+		if c > 1 {
+			repEl := float64(spec.M) * float64(spec.K)
+			if !pl.RepA {
+				repEl = float64(spec.K) * float64(spec.N)
+			}
+			blk := aBlk
+			if !pl.RepA {
+				blk = bBlk
+			}
+			out = append(out, obs.StagePrediction{
+				Stage: "allgather",
+				Bytes: int64(8 * float64(c-1) * repEl),
+				Msgs:  int64(act * (c - 1)),
+				Seconds: costmodel.Allgather(8*blk*float64(c), place(mach, spec, c, s*s)) +
+					8*blk*float64(c)*mach.PackBeta, // pad/assemble pass
+			})
+		}
+		// Step 6: Cannon — initial skew (the s(s-1) off-diagonal ranks
+		// of each grid move their A block, likewise B) plus (s-1) shift
+		// steps on which every rank moves both blocks, per Cannon group.
+		if s > 1 {
+			groups := float64(g.Pk * c)
+			skewEl := float64(s*(s-1)) * (aBlk + bBlk)
+			shiftEl := float64(s*s*(s-1)) * (aBlk + bBlk)
+			stepGemm := 2 * float64(spec.M) * float64(spec.N) * float64(spec.K) / float64(act) / float64(s) / rate
+			shiftPl := place(mach, spec, s*s, 1)
+			stepComm := costmodel.SendRecv(8*aBlk, shiftPl) + costmodel.SendRecv(8*bBlk, shiftPl)
+			out = append(out, obs.StagePrediction{
+				Stage:   "cannon",
+				Bytes:   int64(8 * groups * (skewEl + shiftEl)),
+				Msgs:    int64(groups) * int64(2*s*(s-1)+2*s*s*(s-1)),
+				Seconds: float64(s)*stepGemm + float64(s)*stepComm,
+			})
+		} else {
+			// Degenerate 1x1 Cannon grid: pure local compute.
+			out = append(out, obs.StagePrediction{
+				Stage:   "cannon",
+				Seconds: 2 * float64(spec.M) * float64(spec.N) * float64(spec.K) / float64(act) / rate,
+			})
+		}
+	}
+	// Step 7: ring reduce-scatter of the pk partial C results — each
+	// reduction group moves (pk-1) copies of its C block, which sums to
+	// (pk-1) copies of the whole C matrix.
+	if g.Pk > 1 {
+		cBlkBytes := 8 * float64(spec.M) / float64(g.Pm) * float64(spec.N) / float64(g.Pn)
+		out = append(out, obs.StagePrediction{
+			Stage:   "reduce-scatter",
+			Bytes:   int64(8 * float64(g.Pk-1) * float64(spec.M) * float64(spec.N)),
+			Msgs:    int64(act * (g.Pk - 1)),
+			Seconds: rsCost(mach, cBlkBytes, place(mach, spec, g.Pk, g.Pm*g.Pn)),
+		})
+	}
+	return out, nil
+}

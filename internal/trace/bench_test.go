@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // mutexRecorder is the historical trace.Recorder implementation — one
@@ -71,5 +73,32 @@ func BenchmarkRecorderBeginDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.Begin(0, "work")()
+	}
+}
+
+// BenchmarkCausalEdgeDisabled is the nil-recorder path of causal
+// message stamping — the per-message cost every send and recv pays in
+// the runtime when observability is off. Must not allocate.
+func BenchmarkCausalEdgeDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.EdgeAt(0, obs.Edge{Rank: 0, Dir: obs.EdgeSend, Peer: 1, Op: "p2p", Src: 0, Seq: uint64(i), TS: 1})
+		r.CommSpanTagged(0, "p2p", "", 0, 0, 8, 8, 1, 1)
+	}
+}
+
+// BenchmarkFlightRecorderDisabled covers the flight-recorder control
+// surface (ring limit, drop counter, predictions) on a nil recorder —
+// the configuration calls ca3dmm-run makes unconditionally when
+// -postmortem is off. Must not allocate.
+func BenchmarkFlightRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SetRingLimit(4096)
+		_ = r.Dropped()
+		r.SetPredictions(nil)
+		r.Instant(0, "fault:crash", "")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -219,5 +220,88 @@ func TestResilientMultiplyTraceEvents(t *testing.T) {
 	}
 	if counts["recover:shrink"] == 0 {
 		t.Errorf("report events missing recover:shrink: %v", counts)
+	}
+}
+
+func TestStragglerBlameNamesInjectedRank(t *testing.T) {
+	// A rank sleeping before every communication call must surface as
+	// the top critical-path contributor in the blame attribution, and
+	// the causal graph must stay fully paired despite the delays.
+	a := Random(96, 96, 7)
+	b := Random(96, 96, 8)
+	rc := ResilientConfig{
+		Config:     Config{Trace: NewTraceRecorder()},
+		MaxRetries: 2,
+		VerifySeed: 42,
+		Fault: &FaultPlan{
+			Seed: 11,
+			Specs: []FaultSpec{
+				{Kind: FaultStraggle, Rank: 3, Call: 0, Delay: 2 * time.Millisecond},
+			},
+		},
+	}
+	got, _, err := ResilientMultiply(a, b, 8, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := MaxAbsDiff(GemmRef(a, b, false, false), got); diff > 1e-10 {
+		t.Fatalf("straggled result wrong: max diff %g", diff)
+	}
+	rep := rc.Trace.BuildReport()
+	if rep.EdgeStats == nil || rep.EdgeStats.Sends == 0 {
+		t.Fatalf("no causal edges recorded: %+v", rep.EdgeStats)
+	}
+	if rep.EdgeStats.Orphans != 0 {
+		t.Fatalf("%d orphan recvs on a crash-free run", rep.EdgeStats.Orphans)
+	}
+	if len(rep.Blame) == 0 || rep.Blame[0].Rank != 3 {
+		t.Fatalf("blame %+v, want injected straggler rank 3 first", rep.Blame)
+	}
+	if len(rep.Skew) == 0 {
+		t.Fatal("no collective skew rows on a straggled run")
+	}
+	if !strings.Contains(rep.Render(), "blame") {
+		t.Fatal("rendered report missing the blame section")
+	}
+}
+
+func TestFlightRecorderPostmortemRoundTrip(t *testing.T) {
+	// The -postmortem path: ring-limit the recorder before a run, let
+	// the run overflow it, and the dumped trace must stay bounded and
+	// structurally valid, flow pairs included.
+	a := Random(96, 96, 9)
+	b := Random(96, 96, 10)
+	want := GemmRef(a, b, false, false)
+	cfg := Config{Trace: NewTraceRecorder()}
+	cfg.Trace.SetRingLimit(16)
+	// Repeat until the rings overflow: only the freshest history must
+	// survive, like a long run that dies late.
+	for i := 0; i < 8 && cfg.Trace.Dropped() == 0; i++ {
+		got, _, _, err := Multiply(a, b, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := MaxAbsDiff(want, got); diff > 1e-10 {
+			t.Fatalf("ring-limited multiply wrong: max diff %g", diff)
+		}
+	}
+	if cfg.Trace.Dropped() == 0 {
+		t.Fatal("rings never overflowed; shrink the limit")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("flight dump fails validation: %v", err)
+	}
+	// 8 ranks x 16-entry rings, each entry at most one X event plus a
+	// flow half: the dump must stay bounded even though the run wasn't.
+	if max := 8 * 16 * 4; n == 0 || n > max {
+		t.Fatalf("flight dump has %d events, want in (0, %d]", n, max)
+	}
+	if rep := cfg.Trace.BuildReport(); rep.Ranks == 0 {
+		t.Fatal("report unbuildable from truncated shards")
 	}
 }
