@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/algo1d"
 	"repro/internal/algo3d"
 	"repro/internal/c25d"
@@ -191,6 +192,17 @@ type Config struct {
 	OverlapDepth int
 	// MultiShift aggregates Cannon shifts for thin k panels (<2 off).
 	MultiShift int
+	// ABFT guards every local GEMM step of every algorithm with
+	// Huang–Abraham checksums: operands and output tiles carry dual
+	// weighted checksums, silent bit flips are detected per
+	// accumulation step, corrected in place when localizable, and
+	// absorbed by a surgical tile recompute otherwise. Zero-fault runs
+	// are bit-identical with and without the guard (verification only
+	// reads; corrections fire only above rounding tolerance).
+	ABFT bool
+	// ABFTRel overrides the guard's relative syndrome tolerance
+	// (0 = the mat.DefaultSDCRel default, 1e-12).
+	ABFTRel float64
 	// SUMMAPanel is the panel width for SUMMA-based kernels (0 auto).
 	SUMMAPanel int
 	// MaxPk caps the number of k-task groups — CA3DMM's memory-control
@@ -213,6 +225,12 @@ type Config struct {
 	Net *ReliableOptions
 	// Heartbeat tunes the failure detector (nil = defaults).
 	Heartbeat *HeartbeatOptions
+}
+
+// abftOptions translates the public knobs into the guard options
+// threaded through every algorithm's plan.
+func (cfg Config) abftOptions() abft.Options {
+	return abft.Options{Enabled: cfg.ABFT, Rel: cfg.ABFTRel}
 }
 
 // StageTimes is the per-rank stage breakdown of one execution, in the
@@ -270,6 +288,7 @@ func NewPlan(m, n, k, p int, cfg Config) (*Plan, error) {
 
 			MemoryLimitBytes: cfg.MemoryLimitBytes,
 			Trace:            cfg.Trace,
+			ABFT:             cfg.abftOptions(),
 		})
 		if err == nil {
 			ex = coreExec{pl}
@@ -280,18 +299,21 @@ func NewPlan(m, n, k, p int, cfg Config) (*Plan, error) {
 			Grid: cfg.Grid, LowerUtil: cfg.LowerUtil,
 		})
 		if err == nil {
+			pl.ABFT = cfg.abftOptions()
 			ex = cosmaExec{pl}
 		}
 	case CARMA:
 		var pl *carma.Plan
 		pl, err = carma.NewPlan(m, n, k, p, cfg.TransA, cfg.TransB)
 		if err == nil {
+			pl.ABFT = cfg.abftOptions()
 			ex = carmaExec{pl}
 		}
 	case C25D:
 		var pl *c25d.Plan
 		pl, err = c25d.NewPlan(m, n, k, p, cfg.TransA, cfg.TransB)
 		if err == nil {
+			pl.ABFT = cfg.abftOptions()
 			ex = c25dExec{pl}
 		}
 	case SUMMA:
@@ -300,12 +322,14 @@ func NewPlan(m, n, k, p int, cfg Config) (*Plan, error) {
 		var pl *algo1d.Plan
 		pl, err = algo1d.NewPlan(m, n, k, p, cfg.TransA, cfg.TransB, algo1d.Auto)
 		if err == nil {
+			pl.ABFT = cfg.abftOptions()
 			ex = algo1dExec{pl}
 		}
 	case Algo3D:
 		var pl *algo3d.Plan
 		pl, err = algo3d.NewPlan(m, n, k, p, cfg.TransA, cfg.TransB)
 		if err == nil {
+			pl.ABFT = cfg.abftOptions()
 			ex = algo3dExec{pl}
 		}
 	default:

@@ -51,6 +51,10 @@ func main() {
 	chaosHeal := flag.Duration("chaos-heal", 0, "partition the upper half and heal after this duration, long enough for the detector to fence the minority first — healed ranks rejoin the spare pool (0 = off)")
 	chaosStraggle := flag.Duration("chaos-straggle", 0, "make one rank sleep this long before every communication call (straggler chaos; see -chaos-straggle-rank)")
 	chaosStraggleRank := flag.Int("chaos-straggle-rank", 0, "rank the -chaos-straggle delay is injected on")
+	chaosFlip := flag.Int("chaos-flip", 0, "number of silent compute bit-flips to inject into local GEMM output tiles (requires -abft=on to fire)")
+	chaosFlipMem := flag.Int("chaos-flip-mem", 0, "number of silent memory bit-flips to inject into resident operand buffers (requires -abft=on to fire)")
+	chaosFlipRank := flag.Int("chaos-flip-rank", -1, "rank the -chaos-flip/-chaos-flip-mem flips land on (-1 = spread across ranks)")
+	abft := flag.String("abft", "on", "checksum-guarded GEMM steps (on|off): detect silent data corruption per step, correct in place, recompute the tile surgically")
 	noOverlap := flag.Bool("no-overlap", false, "disable communication/computation overlap (on by default; results are bit-identical either way)")
 	overlapDepth := flag.Int("overlap-depth", 0, "prefetch depth of the overlapped SUMMA panel pipeline (0 = double buffer)")
 	resilient := flag.Bool("resilient", false, "use the self-healing executor even without -chaos")
@@ -67,6 +71,7 @@ func main() {
 		DualBuffer:   true,
 		NoOverlap:    *noOverlap,
 		OverlapDepth: *overlapDepth,
+		ABFT:         *abft != "off",
 	}
 	if *traceOut != "" || *reportOut != "" || *metricsAddr != "" || *postmortem != "" {
 		cfg.Trace = ca3dmm.NewTraceRecorder()
@@ -115,6 +120,7 @@ func main() {
 			seed: *chaosSeed, crashes: *chaosCrash, corrupts: *chaosCorrupt,
 			delayProb: *chaosDelay, dropProb: *chaosDrop, partition: *chaosPartition,
 			heal: *chaosHeal, straggle: *chaosStraggle, straggleRank: *chaosStraggleRank,
+			flips: *chaosFlip, memFlips: *chaosFlipMem, flipRank: *chaosFlipRank,
 			retries: *retries, spares: *spares, quorum: *quorum,
 			inject:   *chaos,
 			validate: *validate, freivalds: *freivalds,
@@ -225,6 +231,8 @@ type chaosOpts struct {
 	heal                time.Duration
 	straggle            time.Duration
 	straggleRank        int
+	flips, memFlips     int
+	flipRank            int
 	retries             int
 	spares              int
 	quorum              int
@@ -282,6 +290,24 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) error 
 				Kind: ca3dmm.FaultPartition, Rank: 0, Call: 2, Delay: o.heal,
 			})
 		}
+		for i := 0; i < o.flips; i++ {
+			r := o.flipRank
+			if r < 0 {
+				r = (int(o.seed) + i) % p
+			}
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultFlipCompute, Rank: r % p, Call: int64(i), Bit: 52,
+			})
+		}
+		for i := 0; i < o.memFlips; i++ {
+			r := o.flipRank
+			if r < 0 {
+				r = (int(o.seed) + o.flips + i) % p
+			}
+			plan.Specs = append(plan.Specs, ca3dmm.FaultSpec{
+				Kind: ca3dmm.FaultFlipMem, Rank: r % p, Call: int64(i), Bit: 52,
+			})
+		}
 		if o.straggle > 0 {
 			// Straggler chaos: one rank sleeps before every communication
 			// call. The run still completes — this is the scenario the
@@ -333,8 +359,8 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) error 
 	fmt.Println()
 	fmt.Printf("================ self-healing executor ================\n")
 	if o.inject {
-		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), delay prob %.2f, drop prob %.2f, partition %v, heal %v, straggle %v@r%d\n",
-			o.seed, o.crashes, o.corrupts, o.delayProb, o.dropProb, o.partition, o.heal, o.straggle, o.straggleRank%p)
+		fmt.Printf("  * Fault plan              : seed %d, %d crash(es), %d corruption(s), %d compute flip(s), %d memory flip(s), delay prob %.2f, drop prob %.2f, partition %v, heal %v, straggle %v@r%d\n",
+			o.seed, o.crashes, o.corrupts, o.flips, o.memFlips, o.delayProb, o.dropProb, o.partition, o.heal, o.straggle, o.straggleRank%p)
 	} else {
 		fmt.Printf("  * Fault plan              : none\n")
 	}
@@ -381,6 +407,16 @@ func runChaos(a, b *ca3dmm.Matrix, p int, cfg ca3dmm.Config, o chaosOpts) error 
 	}
 	fmt.Printf("  * Spare pool              : %d promoted, %d rejoined, %d remaining\n",
 		promoted, net.Rejoins, remaining)
+	var sdcDet, sdcCor, sdcRec int64
+	for i := range rep.Ranks {
+		sdcDet += rep.Ranks[i].SDCDetected
+		sdcCor += rep.Ranks[i].SDCCorrected
+		sdcRec += rep.Ranks[i].SDCRecomputed
+	}
+	if sdcDet+sdcCor+sdcRec > 0 {
+		fmt.Printf("  * Silent data corruption  : %d detected, %d corrected in place, %d tile recompute(s)\n",
+			sdcDet, sdcCor, sdcRec)
+	}
 	if released > 0 {
 		fmt.Printf("  * Checkpoint GC           : %d superseded block(s) released\n", released)
 	}

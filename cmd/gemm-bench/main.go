@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/mat"
 )
 
@@ -37,6 +38,10 @@ type record struct {
 	Results         []result `json:"results"`
 	SpeedupSerial   float64  `json:"speedup_serial_1024"`
 	SpeedupParallel float64  `json:"speedup_parallel_1024"`
+	// ABFTOffRatio is nil-guard abft.Gemm time over plain mat.Gemm
+	// time (serial, 512-cubed): the cost of the disabled ABFT fast
+	// path, which must stay at 1.0 within noise.
+	ABFTOffRatio float64 `json:"abft_off_ratio,omitempty"`
 }
 
 type shape struct{ m, n, k int }
@@ -68,6 +73,8 @@ func main() {
 	out := flag.String("out", "BENCH_gemm.json", "output file (- for stdout only)")
 	reps := flag.Int("reps", 3, "timed repetitions per configuration (best kept)")
 	quick := flag.Bool("quick", false, "drop the 1024-cubed shapes for a fast smoke run")
+	abftCheck := flag.Bool("abft-check", false, "measure the disabled-ABFT fast path (nil-guard abft.Gemm vs plain mat.Gemm) and fail if it exceeds -abft-tol")
+	abftTol := flag.Float64("abft-tol", 0.25, "allowed fractional slowdown of the nil-guard path before -abft-check fails")
 	flag.Parse()
 
 	shapes := []shape{
@@ -131,6 +138,30 @@ func main() {
 	}
 	if rec.SpeedupSerial > 0 {
 		fmt.Printf("packed/seed serial speedup at 1024^3: %.2fx\n", rec.SpeedupSerial)
+	}
+
+	if *abftCheck {
+		// The ABFT-off path is the same GEMM behind one nil check; the
+		// perf guard pins that it stays free so the guard can ship
+		// compiled into every call site.
+		guardOff := func(ta, tb mat.Op, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+			abft.Gemm(nil, false, a, b, beta, c)
+		}
+		sh := shape{512, 512, 512}
+		checkReps := *reps
+		if checkReps < 5 {
+			checkReps = 5
+		}
+		plainSecs, _ := measure(mat.Gemm, sh, 1, checkReps)
+		offSecs, _ := measure(guardOff, sh, 1, checkReps)
+		rec.ABFTOffRatio = offSecs / plainSecs
+		fmt.Printf("abft-off/plain at %s serial: %.3fx (tolerance %.2fx)\n",
+			sh, rec.ABFTOffRatio, 1+*abftTol)
+		if rec.ABFTOffRatio > 1+*abftTol {
+			fmt.Fprintf(os.Stderr, "gemm-bench: disabled-ABFT path is %.3fx plain GEMM (budget %.2fx)\n",
+				rec.ABFTOffRatio, 1+*abftTol)
+			os.Exit(1)
+		}
 	}
 
 	if *out != "-" {

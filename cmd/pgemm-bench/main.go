@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid overlap")
-	procs := flag.Int("procs", 16, "rank count for -exp real/overlap")
-	reps := flag.Int("reps", 3, "timed repetitions for -exp overlap (best kept)")
-	out := flag.String("out", "BENCH_overlap.json", "output file for -exp overlap (empty to skip)")
+	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid overlap abft")
+	procs := flag.Int("procs", 16, "rank count for -exp real/overlap/abft")
+	reps := flag.Int("reps", 3, "timed repetitions for -exp overlap/abft (best kept)")
+	out := flag.String("out", "", "output file for -exp overlap/abft (empty = BENCH_overlap.json / BENCH_abft.json; \"none\" to skip)")
 	flag.Parse()
 
 	mach := sim.Phoenix()
@@ -59,7 +59,17 @@ func main() {
 	if *exp == "realgrid" {
 		run("realgrid", func() error { return experiments.RealGridSweep(w) })
 	}
+	if *out == "none" {
+		*out = ""
+	} else if *exp == "overlap" && *out == "" {
+		*out = "BENCH_overlap.json"
+	} else if *exp == "abft" && *out == "" {
+		*out = "BENCH_abft.json"
+	}
 	if *exp == "overlap" {
 		run("overlap", func() error { return experiments.RealOverlap(w, *procs, *reps, *out) })
+	}
+	if *exp == "abft" {
+		run("abft", func() error { return experiments.RealABFT(w, *procs, *reps, *out) })
 	}
 }

@@ -1,8 +1,11 @@
 package ca3dmm
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/mpi"
 )
 
 func TestMultiplyComplexSmall(t *testing.T) {
@@ -119,5 +122,54 @@ func TestMultiplyIntoMissingCin(t *testing.T) {
 	}
 	if _, err := MultiplyInto(1, a, b, 1, NewMatrix(3, 4), 2, Config{}); err == nil {
 		t.Fatal("expected error for mismatched Cin")
+	}
+}
+
+// TestFaultCorruptComplexImaginary is the regression test for the
+// complex-payload corruption gap: Bit values 64–127 address bit−64 of
+// the *imaginary* component of the [re, im] float64 pair the fault
+// lands on, so chaos tests can corrupt either half of a complex128
+// payload. Before the fix, Bit ≥ 64 wrapped silently onto the real
+// component and the imaginary half was untestable.
+func TestFaultCorruptComplexImaginary(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:  7,
+		Specs: []FaultSpec{{Kind: FaultCorrupt, Rank: 0, Op: "p2p", Call: 0, Bit: 64 + 52}},
+	}
+	// An interleaved [re0, im0, re1, im1, ...] payload, as a complex
+	// matrix block would ride the wire.
+	clean := []float64{1, 10, 2, 20, 3, 30, 4, 40}
+	var got []float64
+	var mu sync.Mutex
+	rep, err := mpi.RunOpt(2, mpi.Options{Fault: plan}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, append([]float64(nil), clean...))
+		} else {
+			d := c.Recv(0, 0)
+			mu.Lock()
+			got = d
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Ranks[0].Injected); n != 1 {
+		t.Fatalf("recorded %d injections, want 1", n)
+	}
+	changed := -1
+	for i := range clean {
+		if got[i] != clean[i] {
+			if changed >= 0 {
+				t.Fatalf("elements %d and %d both changed; want exactly one flip", changed, i)
+			}
+			changed = i
+		}
+	}
+	if changed < 0 {
+		t.Fatal("corruption injected but payload unchanged")
+	}
+	if changed%2 != 1 {
+		t.Fatalf("Bit 64+52 flipped element %d (a real slot); want an imaginary (odd) slot", changed)
 	}
 }

@@ -74,3 +74,30 @@ func TestResilientMultiplyDeterministic(t *testing.T) {
 		t.Error("fault-free ResilientMultiply runs differ bitwise")
 	}
 }
+
+// TestABFTDeterministicAgainstUnguarded extends the reproducibility
+// contract to the checksum guard: under zero faults, ABFT-on must be
+// bit-identical to ABFT-off for every algorithm. The guard accumulates
+// into the same tile with the same GEMM call, verification only reads,
+// and corrections fire only above the rounding tolerance — so enabling
+// it cannot perturb a clean run by even one ULP.
+func TestABFTDeterministicAgainstUnguarded(t *testing.T) {
+	a := Random(37, 29, 11)
+	b := Random(29, 23, 12)
+	for _, alg := range Algorithms() {
+		p := 6
+		if alg == CARMA {
+			p = 8
+		}
+		run := func(abft bool) *Matrix {
+			got, _, _, err := Multiply(a, b, p, Config{Algorithm: alg, ABFT: abft})
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			return got
+		}
+		if !bitIdentical(run(false), run(true)) {
+			t.Errorf("%s: ABFT-on differs bitwise from ABFT-off on a fault-free run", alg)
+		}
+	}
+}

@@ -188,6 +188,7 @@ func newSummaExec(m, n, k, p int, cfg Config) (summaExec, error) {
 	sc := summa.Config{
 		Pr: pr, Pc: pc, M: m, K: k, N: n, Panel: cfg.SUMMAPanel,
 		Overlap: !cfg.NoOverlap, Prefetch: cfg.OverlapDepth,
+		ABFT: cfg.abftOptions(),
 	}
 	e := summaExec{cfg: sc, p: p, transA: cfg.TransA, transB: cfg.TransB}
 	e.aLayout = dist.NewExplicit(m, k, p)

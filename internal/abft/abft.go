@@ -1,0 +1,235 @@
+// Package abft wraps the local GEMM steps of every distributed
+// schedule in Huang–Abraham checksum protection. Each guarded step
+// encodes its operands with dual weighted checksums (internal/mat's
+// ABFT kernels), exposes the deterministic fault-injection windows for
+// resident-memory and compute bit flips, and verifies the accumulated
+// output tile per step — correcting a localized single error in place
+// (free), recomputing the tile from its still-resident operands when
+// localization fails (local GEMM redo, no communication), and leaving
+// anything beyond that to the run-level Freivalds backstop. These are
+// the two cheap rungs at the top of the recovery ladder: the
+// replace/shrink/full-retry machinery only fires when they cannot.
+//
+// The guarded data path is bit-identical to the unguarded one: the
+// GEMM call is the same call, checksum verification only reads the
+// tile, and a correction mutates it only when a syndrome exceeds the
+// rounding-noise tolerance — which clean data never does.
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Options enables checksum-guarded GEMM steps. The zero value
+// disables the guard entirely (the disabled path is a nil guard and a
+// single branch at each call site).
+type Options struct {
+	Enabled bool
+	// Rel overrides the relative syndrome tolerance
+	// (mat.DefaultSDCRel when zero).
+	Rel float64
+}
+
+// Runtime is the slice of the communication runtime a guard needs:
+// the fault-injection hook for compute events, the observability
+// instant sink, and the Stats accumulator. *mpi.Comm implements it.
+type Runtime interface {
+	// ComputeFault consults the rank's fault plan at a compute event
+	// over n logical elements ("gemm" for an output tile, "mem" for
+	// resident operands) and returns the element and bit to flip when
+	// a spec fires.
+	ComputeFault(op string, n int) (idx, bit int, fire bool)
+	// Instant records a named instant event on the rank's timeline.
+	Instant(name, detail string)
+	// RecordSDC accumulates the guard's counters into the rank's Stats.
+	RecordSDC(detected, corrected, recomputed int64)
+}
+
+// Guard is the per-execution ABFT state of one rank. Create one per
+// Multiply/Execute call (New returns nil when disabled), route every
+// local GEMM step through Gemm, and defer Finish to fold the counters
+// into the rank's Stats.
+type Guard struct {
+	rt  Runtime
+	rel float64
+
+	// Detected counts verification failures (product tiles and
+	// operands); Corrected counts in-place single-element repairs;
+	// Recomputed counts tile-level GEMM redos; Unrecovered counts
+	// detections neither rung absorbed (left to the Freivalds
+	// backstop).
+	Detected, Corrected, Recomputed, Unrecovered int64
+}
+
+// New returns a guard for one execution, or nil when disabled.
+func New(o Options, rt Runtime) *Guard {
+	if !o.Enabled || rt == nil {
+		return nil
+	}
+	return &Guard{rt: rt, rel: o.Rel}
+}
+
+// Finish folds the guard's counters into the rank's Stats. Nil-safe.
+func (g *Guard) Finish() {
+	if g == nil {
+		return
+	}
+	if g.Detected+g.Corrected+g.Recomputed != 0 {
+		g.rt.RecordSDC(g.Detected, g.Corrected, g.Recomputed)
+	}
+}
+
+// Gemm computes c = a·b + beta·c (beta ∈ {0, 1}, operands already
+// op()-resolved) under the guard; a nil guard falls through to the
+// plain engine. serial selects the single-threaded kernel, matching
+// the call site it replaces.
+func Gemm(g *Guard, serial bool, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	if g == nil || a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
+		plainGemm(serial, a, b, beta, c)
+		return
+	}
+	g.step(serial, a, b, beta, c)
+}
+
+func plainGemm(serial bool, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	if serial {
+		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, a, b, beta, c)
+	} else {
+		mat.Gemm(mat.NoTrans, mat.NoTrans, 1, a, b, beta, c)
+	}
+}
+
+// step is one guarded accumulation step.
+func (g *Guard) step(serial bool, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+
+	// Encode: dual checksums of both operands. These protect the
+	// resident operands across the injection window below and double
+	// as the product predictors (colsum(A·B) = colsum(A)·B, etc.).
+	ca := mat.ColSums(a)
+	rb := mat.RowSums(b)
+
+	// Resident-memory fault window: a FaultFlipMem spec flips a bit
+	// in an operand buffer between encode and use.
+	g.injectMem(a, b)
+
+	// Verify the operands at point of use; a single flipped element
+	// per checksum line is localized by the weighted-syndrome ratio
+	// and repaired before it can poison the whole output tile.
+	maxA, maxB := mat.MaxAbs(a), mat.MaxAbs(b)
+	tolA := mat.SyndromeTol(g.rel, m, maxA)
+	tolB := mat.SyndromeTol(g.rel, n, maxB)
+	fixA, okA := mat.VerifyCorrectCols(a, ca, tolA)
+	fixB, okB := mat.VerifyCorrectRows(b, rb, tolB)
+	if fixA+fixB > 0 {
+		g.Detected++
+		g.Corrected += int64(fixA + fixB)
+		g.rt.Instant("sdc:detect", fmt.Sprintf("operand %dx%dx%d", m, k, n))
+		g.rt.Instant("sdc:correct", fmt.Sprintf("operand, %d elem", fixA+fixB))
+		// The captured checksums predate the corruption, so after a
+		// successful repair they still describe the operands exactly.
+	}
+	if !okA || !okB {
+		// Unlocalizable operand corruption: the product predictors
+		// derive from the same poisoned data, so the tile check below
+		// cannot catch it either. Record the detection and leave the
+		// step to the Freivalds backstop.
+		g.Detected++
+		g.Unrecovered++
+		g.rt.Instant("sdc:detect", fmt.Sprintf("operand %dx%dx%d unlocalizable", m, k, n))
+		g.rt.Instant("sdc:unrecovered", "operand corruption beyond single-element repair")
+		plainGemm(serial, a, b, beta, c)
+		return
+	}
+
+	// Baseline checksums and the pre-state for a surgical redo: under
+	// accumulation (beta = 1) a recompute must restart from the tile
+	// as it was before this step.
+	var pre *mat.Dense
+	ec := mat.ColChecksums{S1: mat.VecMat(ca.S1, b), S2: mat.VecMat(ca.S2, b)}
+	er := mat.RowChecksums{S1: mat.MatVec(a, rb.S1), S2: mat.MatVec(a, rb.S2)}
+	if beta != 0 {
+		base := mat.ColSums(c)
+		baseR := mat.RowSums(c)
+		addInto(ec.S1, base.S1)
+		addInto(ec.S2, base.S2)
+		addInto(er.S1, baseR.S1)
+		addInto(er.S2, baseR.S2)
+		pre = c.Clone()
+	}
+	plainGemm(serial, a, b, beta, c)
+	// The tolerance is captured before the fault window so an injected
+	// Inf/NaN cannot inflate it into accepting itself.
+	scale := maxA*maxB*float64(k) + mat.MaxAbs(c)
+	tol := mat.SyndromeTol(g.rel, m+n+k, scale)
+
+	// Compute fault window: a FaultFlipCompute spec flips a bit in
+	// the freshly written output tile.
+	g.injectOut(c)
+
+	verdict, i0, j0 := mat.DetectCorrect(c, ec, er, tol)
+	switch verdict {
+	case mat.SDCClean:
+		return
+	case mat.SDCCorrected:
+		g.Detected++
+		g.Corrected++
+		g.rt.Instant("sdc:detect", fmt.Sprintf("tile %dx%d", m, n))
+		g.rt.Instant("sdc:correct", fmt.Sprintf("elem (%d,%d)", i0, j0))
+		return
+	}
+
+	// Localization failed: redo the whole tile from the (verified)
+	// resident operands. No communication, no ladder escalation.
+	g.Detected++
+	g.rt.Instant("sdc:detect", fmt.Sprintf("tile %dx%d unlocalizable", m, n))
+	if pre != nil {
+		c.CopyFrom(pre)
+	}
+	plainGemm(serial, a, b, beta, c)
+	if v2, _, _ := mat.DetectCorrect(c, ec, er, tol); v2 != mat.SDCRecompute {
+		g.Recomputed++
+		g.rt.Instant("sdc:recompute", fmt.Sprintf("tile %dx%d", m, n))
+		return
+	}
+	g.Unrecovered++
+	g.rt.Instant("sdc:unrecovered", fmt.Sprintf("tile %dx%d still corrupt after redo", m, n))
+}
+
+// injectMem presents both operands to the fault plan as one "mem"
+// compute event over their combined logical elements.
+func (g *Guard) injectMem(a, b *mat.Dense) {
+	na := a.Rows * a.Cols
+	nb := b.Rows * b.Cols
+	if idx, bit, fire := g.rt.ComputeFault("mem", na+nb); fire {
+		if idx < na {
+			flipElem(a, idx, bit)
+		} else {
+			flipElem(b, idx-na, bit)
+		}
+	}
+}
+
+// injectOut presents the output tile as one "gemm" compute event.
+func (g *Guard) injectOut(c *mat.Dense) {
+	if idx, bit, fire := g.rt.ComputeFault("gemm", c.Rows*c.Cols); fire {
+		flipElem(c, idx, bit)
+	}
+}
+
+// flipElem flips one bit of logical element idx (row-major over the
+// matrix's window, stride-aware).
+func flipElem(m *mat.Dense, idx, bit int) {
+	i, j := idx/m.Cols, idx%m.Cols
+	v := m.At(i, j)
+	m.Set(i, j, math.Float64frombits(math.Float64bits(v)^(1<<(uint(bit)&63))))
+}
+
+func addInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}

@@ -1,0 +1,218 @@
+package abft
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// stubRT scripts the fault window: it fires at the fireAt-th compute
+// event matching op, flipping element idx bit bit.
+type stubRT struct {
+	op       string
+	fireAt   int
+	idx, bit int
+
+	seen          int
+	instants      []string
+	det, cor, rec int64
+}
+
+func (s *stubRT) ComputeFault(op string, n int) (int, int, bool) {
+	if s.op != op {
+		return 0, 0, false
+	}
+	s.seen++
+	if s.seen-1 != s.fireAt {
+		return 0, 0, false
+	}
+	idx := s.idx
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx, s.bit, true
+}
+
+func (s *stubRT) Instant(name, detail string) { s.instants = append(s.instants, name) }
+
+func (s *stubRT) RecordSDC(d, c, r int64) { s.det, s.cor, s.rec = d, c, r }
+
+func (s *stubRT) has(name string) bool {
+	for _, n := range s.instants {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func refProduct(a, b *mat.Dense, beta float64, c *mat.Dense) *mat.Dense {
+	out := c.Clone()
+	mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, a, b, beta, out)
+	return out
+}
+
+func TestNewDisabled(t *testing.T) {
+	if g := New(Options{}, &stubRT{}); g != nil {
+		t.Fatal("disabled options produced a guard")
+	}
+	if g := New(Options{Enabled: true}, nil); g != nil {
+		t.Fatal("nil runtime produced a guard")
+	}
+	var g *Guard
+	g.Finish() // nil-safe
+}
+
+// A guarded step with no fault must be bit-identical to the plain
+// engine — the core contract that lets ABFT default on.
+func TestGemmCleanBitIdentical(t *testing.T) {
+	a := mat.Random(13, 9, 1)
+	b := mat.Random(9, 11, 2)
+	for _, beta := range []float64{0, 1} {
+		plain := mat.Random(13, 11, 3)
+		guarded := plain.Clone()
+		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, a, b, beta, plain)
+
+		rt := &stubRT{op: "none"}
+		g := New(Options{Enabled: true}, rt)
+		Gemm(g, true, a, b, beta, guarded)
+		g.Finish()
+		for i := range plain.Data {
+			if plain.Data[i] != guarded.Data[i] {
+				t.Fatalf("beta=%g: guarded result not bit-identical at %d", beta, i)
+			}
+		}
+		if len(rt.instants) != 0 || rt.det != 0 {
+			t.Fatalf("beta=%g: clean step raised %v", beta, rt.instants)
+		}
+	}
+}
+
+func TestGemmNilGuardFallsThrough(t *testing.T) {
+	a := mat.Random(5, 4, 1)
+	b := mat.Random(4, 6, 2)
+	c := mat.New(5, 6)
+	Gemm(nil, true, a, b, 0, c)
+	want := refProduct(a, b, 0, mat.New(5, 6))
+	if d := mat.MaxAbsDiff(c, want); d != 0 {
+		t.Fatalf("nil guard result off by %g", d)
+	}
+}
+
+func TestGemmOutputFlipCorrected(t *testing.T) {
+	a := mat.Random(13, 9, 4)
+	b := mat.Random(9, 11, 5)
+	c := mat.New(13, 11)
+	want := refProduct(a, b, 0, mat.New(13, 11))
+
+	rt := &stubRT{op: "gemm", idx: 37, bit: 52}
+	g := New(Options{Enabled: true}, rt)
+	Gemm(g, true, a, b, 0, c)
+	g.Finish()
+
+	if d := mat.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Fatalf("corrected tile off by %g", d)
+	}
+	if g.Corrected != 1 || g.Detected != 1 || g.Recomputed != 0 {
+		t.Fatalf("counters det=%d cor=%d rec=%d", g.Detected, g.Corrected, g.Recomputed)
+	}
+	if !rt.has("sdc:detect") || !rt.has("sdc:correct") {
+		t.Fatalf("instants %v missing sdc:detect/sdc:correct", rt.instants)
+	}
+	if rt.cor != 1 {
+		t.Fatalf("RecordSDC corrected=%d, want 1", rt.cor)
+	}
+}
+
+func TestGemmMemFlipCorrected(t *testing.T) {
+	a := mat.Random(13, 9, 6)
+	b := mat.Random(9, 11, 7)
+	want := refProduct(a, b, 0, mat.New(13, 11))
+	c := mat.New(13, 11)
+
+	rt := &stubRT{op: "mem", idx: 50, bit: 52}
+	g := New(Options{Enabled: true}, rt)
+	Gemm(g, true, a, b, 0, c)
+	g.Finish()
+
+	if d := mat.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Fatalf("result off by %g after operand repair", d)
+	}
+	if g.Corrected != 1 {
+		t.Fatalf("corrected=%d, want 1", g.Corrected)
+	}
+	// The repaired operand itself must match the original too.
+	if d := mat.MaxAbsDiff(a, mat.Random(13, 9, 6)); d > 1e-9 {
+		t.Fatalf("operand left corrupted by %g", d)
+	}
+}
+
+// A flip in the B operand (index beyond A's elements).
+func TestGemmMemFlipInB(t *testing.T) {
+	a := mat.Random(13, 9, 8)
+	b := mat.Random(9, 11, 9)
+	want := refProduct(a, b, 0, mat.New(13, 11))
+	c := mat.New(13, 11)
+
+	rt := &stubRT{op: "mem", idx: 13*9 + 42, bit: 52}
+	g := New(Options{Enabled: true}, rt)
+	Gemm(g, true, a, b, 0, c)
+	g.Finish()
+	if d := mat.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Fatalf("result off by %g", d)
+	}
+	if g.Corrected != 1 {
+		t.Fatalf("corrected=%d, want 1", g.Corrected)
+	}
+}
+
+// Exponent-bit output corruption: correction cannot reconstruct the
+// value, so the guard recomputes the tile — and the result is right.
+func TestGemmOutputFlipRecompute(t *testing.T) {
+	a := mat.Random(13, 9, 10)
+	b := mat.Random(9, 11, 11)
+	pre := mat.Random(13, 11, 12)
+	want := refProduct(a, b, 1, pre)
+	c := pre.Clone()
+
+	rt := &stubRT{op: "gemm", idx: 17, bit: 62}
+	g := New(Options{Enabled: true}, rt)
+	Gemm(g, true, a, b, 1, c)
+	g.Finish()
+
+	if d := mat.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Fatalf("recomputed tile off by %g", d)
+	}
+	if g.Recomputed != 1 || g.Corrected != 0 {
+		t.Fatalf("counters cor=%d rec=%d, want 0,1", g.Corrected, g.Recomputed)
+	}
+	if !rt.has("sdc:recompute") {
+		t.Fatalf("instants %v missing sdc:recompute", rt.instants)
+	}
+}
+
+// Zero-dimension steps skip the guard machinery entirely.
+func TestGemmDegenerateShapes(t *testing.T) {
+	g := New(Options{Enabled: true}, &stubRT{})
+	Gemm(g, true, mat.New(0, 5), mat.New(5, 4), 0, mat.New(0, 4))
+	Gemm(g, true, mat.New(3, 0), mat.New(0, 4), 0, mat.New(3, 4))
+	g.Finish()
+	if g.Detected != 0 {
+		t.Fatal("degenerate shapes raised detections")
+	}
+}
+
+func TestInstantDetailNames(t *testing.T) {
+	rt := &stubRT{op: "gemm", idx: 0, bit: 52}
+	g := New(Options{Enabled: true}, rt)
+	a := mat.Random(7, 5, 13)
+	b := mat.Random(5, 6, 14)
+	Gemm(g, true, a, b, 0, mat.New(7, 6))
+	g.Finish()
+	for _, n := range rt.instants {
+		if !strings.HasPrefix(n, "sdc:") {
+			t.Fatalf("instant %q outside the sdc: namespace", n)
+		}
+	}
+}

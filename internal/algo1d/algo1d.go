@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -67,6 +68,10 @@ type Plan struct {
 	V              Variant
 
 	ALayout, BLayout, CLayout *dist.Explicit
+
+	// ABFT guards the local GEMM steps with Huang–Abraham checksum
+	// protection (verify, correct in place, recompute locally).
+	ABFT abft.Options
 }
 
 // Timings is the per-rank stage breakdown.
@@ -148,6 +153,8 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		panic(fmt.Sprintf("algo1d: communicator size %d != plan size %d", c.Size(), p.P))
 	}
 	tm := &Timings{}
+	guard := abft.New(p.ABFT, c)
+	defer guard.Finish()
 	t0 := time.Now()
 
 	tr := time.Now()
@@ -174,7 +181,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		tg := time.Now()
 		cMine = mat.New(aNat.Rows, widthIf(p.N, aNat.Rows))
 		if aNat.Rows > 0 {
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aNat, bFull, 0, cMine)
+			abft.Gemm(guard, true, aNat, bFull, 0, cMine)
 		}
 		tm.Compute += time.Since(tg)
 		c.ReleaseAlloc(int64(8 * len(bFull.Data)))
@@ -202,7 +209,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		tg := time.Now()
 		cMine = mat.New(heightIf(p.M, bNat.Cols), bNat.Cols)
 		if bNat.Cols > 0 {
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bNat, 0, cMine)
+			abft.Gemm(guard, true, aFull, bNat, 0, cMine)
 		}
 		tm.Compute += time.Since(tg)
 		c.ReleaseAlloc(int64(8 * len(aFull.Data)))
@@ -211,7 +218,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		tg := time.Now()
 		cPart := mat.New(p.M, p.N)
 		if aNat.Cols > 0 {
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aNat, bNat, 0, cPart)
+			abft.Gemm(guard, true, aNat, bNat, 0, cPart)
 		}
 		tm.Compute += time.Since(tg)
 		c.RecordAlloc(int64(8 * len(cPart.Data)))

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/mat"
@@ -38,6 +39,10 @@ type Plan struct {
 	ALayout, BLayout, CLayout *dist.Explicit
 	// Internal per-fiber block layouts (one k-slice per grid layer).
 	aSlice, bSlice *dist.Explicit
+
+	// ABFT guards the local GEMM steps with Huang–Abraham checksum
+	// protection (verify, correct in place, recompute locally).
+	ABFT abft.Options
 }
 
 // Timings is the per-rank stage breakdown.
@@ -130,6 +135,8 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		panic(fmt.Sprintf("algo3d: communicator size %d != plan size %d", c.Size(), p.P))
 	}
 	tm := &Timings{}
+	guard := abft.New(p.ABFT, c)
+	defer guard.Finish()
 	t0 := time.Now()
 
 	tr := time.Now()
@@ -202,7 +209,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		tg := time.Now()
 		cPart := mat.New(mSz, nSz)
 		if kg > 0 && mSz > 0 && nSz > 0 {
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bFull, 0, cPart)
+			abft.Gemm(guard, true, aFull, bFull, 0, cPart)
 		}
 		tm.Compute += time.Since(tg)
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -40,6 +41,10 @@ type Plan struct {
 	ALayout, BLayout, CLayout *dist.Explicit
 	// Internal per-layer k-slice layouts.
 	aSlice, bSlice *dist.Explicit
+
+	// ABFT guards the local GEMM steps with Huang–Abraham checksum
+	// protection (threaded into each layer's SUMMA configuration).
+	ABFT abft.Options
 }
 
 // Timings is the per-rank stage breakdown.
@@ -156,7 +161,7 @@ func (p *Plan) buildLayouts() {
 
 // layerConfig returns the SUMMA configuration of one layer's panel.
 func (p *Plan) layerConfig(kg int) summa.Config {
-	return summa.Config{Pr: p.Side, Pc: p.Side, M: p.M, K: kg, N: p.N}
+	return summa.Config{Pr: p.Side, Pc: p.Side, M: p.M, K: kg, N: p.N, ABFT: p.ABFT}
 }
 
 // Execute runs the 2.5D algorithm on the calling rank.

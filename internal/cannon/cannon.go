@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/mat"
 	"repro/internal/mpi"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	// MinKBlock is the k-width threshold below which MultiShift
 	// aggregation activates. Zero means 64.
 	MinKBlock int
+	// ABFT guards every local GEMM step with Huang–Abraham checksums:
+	// verify per accumulation step, correct a localized single error
+	// in place, recompute the tile locally otherwise.
+	ABFT abft.Options
 }
 
 // Timings separates the wall-clock cost of the multiplication into
@@ -101,10 +106,12 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 
 	row, col := c.Rank()/s, c.Rank()%s
 	cPad := mat.New(am, bn)
+	g := abft.New(cfg.ABFT, c)
+	defer g.Finish()
 
 	if s == 1 {
 		t0 := time.Now()
-		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, a, b, 0, cPad)
+		abft.Gemm(g, true, a, b, 0, cPad)
 		tm.Compute += time.Since(t0)
 		return cropC(cPad, cfg, row, col), tm
 	}
@@ -137,9 +144,9 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 	aggregate := cfg.MultiShift >= 2 && ak < minK
 
 	if aggregate {
-		multiplyAggregated(c, curA, curB, cPad, cfg, row, col, &tm)
+		multiplyAggregated(c, g, curA, curB, cPad, cfg, row, col, &tm)
 	} else if cfg.Overlap {
-		multiplyOverlapped(c, curA, curB, cPad, cfg, row, col, &tm)
+		multiplyOverlapped(c, g, curA, curB, cPad, cfg, row, col, &tm)
 	} else if cfg.DualBuffer {
 		// Post the shift of the current blocks, multiply the local
 		// copies, then receive the next blocks: the send is in flight
@@ -152,7 +159,7 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 				tm.Comm += time.Since(tc)
 			}
 			tg := time.Now()
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, curA, curB, 1, cPad)
+			abft.Gemm(g, true, curA, curB, 1, cPad)
 			tm.Compute += time.Since(tg)
 			if step < s-1 {
 				tc := time.Now()
@@ -164,7 +171,7 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 	} else {
 		for step := 0; step < s; step++ {
 			tg := time.Now()
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, curA, curB, 1, cPad)
+			abft.Gemm(g, true, curA, curB, 1, cPad)
 			tm.Compute += time.Since(tg)
 			if step < s-1 {
 				tc := time.Now()
@@ -190,7 +197,7 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 // which consumes (MC,NC) tiles as they are scheduled and is
 // bit-identical to the serial engine, so enabling Overlap cannot
 // change the result.
-func multiplyOverlapped(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, row, col int, tm *Timings) {
+func multiplyOverlapped(c *mpi.Comm, g *abft.Guard, curA, curB, cPad *mat.Dense, cfg Config, row, col int, tm *Timings) {
 	s := cfg.S
 	am, ak, bn := cfg.BlockShape()
 	rank := func(r, cc int) int { return ((r+s)%s)*s + (cc+s)%s }
@@ -215,7 +222,7 @@ func multiplyOverlapped(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, ro
 			tm.Comm += time.Since(tc)
 		}
 		tg := time.Now()
-		mat.Gemm(mat.NoTrans, mat.NoTrans, 1, curA, curB, 1, cPad)
+		abft.Gemm(g, false, curA, curB, 1, cPad)
 		tm.Compute += time.Since(tg)
 		if step < s-1 {
 			tc := time.Now()
@@ -233,7 +240,7 @@ func multiplyOverlapped(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, ro
 // multiplyAggregated performs the shifts in groups, concatenating g
 // received A blocks side by side (and B blocks stacked) so each local
 // GEMM has k-dimension g*ak.
-func multiplyAggregated(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, row, col int, tm *Timings) {
+func multiplyAggregated(c *mpi.Comm, guard *abft.Guard, curA, curB, cPad *mat.Dense, cfg Config, row, col int, tm *Timings) {
 	s := cfg.S
 	am, ak, bn := cfg.BlockShape()
 	g := cfg.MultiShift
@@ -262,7 +269,7 @@ func multiplyAggregated(c *mpi.Comm, curA, curB, cPad *mat.Dense, cfg Config, ro
 			}
 		}
 		tg := time.Now()
-		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1,
+		abft.Gemm(guard, true,
 			wideA.View(0, 0, am, batch*ak), tallB.View(0, 0, batch*ak, bn), 1, cPad)
 		tm.Compute += time.Since(tg)
 		step += batch

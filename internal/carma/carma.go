@@ -19,6 +19,7 @@ import (
 	"math/bits"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -45,6 +46,10 @@ type Plan struct {
 	Splits         []Dim
 
 	ALayout, BLayout, CLayout *dist.Explicit
+
+	// ABFT guards the local GEMM steps with Huang–Abraham checksum
+	// protection (verify, correct in place, recompute locally).
+	ABFT abft.Options
 
 	// Per-rank leaf ranges, indexed by rank.
 	leafM, leafK, leafN [][2]int
@@ -204,6 +209,8 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		panic(fmt.Sprintf("carma: communicator size %d != plan size %d", c.Size(), p.P))
 	}
 	tm := &Timings{}
+	guard := abft.New(p.ABFT, c)
+	defer guard.Finish()
 	t0 := time.Now()
 	L := len(p.Splits)
 	r := c.Rank()
@@ -232,7 +239,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 	// Leaf multiplication.
 	tg := time.Now()
 	cPart := mat.New(mSz, nSz)
-	mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bFull, 0, cPart)
+	abft.Gemm(guard, true, aFull, bFull, 0, cPart)
 	tm.Compute += time.Since(tg)
 	c.RecordAlloc(int64(8 * len(cPart.Data)))
 

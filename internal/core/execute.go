@@ -141,6 +141,7 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 		Overlap:    p.Opt.Overlap,
 		MultiShift: p.Opt.MultiShift,
 		MinKBlock:  p.Opt.MinKBlock,
+		ABFT:       p.Opt.ABFT,
 	}
 	am, ak, bn := cfg.BlockShape()
 
@@ -321,6 +322,7 @@ func (p *Plan) executeSUMMA(kanComm, redComm *mpi.Comm,
 		Panel:    p.Opt.SUMMAPanel,
 		Overlap:  p.Opt.Overlap,
 		Prefetch: p.Opt.OverlapDepth,
+		ABFT:     p.Opt.ABFT,
 	}
 	span := p.Opt.Trace.Start(world.WorldRank(), "summa")
 	cPart, stm := summa.Multiply(kanComm, aNat, bNat, cfg)

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/mat"
@@ -40,6 +41,13 @@ type Options struct {
 	MultiShift int
 	// MinKBlock is the k-width threshold for MultiShift (0 = 64).
 	MinKBlock int
+	// ABFT guards every local GEMM accumulation step (Cannon and SUMMA
+	// kernels alike) with Huang–Abraham checksums: silent bit flips in
+	// an output tile or a resident operand buffer are detected per
+	// step, corrected in place when localizable, and absorbed by a
+	// surgical tile recompute otherwise — the two cheap rungs above the
+	// replace/shrink/full-retry ladder.
+	ABFT abft.Options
 	// Overlap enables communication/computation overlap throughout the
 	// execution: the Cannon stage shifts with nonblocking sendrecv
 	// behind the GEMM, the SUMMA stage prefetches panel broadcasts with

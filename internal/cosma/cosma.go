@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/mat"
@@ -42,6 +43,10 @@ type Plan struct {
 	Steps []Step
 
 	ALayout, BLayout, CLayout *dist.Explicit
+
+	// ABFT guards the local GEMM steps with Huang–Abraham checksum
+	// protection (verify, correct in place, recompute locally).
+	ABFT abft.Options
 }
 
 // Step is one splitting step of the COSMA strategy.
@@ -164,6 +169,8 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		panic(fmt.Sprintf("cosma: communicator size %d != plan size %d", c.Size(), p.P))
 	}
 	tm := &Timings{}
+	guard := abft.New(p.ABFT, c)
+	defer guard.Finish()
 	t0 := time.Now()
 
 	tr := time.Now()
@@ -203,7 +210,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 
 		tg := time.Now()
 		cPart := mat.New(mSz, nSz)
-		mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1, aFull, bFull, 0, cPart)
+		abft.Gemm(guard, true, aFull, bFull, 0, cPart)
 		tm.Compute += time.Since(tg)
 		c.RecordAlloc(int64(8 * len(cPart.Data)))
 

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/abft"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// ABFTResult is one problem class measured with the checksum guard
+// off and on, plus the wall-clock cost of each recovery rung under a
+// fixed single-flip budget: correct-in-place (mantissa flip), surgical
+// tile recompute (exponent flip), and — for scale — the full-retry
+// path the ladder would otherwise take (a second unguarded run, the
+// paper-level upper bound on recovery cost).
+type ABFTResult struct {
+	Class string `json:"class"`
+	Shape string `json:"shape"`
+	Procs int    `json:"procs"`
+
+	PlainSecs    float64 `json:"plain_seconds"`
+	GuardedSecs  float64 `json:"guarded_seconds"`
+	OverheadFrac float64 `json:"overhead_frac"` // (guarded-plain)/plain
+
+	CorrectSecs   float64 `json:"correct_in_place_seconds"`
+	RecomputeSecs float64 `json:"tile_recompute_seconds"`
+	FullRetrySecs float64 `json:"full_retry_seconds"`
+
+	Corrected  int64 `json:"corrected"`
+	Recomputed int64 `json:"recomputed"`
+}
+
+type abftRecord struct {
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Procs      int          `json:"procs"`
+	Reps       int          `json:"reps"`
+	Results    []ABFTResult `json:"results"`
+}
+
+// runABFTClass measures one class: plain vs guarded execution time
+// (encode/verify overhead), then a guarded run with a mantissa flip
+// (correct-in-place cost) and one with an exponent flip (recompute
+// cost). Every variant's result is validated against the serial
+// reference — the experiment doubles as an end-to-end ABFT check.
+func runABFTClass(cl Class, p, reps int) (ABFTResult, error) {
+	res := ABFTResult{
+		Class: cl.Name,
+		Shape: fmt.Sprintf("%dx%dx%d", cl.M, cl.N, cl.K),
+		Procs: p,
+	}
+	a := mat.Random(cl.M, cl.K, 1)
+	b := mat.Random(cl.K, cl.N, 2)
+	aL := dist.Block1DCol{R: cl.M, C: cl.K, P: p}
+	bL := dist.Block1DCol{R: cl.K, C: cl.N, P: p}
+	cL := dist.Block1DCol{R: cl.M, C: cl.N, P: p}
+	aLocs := dist.Scatter(a, aL)
+	bLocs := dist.Scatter(b, bL)
+	ref := mat.New(cl.M, cl.N)
+	mat.GemmRef(mat.NoTrans, mat.NoTrans, 1, a, b, 0, ref)
+
+	run := func(guarded bool, plan *mpi.FaultPlan) (float64, int64, int64, error) {
+		best := time.Duration(1<<63 - 1)
+		var cor, rec int64
+		for r := 0; r < reps; r++ {
+			pl, err := core.NewPlan(cl.M, cl.N, cl.K, p, false, false,
+				core.Options{DualBuffer: true, ABFT: abft.Options{Enabled: guarded}})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			outs := make([]*mat.Dense, p)
+			var mu sync.Mutex
+			start := time.Now()
+			report, err := mpi.RunOpt(p, mpi.Options{Fault: plan}, func(c *mpi.Comm) {
+				out, _ := pl.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
+				mu.Lock()
+				outs[c.Rank()] = out
+				mu.Unlock()
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			got := dist.Assemble(outs, cL)
+			if d := mat.MaxAbsDiff(got, ref); d > 1e-8 {
+				return 0, 0, 0, fmt.Errorf("%s guarded=%v: wrong result, diff %v", cl.Name, guarded, d)
+			}
+			if elapsed < best {
+				best = elapsed
+				cor, rec = 0, 0
+				for i := range report.Ranks {
+					cor += report.Ranks[i].SDCCorrected
+					rec += report.Ranks[i].SDCRecomputed
+				}
+			}
+		}
+		return best.Seconds(), cor, rec, nil
+	}
+
+	var err error
+	if res.PlainSecs, _, _, err = run(false, nil); err != nil {
+		return res, err
+	}
+	if res.GuardedSecs, _, _, err = run(true, nil); err != nil {
+		return res, err
+	}
+	res.OverheadFrac = (res.GuardedSecs - res.PlainSecs) / res.PlainSecs
+
+	// Fixed flip budget: one flip, every rank a candidate so the spec
+	// fires wherever the first guarded step runs.
+	mantissa := &mpi.FaultPlan{Seed: 11, Specs: []mpi.FaultSpec{
+		{Kind: mpi.FaultFlipCompute, Rank: 0, Call: 0, Bit: 52},
+	}}
+	exponent := &mpi.FaultPlan{Seed: 11, Specs: []mpi.FaultSpec{
+		{Kind: mpi.FaultFlipCompute, Rank: 0, Call: 0, Bit: 62},
+	}}
+	var cor, rec int64
+	if res.CorrectSecs, cor, _, err = run(true, mantissa); err != nil {
+		return res, err
+	}
+	res.Corrected = cor
+	if res.RecomputeSecs, _, rec, err = run(true, exponent); err != nil {
+		return res, err
+	}
+	res.Recomputed = rec
+
+	// Full retry: what absorbing the same flip at run level would
+	// cost — the whole multiplication again on top of the first.
+	res.FullRetrySecs = 2 * res.PlainSecs
+	return res, nil
+}
+
+// RealABFT measures the checksum guard on real goroutine ranks across
+// the scaled problem classes: encode/verify overhead against the
+// unguarded path, and the recovery cost of each rung (correct-in-place
+// vs tile-recompute vs full-retry) under a fixed single-flip budget.
+// When out is non-empty the machine-readable record is written there
+// (BENCH_abft.json) so successive PRs can track the overhead.
+func RealABFT(w io.Writer, procs, reps int, out string) error {
+	if reps <= 0 {
+		reps = 3
+	}
+	rec := abftRecord{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Procs:      procs,
+		Reps:       reps,
+	}
+	fmt.Fprintf(w, "# ABFT checksum guard, P=%d goroutine ranks, best of %d reps\n", procs, reps)
+	fmt.Fprintf(w, "# overhead model: O((m+n)k/p) checksum flops next to the GEMM's O(mnk/p)\n")
+	fmt.Fprintf(w, "%-8s %14s %10s %10s %9s %11s %11s %11s\n",
+		"class", "shape", "plain", "guarded", "overhead", "correct", "recompute", "full-retry")
+	for _, cl := range RealClasses() {
+		r, err := runABFTClass(cl, procs, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cl.Name, err)
+		}
+		rec.Results = append(rec.Results, r)
+		fmt.Fprintf(w, "%-8s %14s %9.1fms %9.1fms %8.1f%% %10.1fms %10.1fms %10.1fms\n",
+			r.Class, r.Shape, 1e3*r.PlainSecs, 1e3*r.GuardedSecs, 100*r.OverheadFrac,
+			1e3*r.CorrectSecs, 1e3*r.RecomputeSecs, 1e3*r.FullRetrySecs)
+	}
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", out)
+	return nil
+}

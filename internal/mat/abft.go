@@ -1,0 +1,300 @@
+package mat
+
+import "math"
+
+// Algorithm-based fault tolerance (Huang & Abraham 1984) checksum
+// kernels. A matrix is encoded by a *pair* of weighted sums along one
+// dimension: the plain sum (weight 1) and the index-weighted sum
+// (weight i+1). The pair is what makes single-element corruption not
+// just detectable but *localizable*: for a flip of magnitude d at row
+// i0 of a column, the plain syndrome is d and the weighted syndrome is
+// (i0+1)·d, so their ratio names the corrupted row and the plain
+// syndrome is exactly the correction to add back.
+//
+// The product check rides on the same encoding for free. For D = A·B,
+//
+//	colsum(D)  = colsum(A)·B     (1×k · k×n)
+//	rowsum(D)  = A·rowsum(B)     (m×k · k×1)
+//
+// and identically for the weighted sums, so the checksums captured to
+// protect the *operands* double as the predictors for the *product* —
+// two GEMV-shaped side computations of O((m+n)k) flops next to the
+// GEMM's O(mnk), with the micro-kernel itself running unmodified.
+//
+// All comparisons are against an absolute tolerance the caller derives
+// from the operands (see SyndromeTol): float64 checksum accumulation
+// carries O(dim·eps·scale) rounding noise, so a tolerance below that
+// would "correct" clean data, and a bit flip whose magnitude sits
+// under the tolerance is by the same measure indistinguishable from
+// roundoff — detectable corruption is corruption that matters.
+
+// ColChecksums carries the dual column checksums of a matrix M:
+// S1[j] = Σ_i M[i,j] and S2[j] = Σ_i (i+1)·M[i,j].
+type ColChecksums struct {
+	S1, S2 []float64
+}
+
+// RowChecksums carries the dual row checksums of a matrix M:
+// S1[i] = Σ_j M[i,j] and S2[i] = Σ_j (j+1)·M[i,j].
+type RowChecksums struct {
+	S1, S2 []float64
+}
+
+// ColSums computes the dual column checksums of m.
+func ColSums(m *Dense) ColChecksums {
+	s1 := make([]float64, m.Cols)
+	s2 := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		w := float64(i + 1)
+		for j, v := range row {
+			s1[j] += v
+			s2[j] += w * v
+		}
+	}
+	return ColChecksums{S1: s1, S2: s2}
+}
+
+// RowSums computes the dual row checksums of m.
+func RowSums(m *Dense) RowChecksums {
+	s1 := make([]float64, m.Rows)
+	s2 := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		var a, b float64
+		for j, v := range row {
+			a += v
+			b += float64(j+1) * v
+		}
+		s1[i] = a
+		s2[i] = b
+	}
+	return RowChecksums{S1: s1, S2: s2}
+}
+
+// VecMat returns x·M for a row vector x of length M.Rows.
+func VecMat(x []float64, m *Dense) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		xi := x[i]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// MatVec returns M·x for a column vector x of length M.Cols.
+func MatVec(m *Dense, x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SyndromeTol returns the absolute tolerance for syndrome comparisons
+// over a guarded step computing an m×n tile from a k-deep product:
+// rel · dim · scale, where dim bounds the number of accumulated terms
+// and scale the magnitude of the sums. rel ≤ 0 selects the default.
+func SyndromeTol(rel float64, dim int, scale float64) float64 {
+	if rel <= 0 {
+		rel = DefaultSDCRel
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	return rel * float64(dim) * (scale + 1)
+}
+
+// DefaultSDCRel is the default relative syndrome tolerance. It sits
+// ~4 decades above the eps-level rounding bound of float64 checksum
+// accumulation (no false positives on clean data) while still
+// catching any flip that perturbs a value beyond numerical noise.
+const DefaultSDCRel = 1e-12
+
+// SDCVerdict classifies the outcome of a checksum verification.
+type SDCVerdict int
+
+const (
+	// SDCClean: every syndrome within tolerance; the tile is intact.
+	SDCClean SDCVerdict = iota
+	// SDCCorrected: a single corrupted element was localized by the
+	// row/column syndrome intersection and repaired in place.
+	SDCCorrected
+	// SDCRecompute: corruption detected but not localizable to one
+	// element (multi-error tile, inconsistent syndromes, or a
+	// correction too large for float64 cancellation) — the tile must
+	// be recomputed from its operands.
+	SDCRecompute
+)
+
+func (v SDCVerdict) String() string {
+	switch v {
+	case SDCClean:
+		return "clean"
+	case SDCCorrected:
+		return "corrected"
+	default:
+		return "recompute"
+	}
+}
+
+// badSyndromes counts indices where the expected and actual sums
+// disagree beyond tol (or are not finite), returning the count and the
+// first offending index.
+func badSyndromes(exp, act []float64, tol float64) (n, first int) {
+	first = -1
+	for i := range exp {
+		d := exp[i] - act[i]
+		if math.Abs(d) > tol || math.IsNaN(d) {
+			if first < 0 {
+				first = i
+			}
+			n++
+		}
+	}
+	return n, first
+}
+
+// DetectCorrect verifies an m×n tile c against its expected dual
+// column checksums ec and row checksums er. It returns SDCClean when
+// every syndrome is within tol; otherwise it attempts to localize a
+// single corrupted element at the intersection of the one bad column
+// and the one bad row, cross-checks the weighted column syndrome
+// against the localized row index, repairs the element in place, and
+// re-verifies the repaired row and column. The returned (i, j) is the
+// repaired element for SDCCorrected and (-1, -1) otherwise.
+func DetectCorrect(c *Dense, ec ColChecksums, er RowChecksums, tol float64) (SDCVerdict, int, int) {
+	ac := ColSums(c)
+	ar := RowSums(c)
+	nc, j0 := badSyndromes(ec.S1, ac.S1, tol)
+	nr, i0 := badSyndromes(er.S1, ar.S1, tol)
+	if nc == 0 && nr == 0 {
+		return SDCClean, -1, -1
+	}
+	if nc != 1 || nr != 1 {
+		return SDCRecompute, -1, -1
+	}
+	d := ec.S1[j0] - ac.S1[j0] // the negated flip delta
+	e := er.S1[i0] - ar.S1[i0]
+	dw := ec.S2[j0] - ac.S2[j0] // row-weighted: (i0+1)·d for a true single flip
+	wtol := tol * float64(c.Rows+1)
+	if !isFinite(d) || !isFinite(e) ||
+		math.Abs(d-e) > 2*tol || math.Abs(dw-float64(i0+1)*d) > 2*wtol {
+		return SDCRecompute, -1, -1
+	}
+	c.Set(i0, j0, c.At(i0, j0)+d)
+	// Re-verify the touched line. A flip much larger than the true
+	// value (an exponent-bit hit) cannot be repaired by adding the
+	// syndrome back — the cancellation loses the original value — and
+	// the residual left behind exposes exactly that case.
+	if colResidual(c, ec.S1[j0], j0) > 2*tol || rowResidual(c, er.S1[i0], i0) > 2*tol {
+		return SDCRecompute, -1, -1
+	}
+	return SDCCorrected, i0, j0
+}
+
+// VerifyCorrectCols re-derives m's column checksums against the
+// captured cs and repairs single-element corruption column by column:
+// the weighted/plain syndrome ratio names the corrupted row
+// (i0 = round(S2d/S1d) − 1) and the plain syndrome is the correction.
+// It returns the number of elements repaired and ok=false when some
+// column's corruption could not be localized or repaired.
+func VerifyCorrectCols(m *Dense, cs ColChecksums, tol float64) (fixed int, ok bool) {
+	a := ColSums(m)
+	ok = true
+	wtol := tol * float64(m.Rows+1)
+	for j := range cs.S1 {
+		d1 := cs.S1[j] - a.S1[j]
+		if math.Abs(d1) <= tol && !math.IsNaN(d1) {
+			continue
+		}
+		d2 := cs.S2[j] - a.S2[j]
+		if fixLine(d1, d2, wtol, m.Rows, func(i0 int) bool {
+			m.Set(i0, j, m.At(i0, j)+d1)
+			return colResidual(m, cs.S1[j], j) <= 2*tol
+		}) {
+			fixed++
+		} else {
+			ok = false
+		}
+	}
+	return fixed, ok
+}
+
+// VerifyCorrectRows is VerifyCorrectCols along the other dimension:
+// row syndromes localize the corrupted column of each row.
+func VerifyCorrectRows(m *Dense, rs RowChecksums, tol float64) (fixed int, ok bool) {
+	a := RowSums(m)
+	ok = true
+	wtol := tol * float64(m.Cols+1)
+	for i := range rs.S1 {
+		d1 := rs.S1[i] - a.S1[i]
+		if math.Abs(d1) <= tol && !math.IsNaN(d1) {
+			continue
+		}
+		d2 := rs.S2[i] - a.S2[i]
+		if fixLine(d1, d2, wtol, m.Cols, func(j0 int) bool {
+			m.Set(i, j0, m.At(i, j0)+d1)
+			return rowResidual(m, rs.S1[i], i) <= 2*tol
+		}) {
+			fixed++
+		} else {
+			ok = false
+		}
+	}
+	return fixed, ok
+}
+
+// fixLine localizes a single corrupted element on one checksum line
+// from its dual syndromes (d2/d1 ≈ index+1), validates the weighted
+// cross-check, and applies the repair via apply (which re-verifies).
+func fixLine(d1, d2, wtol float64, n int, apply func(idx int) bool) bool {
+	if !isFinite(d1) || !isFinite(d2) || d1 == 0 {
+		return false
+	}
+	idx := int(math.Round(d2/d1)) - 1
+	if idx < 0 || idx >= n || math.Abs(d2-float64(idx+1)*d1) > 2*wtol {
+		return false
+	}
+	return apply(idx)
+}
+
+// colResidual recomputes column j's plain sum and returns |expected −
+// actual| (Inf when not finite).
+func colResidual(m *Dense, exp float64, j int) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Stride+j]
+	}
+	return absOrInf(exp - s)
+}
+
+// rowResidual recomputes row i's plain sum and returns |expected −
+// actual| (Inf when not finite).
+func rowResidual(m *Dense, exp float64, i int) float64 {
+	var s float64
+	row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+	for _, v := range row {
+		s += v
+	}
+	return absOrInf(exp - s)
+}
+
+func absOrInf(d float64) float64 {
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return math.Abs(d)
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

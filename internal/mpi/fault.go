@@ -104,6 +104,15 @@ const (
 	// until the minority side is fenced away). The firing rank's side
 	// is irrelevant: the partition is a property of the fabric.
 	FaultPartition
+	// FaultFlipCompute flips one bit of one element of a local GEMM
+	// output tile (silent compute corruption). It fires at "gemm"
+	// compute events — which only the ABFT-guarded execution path
+	// presents — never at communication events.
+	FaultFlipCompute
+	// FaultFlipMem flips one bit of one element of a resident operand
+	// buffer between its checksum encode and its use (silent memory
+	// corruption). It fires at "mem" compute events only.
+	FaultFlipMem
 )
 
 func (k FaultKind) String() string {
@@ -124,6 +133,10 @@ func (k FaultKind) String() string {
 		return "drop"
 	case FaultPartition:
 		return "partition"
+	case FaultFlipCompute:
+		return "flip-compute"
+	case FaultFlipMem:
+		return "flip-mem"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -153,7 +166,11 @@ type FaultSpec struct {
 	// Delay is the magnitude for FaultDelay and FaultStraggle
 	// (default 1ms when zero).
 	Delay time.Duration
-	// Bit is the bit index (0-63) flipped by FaultCorrupt.
+	// Bit is the bit index flipped by FaultCorrupt, FaultFlipCompute,
+	// and FaultFlipMem. 0–63 addresses the float64 element the rule
+	// lands on; 64–127 addresses bit−64 of the element's pair partner
+	// (the imaginary component when the payload carries complex128
+	// values as [re, im] float64 pairs).
 	Bit int
 	// Group is one side of a FaultPartition (world ranks); the other
 	// side is its complement. Empty selects the upper half of the
@@ -193,10 +210,11 @@ type injector struct {
 	plan  *FaultPlan
 	rank  int
 	rng   *rand.Rand
-	calls int64 // communication events observed so far (all ops)
+	calls int64 // fault events observed so far (comm and compute, all ops)
 	fired []bool
 	seen  []int64       // per-spec count of matching events observed
 	slow  time.Duration // nonzero after a straggle fault fires
+	flips bool          // plan contains FaultFlipCompute/FaultFlipMem specs
 
 	// reorder stash: one held-back message waiting to be swapped with
 	// the rank's next send.
@@ -212,13 +230,19 @@ func newInjector(plan *FaultPlan, rank int) *injector {
 	}
 	// Derive a distinct, stable stream per rank so decisions do not
 	// depend on cross-rank scheduling.
-	return &injector{
+	in := &injector{
 		plan:  plan,
 		rank:  rank,
 		rng:   rand.New(rand.NewPCG(plan.Seed, 0x9e3779b97f4a7c15^uint64(rank))),
 		fired: make([]bool, len(plan.Specs)),
 		seen:  make([]int64, len(plan.Specs)),
 	}
+	for i := range plan.Specs {
+		if k := plan.Specs[i].Kind; k == FaultFlipCompute || k == FaultFlipMem {
+			in.flips = true
+		}
+	}
+	return in
 }
 
 // match reports the index of the first spec firing at this event, or
@@ -238,12 +262,18 @@ func (in *injector) match(op string, send bool) int {
 			continue
 		}
 		// Message-mutating faults only make sense on send events; do
-		// not let receives consume their firing predicate.
+		// not let receives consume their firing predicate. Compute
+		// flips never match communication events at all — their
+		// predicates (and RNG draws) belong to the compute stream, so
+		// adding flip specs to a plan cannot perturb when the plan's
+		// communication faults fire.
 		switch s.Kind {
 		case FaultCorrupt, FaultDuplicate, FaultReorder, FaultDrop:
 			if !send {
 				continue
 			}
+		case FaultFlipCompute, FaultFlipMem:
+			continue
 		}
 		idx := in.seen[i]
 		in.seen[i]++
@@ -259,6 +289,93 @@ func (in *injector) match(op string, send bool) int {
 		}
 	}
 	return hit
+}
+
+// matchCompute is match for compute events ("gemm" output tiles,
+// "mem" resident operands). Only flip specs participate: their seen
+// counters and RNG draws live entirely in the compute stream, and the
+// comm-side match skips them symmetrically, so the two decision
+// streams cannot perturb each other.
+func (in *injector) matchCompute(op string) int {
+	hit := -1
+	for i := range in.plan.Specs {
+		s := &in.plan.Specs[i]
+		switch s.Kind {
+		case FaultFlipCompute:
+			if op != "gemm" {
+				continue
+			}
+		case FaultFlipMem:
+			if op != "mem" {
+				continue
+			}
+		default:
+			continue
+		}
+		if s.Rank != -1 && s.Rank != in.rank {
+			continue
+		}
+		if s.Op != "" && s.Op != op {
+			continue
+		}
+		idx := in.seen[i]
+		in.seen[i]++
+		if s.Prob > 0 {
+			if in.rng.Float64() < s.Prob && hit < 0 {
+				hit = i
+			}
+			continue
+		}
+		if !in.fired[i] && s.Call == idx && hit < 0 {
+			hit = i
+			in.fired[i] = true
+		}
+	}
+	return hit
+}
+
+// ComputeFault is the compute-event injection hook: the ABFT guard
+// presents each local GEMM step's output tile ("gemm", n = tile
+// elements) and resident operands ("mem", n = combined elements) and
+// applies the returned flip itself (the guard knows the buffers'
+// logical shapes; the injector only decides whether, where, and which
+// bit). Fired flips are recorded in Stats and on the timeline exactly
+// like communication faults. Plans without flip specs return on a
+// single branch without touching the injector state, so attaching a
+// guard cannot perturb an existing chaos plan's decision stream.
+func (c *Comm) ComputeFault(op string, n int) (idx, bit int, fire bool) {
+	in := c.inj
+	if in == nil || !in.flips || n <= 0 {
+		return 0, 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	call := in.calls
+	in.calls++
+	si := in.matchCompute(op)
+	if si < 0 {
+		return 0, 0, false
+	}
+	spec := &in.plan.Specs[si]
+	rec := Injection{Kind: spec.Kind, Op: op, Call: call, Peer: -1}
+	c.stats.addInjection(rec)
+	c.obsFault(rec)
+	return in.rng.IntN(n), spec.Bit, true
+}
+
+// Instant records a named instant event on the rank's timeline (the
+// ABFT guard's sdc:detect / sdc:correct / sdc:recompute markers).
+// Nil-safe when no recorder is attached.
+func (c *Comm) Instant(name, detail string) {
+	c.obsInstant(name, detail)
+}
+
+// RecordSDC accumulates the ABFT guard's counters into the rank's
+// Stats when the guarded execution finishes.
+func (c *Comm) RecordSDC(detected, corrected, recomputed int64) {
+	c.stats.SDCDetected += detected
+	c.stats.SDCCorrected += corrected
+	c.stats.SDCRecomputed += recomputed
 }
 
 func (s *FaultSpec) delay() time.Duration {
@@ -377,7 +494,17 @@ func (c *Comm) event(op string, key boxKey, env envelope, send bool) []envelope 
 			c.stats.addInjection(rec)
 			c.obsFault(rec)
 			i := in.rng.IntN(len(env.data))
-			env.data[i] = flipBit(env.data[i], spec.Bit)
+			bit := spec.Bit
+			if bit >= 64 {
+				// Complex payloads ride as [re, im] float64 pairs; bits
+				// 64–127 address the imaginary (odd) slot of the pair the
+				// draw landed on, so corruption reaches both components.
+				if j := i | 1; j < len(env.data) {
+					i = j
+				}
+				bit -= 64
+			}
+			env.data[i] = flipBit(env.data[i], bit)
 		}
 	case FaultDuplicate:
 		if send {

@@ -39,6 +39,14 @@ type Stats struct {
 	// unboundedly.
 	CkptReleased int64
 
+	// SDCDetected/SDCCorrected/SDCRecomputed count the ABFT guard's
+	// checksum verification outcomes on this rank: detections of
+	// silent data corruption, single-element in-place corrections, and
+	// surgical tile recomputes (see internal/abft).
+	SDCDetected   int64
+	SDCCorrected  int64
+	SDCRecomputed int64
+
 	// Promotions counts the times this rank was promoted from the
 	// spare pool into a compute slot by a Replace epoch.
 	Promotions int64

@@ -162,6 +162,23 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// ABFT silent-data-corruption counters, re-labeled from the
+	// guard's sdc:* instants so an SDC dashboard does not depend on
+	// the internal event names: detections, in-place corrections,
+	// surgical tile recomputes, and detections neither rung absorbed
+	// (left to the Freivalds backstop).
+	sdcCounters := []struct{ metric, event, help string }{
+		{"ca3dmm_sdc_detected_total", "sdc:detect", "Silent-data-corruption detections by the ABFT checksum guard."},
+		{"ca3dmm_sdc_corrected_total", "sdc:correct", "SDC events repaired in place from checksum syndromes."},
+		{"ca3dmm_sdc_recomputed_total", "sdc:recompute", "SDC events absorbed by a surgical local tile recompute."},
+		{"ca3dmm_sdc_unrecovered_total", "sdc:unrecovered", "SDC detections left to the Freivalds backstop."},
+	}
+	for _, sc := range sdcCounters {
+		if err := write("# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			sc.metric, sc.help, sc.metric, sc.metric, eventCounts[sc.event]); err != nil {
+			return err
+		}
+	}
 	// Causal-tracing families: happens-before graph size, per-rank
 	// critical-path blame, worst collective skew per op, and the
 	// divergence sentinel's measured/predicted ratios.

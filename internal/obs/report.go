@@ -383,6 +383,16 @@ func (rep *Report) Render() string {
 			fmt.Fprintf(&b, "%-6d %12s %12s %6d\n", bl.Rank, fmtUS(bl.WaitUS), fmtUS(bl.OnPathUS), bl.Steps)
 		}
 	}
+	sdc := map[string]int{}
+	for _, e := range rep.Events {
+		if strings.HasPrefix(e.Name, "sdc:") {
+			sdc[e.Name] += e.Count
+		}
+	}
+	if len(sdc) > 0 {
+		fmt.Fprintf(&b, "\nsdc (ABFT checksum guard): detected %d, corrected in place %d, tile recomputes %d, left to Freivalds %d\n",
+			sdc["sdc:detect"], sdc["sdc:correct"], sdc["sdc:recompute"], sdc["sdc:unrecovered"])
+	}
 	if len(rep.Skew) > 0 {
 		fmt.Fprintf(&b, "\ncollective skew (arrival spread, widest first):\n%-16s %5s %6s %10s %6s %6s\n",
 			"op", "seq", "ranks", "spread", "first", "last")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -41,6 +42,10 @@ type Config struct {
 	// be in flight ahead of the one being computed. Zero means 1 (the
 	// classic double buffer).
 	Prefetch int
+	// ABFT guards every panel's GEMM accumulation with Huang–Abraham
+	// checksums (verify per panel step, correct in place, recompute
+	// the tile locally otherwise).
+	ABFT abft.Options
 }
 
 // Timings splits the wall time into broadcast communication and local
@@ -91,6 +96,8 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 	}
 	_, _, cRows, cCols := cfg.CBlock(row, col)
 	cLoc := mat.New(cRows, cCols)
+	g := abft.New(cfg.ABFT, c)
+	defer g.Finish()
 
 	// Row and column communicators for the panel broadcasts.
 	rowComm := c.Split(row, col)
@@ -163,7 +170,7 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 				w := ps.end - ps.t
 				tg := time.Now()
 				if cRows > 0 && cCols > 0 && w > 0 {
-					mat.Gemm(mat.NoTrans, mat.NoTrans, 1,
+					abft.Gemm(g, false,
 						mat.FromSlice(cRows, w, panels[0]), mat.FromSlice(w, cCols, panels[1]), 1, cLoc)
 				}
 				tm.Compute += time.Since(tg)
@@ -184,7 +191,7 @@ func Multiply(c *mpi.Comm, a, b *mat.Dense, cfg Config) (*mat.Dense, Timings) {
 
 		tg := time.Now()
 		if cRows > 0 && cCols > 0 && w > 0 {
-			mat.GemmSerial(mat.NoTrans, mat.NoTrans, 1,
+			abft.Gemm(g, true,
 				mat.FromSlice(cRows, w, aPanel), mat.FromSlice(w, cCols, bPanel), 1, cLoc)
 		}
 		tm.Compute += time.Since(tg)

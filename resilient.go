@@ -47,6 +47,13 @@ const (
 	FaultStraggle  = mpi.FaultStraggle
 	FaultDrop      = mpi.FaultDrop
 	FaultPartition = mpi.FaultPartition
+	// FaultFlipCompute flips one bit of one element of a local GEMM
+	// output tile — a silent compute error. Fires only on the
+	// ABFT-guarded path (Config.ABFT), which detects and repairs it.
+	FaultFlipCompute = mpi.FaultFlipCompute
+	// FaultFlipMem flips one bit of a resident operand buffer between
+	// checksum encode and use — a silent memory error.
+	FaultFlipMem = mpi.FaultFlipMem
 )
 
 // Typed failure sentinels; match with errors.Is.
@@ -198,6 +205,7 @@ func resilientRun(a, b *Matrix, m, n, k, p int, rc ResilientConfig, fault *Fault
 			MaxPk:            rc.MaxPk,
 			MemoryLimitBytes: rc.MemoryLimitBytes,
 			Trace:            rc.Trace,
+			ABFT:             rc.abftOptions(),
 		},
 		TransA:          rc.TransA,
 		TransB:          rc.TransB,
