@@ -21,7 +21,6 @@ package ca3dmm
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/abft"
@@ -365,6 +364,11 @@ func (p *Plan) ActiveProcs() int { return p.exec.activeProcs() }
 // ranks with 1D column layouts, multiplies, and gathers C. It returns
 // the result, the per-rank communication report, and the maximum
 // per-rank stage times.
+//
+// Multiply is a single-use Engine: NewEngine + MultiplyGlobal + Close.
+// Iterative workloads should hold the Engine open instead, which
+// amortizes the planning, communicator, and scatter work to zero on
+// every call after the first.
 func Multiply(a, b *Matrix, p int, cfg Config) (*Matrix, *mpi.Report, StageTimes, error) {
 	m, k := a.Rows, a.Cols
 	if cfg.TransA {
@@ -377,36 +381,32 @@ func Multiply(a, b *Matrix, p int, cfg Config) (*Matrix, *mpi.Report, StageTimes
 	if k != k2 {
 		return nil, nil, StageTimes{}, fmt.Errorf("ca3dmm: inner dimensions %d and %d differ", k, k2)
 	}
-	plan, err := NewPlan(m, n, k, p, cfg)
+	eng, err := NewEngine(m, n, k, p, cfg)
 	if err != nil {
 		return nil, nil, StageTimes{}, err
 	}
-	aL := ColBlocks(a.Rows, a.Cols, p)
-	bL := ColBlocks(b.Rows, b.Cols, p)
-	cL := ColBlocks(m, n, p)
-	aLocs := dist.Scatter(a, aL)
-	bLocs := dist.Scatter(b, bL)
-	outs := make([]*Matrix, p)
-	var mu sync.Mutex
-	var worst StageTimes
-	rep, err := mpi.RunOpt(p, mpi.Options{
-		Obs:       cfg.Trace,
-		Timeout:   cfg.Timeout,
-		Fault:     cfg.Fault,
-		Reliable:  cfg.Net,
-		Heartbeat: cfg.Heartbeat,
-	}, func(c *Comm) {
-		out, st := plan.Execute(c, aLocs[c.Rank()], aL, bLocs[c.Rank()], bL, cL)
-		mu.Lock()
-		outs[c.Rank()] = out
-		worst = maxStages(worst, st)
-		mu.Unlock()
-	})
-	if err != nil {
-		return nil, nil, StageTimes{}, err
+	c, worst, merr := eng.MultiplyGlobal(a, b)
+	rep, cerr := eng.Close()
+	if cerr != nil {
+		// The run's own error (injected crash, deadlock diagnostic, …)
+		// carries the root cause; prefer it over the engine wrapper for
+		// parity with the historical one-shot semantics.
+		return nil, nil, StageTimes{}, cerr
 	}
-	return dist.Assemble(outs, cL), rep, worst, nil
+	if merr != nil {
+		return nil, nil, StageTimes{}, merr
+	}
+	return c, rep, worst, nil
 }
+
+// ScatterBlocks cuts a stored matrix into per-rank blocks under l —
+// the driver-side staging step for Engine.Multiply. Iterative callers
+// scatter once, then keep the blocks resident across calls.
+func ScatterBlocks(a *Matrix, l Layout) []*Matrix { return dist.Scatter(a, l) }
+
+// AssembleBlocks reassembles per-rank blocks under l into the global
+// matrix — the inverse of ScatterBlocks.
+func AssembleBlocks(blocks []*Matrix, l Layout) *Matrix { return dist.Assemble(blocks, l) }
 
 func maxStages(a, b StageTimes) StageTimes {
 	maxd := func(x, y time.Duration) time.Duration {

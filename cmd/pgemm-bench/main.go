@@ -8,6 +8,7 @@
 //	pgemm-bench -exp fig3|fig4|fig5|table1|table2|table3|lsweep|all
 //	pgemm-bench -exp real|realmem|realgrid [-procs N]
 //	pgemm-bench -exp overlap [-procs N] [-reps R] [-out BENCH_overlap.json]
+//	pgemm-bench -exp engine [-procs N] [-reps R] [-assert-warm-setup F] [-out BENCH_engine.json]
 package main
 
 import (
@@ -15,15 +16,17 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/enginebench"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid overlap abft")
-	procs := flag.Int("procs", 16, "rank count for -exp real/overlap/abft")
-	reps := flag.Int("reps", 3, "timed repetitions for -exp overlap/abft (best kept)")
-	out := flag.String("out", "", "output file for -exp overlap/abft (empty = BENCH_overlap.json / BENCH_abft.json; \"none\" to skip)")
+	exp := flag.String("exp", "all", "experiment: fig3 fig4 fig5 table1 table2 table3 lsweep sensitivity weak all real realmem realgrid overlap abft engine")
+	procs := flag.Int("procs", 16, "rank count for -exp real/overlap/abft/engine")
+	reps := flag.Int("reps", 3, "timed repetitions for -exp overlap/abft/engine (best kept)")
+	out := flag.String("out", "", "output file for -exp overlap/abft/engine (empty = BENCH_<exp>.json; \"none\" to skip)")
+	assertWarm := flag.Float64("assert-warm-setup", 0, "for -exp engine: fail unless warm-call setup < this fraction of the cold call's (0 = no assertion)")
 	flag.Parse()
 
 	mach := sim.Phoenix()
@@ -65,11 +68,16 @@ func main() {
 		*out = "BENCH_overlap.json"
 	} else if *exp == "abft" && *out == "" {
 		*out = "BENCH_abft.json"
+	} else if *exp == "engine" && *out == "" {
+		*out = "BENCH_engine.json"
 	}
 	if *exp == "overlap" {
 		run("overlap", func() error { return experiments.RealOverlap(w, *procs, *reps, *out) })
 	}
 	if *exp == "abft" {
 		run("abft", func() error { return experiments.RealABFT(w, *procs, *reps, *out) })
+	}
+	if *exp == "engine" {
+		run("engine", func() error { return enginebench.RealEngine(w, *procs, *reps, *assertWarm, *out) })
 	}
 }

@@ -101,3 +101,67 @@ func TestABFTDeterministicAgainstUnguarded(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineDeterministicAgainstFacade extends the reproducibility
+// contract to the persistent engine: for every algorithm, warm engine
+// calls (cached routes, recycled arena buffers, overlap schedules)
+// must be bit-identical to the one-shot facade, call after call.
+func TestEngineDeterministicAgainstFacade(t *testing.T) {
+	a := Random(37, 29, 11)
+	b := Random(29, 23, 12)
+	for _, alg := range Algorithms() {
+		p := 6
+		if alg == CARMA {
+			p = 8 // power-of-two restriction
+		}
+		want, _, _, err := Multiply(a, b, p, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		eng, err := NewEngine(37, 23, 29, p, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for call := 1; call <= 3; call++ {
+			got, _, err := eng.MultiplyGlobal(a, b)
+			if err != nil {
+				t.Fatalf("%s call %d: %v", alg, call, err)
+			}
+			if !bitIdentical(got, want) {
+				t.Errorf("%s call %d: engine differs bitwise from facade", alg, call)
+			}
+		}
+		if _, err := eng.Close(); err != nil {
+			t.Fatalf("%s close: %v", alg, err)
+		}
+	}
+}
+
+// TestResilientShrinkDeterministic extends the contract across
+// mid-sequence recovery: with a deterministic crash plan the
+// self-healing executor shrinks, replans (through the ladder's plan
+// cache), and must still produce the same bits on every run.
+func TestResilientShrinkDeterministic(t *testing.T) {
+	a := Random(31, 26, 21)
+	b := Random(26, 19, 22)
+	want := GemmRef(a, b, false, false)
+	run := func() *Matrix {
+		fault := &FaultPlan{Seed: 9, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 2, Call: 3},
+		}}
+		got, _, err := ResilientMultiply(a, b, 7, ResilientConfig{
+			MaxRetries: 4, VerifyTrials: 20, VerifySeed: 9, Fault: fault,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := run()
+	if d := MaxAbsDiff(first, want); d > 1e-9 {
+		t.Fatalf("post-shrink result wrong: max diff %g", d)
+	}
+	if !bitIdentical(first, run()) {
+		t.Error("post-shrink runs differ bitwise")
+	}
+}

@@ -1,0 +1,264 @@
+package ca3dmm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// Engine suite: the persistent plan/communicator/buffer reuse path.
+// The headline contract is the issue's win condition — second-and-later
+// multiplies of a shape do zero planning and zero rank-0 scatter — plus
+// bit-identity with the one-shot facade and typed-error behavior after
+// Close and after rank failures.
+
+// engineEvents counts recorded instant events by name prefix.
+func engineEvents(tr *TraceRecorder, prefix string) int {
+	n := 0
+	for _, e := range tr.Events() {
+		if strings.HasPrefix(e.Name, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEngineWarmCallsAmortized pins the amortization contract on the
+// default CA3DMM algorithm: after the first Multiply of a shape, later
+// calls build no routes (route-miss count frozen), allocate no new
+// steady-state buffers (arena-miss count frozen), never touch the
+// rank-0 scatter path, and still return bit-identical results.
+func TestEngineWarmCallsAmortized(t *testing.T) {
+	const m, n, k, p = 45, 38, 29, 6
+	a := Random(m, k, 1)
+	b := Random(k, n, 2)
+	want := GemmRef(a, b, false, false)
+
+	tr := NewTraceRecorder()
+	eng, err := NewEngine(m, n, k, p, Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	aL := ColBlocks(m, k, p)
+	bL := ColBlocks(k, n, p)
+	cL := ColBlocks(m, n, p)
+	aLocs := ScatterBlocks(a, aL)
+	bLocs := ScatterBlocks(b, bL)
+	// Caller-owned destination blocks: the steady state of an iterative
+	// solver, and the only configuration that can be allocation-flat
+	// (outputs handed to the caller are necessarily fresh buffers).
+	cDsts := make([]*Matrix, p)
+	for r := 0; r < p; r++ {
+		cr, cc := cL.LocalShape(r)
+		cDsts[r] = NewMatrix(cr, cc)
+	}
+	scatterBase := dist.ScatterCalls()
+
+	var first *Matrix
+	var missesAfterCold, arenaAfterWarm int64
+	for call := 1; call <= 4; call++ {
+		outs, _, err := eng.Multiply(aLocs, aL, bLocs, bL, cDsts, cL)
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		got := AssembleBlocks(outs, cL)
+		if d := MaxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("call %d: wrong result, max diff %g", call, d)
+		}
+		if call == 1 {
+			first = got
+			missesAfterCold = eng.Stats().RouteMisses
+			if missesAfterCold == 0 {
+				t.Fatal("cold call built no routes; the cache is not in the path")
+			}
+			continue
+		}
+		if !bitIdentical(got, first) {
+			t.Fatalf("call %d differs bitwise from call 1", call)
+		}
+		st := eng.Stats()
+		if st.RouteMisses != missesAfterCold {
+			t.Fatalf("warm call %d built routes: %d misses, want the cold call's %d",
+				call, st.RouteMisses, missesAfterCold)
+		}
+		if st.RouteHits == 0 {
+			t.Fatalf("warm call %d hit no cached routes", call)
+		}
+		// The second call may still grow the arena (the overlap
+		// schedule uses different scratch shapes than the cold one);
+		// from then on the buffer set must be closed.
+		if call == 2 {
+			arenaAfterWarm = st.ArenaMisses
+		} else if st.ArenaMisses != arenaAfterWarm {
+			t.Fatalf("call %d allocated fresh arena buffers: %d misses, want steady-state %d",
+				call, st.ArenaMisses, arenaAfterWarm)
+		}
+	}
+
+	if got := dist.ScatterCalls(); got != scatterBase {
+		t.Fatalf("engine multiplies ran %d rank-0 scatters, want 0", got-scatterBase)
+	}
+	// Observability: the warm calls must record route hits and no
+	// plan-cache traffic (the engine plans exactly once, in NewEngine).
+	if engineEvents(tr, "redist:route-hit") == 0 {
+		t.Fatal("no redist:route-hit events recorded")
+	}
+	if engineEvents(tr, "plan:") != 0 {
+		t.Fatal("engine multiplies recorded plan events; planning is not amortized")
+	}
+	st := eng.Stats()
+	if st.Calls != 4 || st.SetupNs <= 0 {
+		t.Fatalf("stats: calls=%d setupNs=%d, want 4 calls and positive setup", st.Calls, st.SetupNs)
+	}
+}
+
+// TestEngineDestinationBlocks verifies that caller-owned destination
+// blocks are written in place — the zero-allocation steady state of an
+// iterative solver that reuses its C blocks.
+func TestEngineDestinationBlocks(t *testing.T) {
+	const m, n, k, p = 33, 27, 21, 6
+	a := Random(m, k, 3)
+	b := Random(k, n, 4)
+	want := GemmRef(a, b, false, false)
+
+	eng, err := NewEngine(m, n, k, p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	aL := ColBlocks(m, k, p)
+	bL := ColBlocks(k, n, p)
+	cL := Blocks2D(m, n, 3, 2, p)
+	aLocs := ScatterBlocks(a, aL)
+	bLocs := ScatterBlocks(b, bL)
+	cDsts := make([]*Matrix, p)
+	for r := 0; r < p; r++ {
+		cr, cc := cL.LocalShape(r)
+		cDsts[r] = NewMatrix(cr, cc)
+	}
+	for call := 0; call < 2; call++ {
+		outs, _, err := eng.Multiply(aLocs, aL, bLocs, bL, cDsts, cL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range outs {
+			if outs[r] != cDsts[r] {
+				t.Fatalf("rank %d: result not written into the caller's block", r)
+			}
+		}
+		if d := MaxAbsDiff(AssembleBlocks(outs, cL), want); d > 1e-10 {
+			t.Fatalf("in-place result wrong: max diff %g", d)
+		}
+	}
+}
+
+// TestEngineMixedLayouts drives the general redistribution layer:
+// operands arrive in three different layout families and the engine
+// must still match the facade bitwise.
+func TestEngineMixedLayouts(t *testing.T) {
+	const m, n, k, p = 40, 36, 24, 6
+	a := Random(k, m, 5) // stored transposed
+	b := Random(k, n, 6)
+	cfg := Config{TransA: true}
+	want, _, _, err := Multiply(a, b, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(m, n, k, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	aL := RowBlocks(k, m, p)
+	bL := BlockCyclic(k, n, 3, 2, 5, 4)
+	cL := Blocks2D(m, n, 2, 3, p)
+	aLocs := ScatterBlocks(a, aL)
+	bLocs := ScatterBlocks(b, bL)
+	for call := 0; call < 2; call++ {
+		outs, _, err := eng.Multiply(aLocs, aL, bLocs, bL, nil, cL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(AssembleBlocks(outs, cL), want) {
+			t.Fatalf("call %d: mixed-layout engine result differs bitwise from facade", call)
+		}
+	}
+}
+
+// TestEngineClosedAndValidation: typed error after Close, idempotent
+// Close, and driver-side validation errors that do not poison the
+// engine.
+func TestEngineClosedAndValidation(t *testing.T) {
+	const m, n, k, p = 24, 20, 16, 4
+	a := Random(m, k, 7)
+	b := Random(k, n, 8)
+	eng, err := NewEngine(m, n, k, p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed input is an error, not a poison pill.
+	wrong := ColBlocks(m+1, k, p)
+	if _, _, err := eng.Multiply(ScatterBlocks(Random(m+1, k, 9), wrong), wrong,
+		ScatterBlocks(b, ColBlocks(k, n, p)), ColBlocks(k, n, p), nil, ColBlocks(m, n, p)); err == nil {
+		t.Fatal("mis-shaped A layout accepted")
+	}
+	if got, _, err := eng.MultiplyGlobal(a, b); err != nil {
+		t.Fatalf("engine unusable after validation error: %v", err)
+	} else if d := MaxAbsDiff(got, GemmRef(a, b, false, false)); d > 1e-10 {
+		t.Fatalf("wrong result after validation error: %g", d)
+	}
+
+	if _, err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, _, err := eng.MultiplyGlobal(a, b); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("multiply after close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestEngineCacheLRU: repeated shapes hit, capacity evicts the oldest
+// engine (closing it), and failed lookups rebuild transparently.
+func TestEngineCacheLRU(t *testing.T) {
+	tr := NewTraceRecorder()
+	cache := NewEngineCache(1)
+	defer cache.Close()
+
+	cfg := Config{Trace: tr}
+	e1, err := cache.Get(24, 20, 16, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1again, err := cache.Get(24, 20, 16, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1again != e1 {
+		t.Fatal("same shape did not hit the cache")
+	}
+	if h, m := cache.Stats(); h != 1 || m != 1 {
+		t.Fatalf("cache stats %d/%d, want 1 hit / 1 miss", h, m)
+	}
+	if engineEvents(tr, "plan:cache-hit") != 1 || engineEvents(tr, "plan:cache-miss") != 1 {
+		t.Fatal("cache did not record plan:cache-hit/miss events")
+	}
+
+	// Capacity 1: a second shape evicts and closes the first engine.
+	if _, err := cache.Get(30, 30, 30, 4, cfg); err != nil {
+		t.Fatal(err)
+	}
+	a := Random(24, 16, 1)
+	b := Random(16, 20, 2)
+	if _, _, err := e1.MultiplyGlobal(a, b); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("evicted engine still open: %v", err)
+	}
+}

@@ -75,20 +75,38 @@ func main() {
 	a := ca3dmm.Random(*m, *n, 7)
 	fmt.Printf("CholeskyQR of a %d x %d matrix on %d processes\n\n", *m, *n, *p)
 
+	// The pipeline runs two PGEMM shapes, so it holds two persistent
+	// engines: gramEng for the large-K products X^T Y of tall m x n
+	// operands (the Gram matrix now, the Q^T Q orthogonality check
+	// later), and qEng for the large-M product A R^{-1}. The tall A is
+	// scattered exactly once and its resident blocks feed both engines.
+	gramCfg := ca3dmm.Config{TransA: true, DualBuffer: true}
+	gramEng, err := ca3dmm.NewEngine(*n, *n, *m, *p, gramCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gramEng.Close()
+	qEng, err := ca3dmm.NewEngine(*m, *n, *n, *p, ca3dmm.Config{DualBuffer: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qEng.Close()
+
+	tallL := ca3dmm.ColBlocks(*m, *n, *p) // layout shared by A and Q
+	smallL := ca3dmm.ColBlocks(*n, *n, *p)
+	gramL := ca3dmm.ColBlocks(*n, *n, *p)
+	aBlocks := ca3dmm.ScatterBlocks(a, tallL)
+
 	// Step 1: Gram matrix G = A^T A. op(A)=A^T is n x m, op(B)=A is
 	// m x n: the inner dimension k = m is huge — the paper's large-K
 	// class.
-	gramCfg := ca3dmm.Config{TransA: true, DualBuffer: true}
-	gplan, err := ca3dmm.NewPlan(*n, *n, *m, *p, gramCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pm, pn, pk := gplan.GridDims()
+	pm, pn, pk := gramEng.GridDims()
 	fmt.Printf("Gram PGEMM grid (large-K): %d x %d x %d  (pk carries the parallelism)\n", pm, pn, pk)
-	g, _, st, err := ca3dmm.Multiply(a, a, *p, gramCfg)
+	gBlocks, st, err := gramEng.Multiply(aBlocks, tallL, aBlocks, tallL, nil, gramL)
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := ca3dmm.AssembleBlocks(gBlocks, gramL)
 	fmt.Printf("Gram stage times: total %v, reduce-scatter %v\n\n", st.Total, st.ReduceC)
 
 	// Step 2: serial Cholesky of the small Gram matrix.
@@ -97,25 +115,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Step 3: Q = A R^{-1} — m x n times n x n, the large-M class.
+	// Step 3: Q = A R^{-1} — m x n times n x n, the large-M class. A's
+	// blocks are already resident; only the small factor is scattered.
 	rinv := invertUpper(r)
-	qCfg := ca3dmm.Config{DualBuffer: true}
-	qplan, err := ca3dmm.NewPlan(*m, *n, *n, *p, qCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pm, pn, pk = qplan.GridDims()
+	pm, pn, pk = qEng.GridDims()
 	fmt.Printf("Q-formation PGEMM grid (large-M): %d x %d x %d (pm carries the parallelism)\n", pm, pn, pk)
-	q, _, _, err := ca3dmm.Multiply(a, rinv, *p, qCfg)
+	qBlocks, _, err := qEng.Multiply(aBlocks, tallL, ca3dmm.ScatterBlocks(rinv, smallL), smallL, nil, tallL)
 	if err != nil {
 		log.Fatal(err)
 	}
+	q := ca3dmm.AssembleBlocks(qBlocks, tallL)
 
-	// Verify orthogonality: Q^T Q = I (one more large-K PGEMM).
-	qtq, _, _, err := ca3dmm.Multiply(q, q, *p, ca3dmm.Config{TransA: true})
+	// Verify orthogonality: Q^T Q = I — the same large-K shape as the
+	// Gram step, so gramEng runs it warm: cached routes, no planning,
+	// and Q's blocks are fed in place of A's.
+	qtqBlocks, _, err := gramEng.Multiply(qBlocks, tallL, qBlocks, tallL, nil, gramL)
 	if err != nil {
 		log.Fatal(err)
 	}
+	qtq := ca3dmm.AssembleBlocks(qtqBlocks, gramL)
 	var orthoErr float64
 	for i := 0; i < *n; i++ {
 		for j := 0; j < *n; j++ {
@@ -132,7 +150,10 @@ func main() {
 	qr := ca3dmm.GemmRef(q, r, false, false)
 	factErr := ca3dmm.MaxAbsDiff(qr, a)
 
-	fmt.Printf("\nmax |Q^T Q - I|  = %.3e\n", orthoErr)
+	gst := gramEng.Stats()
+	fmt.Printf("\ngram engine reuse: %d calls, %d route hits / %d builds (Q^T Q ran on warm routes)\n",
+		gst.Calls, gst.RouteHits, gst.RouteMisses)
+	fmt.Printf("max |Q^T Q - I|  = %.3e\n", orthoErr)
 	fmt.Printf("max |Q R - A|    = %.3e\n", factErr)
 	if orthoErr < 1e-8 && factErr < 1e-8 {
 		fmt.Println("CholeskyQR succeeded")

@@ -6,8 +6,11 @@
 // McWeeny purification iterates X <- 3X^2 - 2X^3 to drive a symmetric
 // trial density matrix (eigenvalues in [0,1]) toward idempotency
 // (X^2 = X). Each iteration costs two square PGEMMs with identical
-// shape, so one CA3DMM plan is built once and reused, exactly how the
-// SPARC electronic-structure code uses the library.
+// shape — the canonical ca3dmm.Engine workload: the plan, the split
+// communicators, the redistribution routes, and the packed buffers are
+// built once, the matrix is scattered once, and every iteration runs
+// on resident blocks with zero planning and zero rank-0 data movement,
+// exactly how the SPARC electronic-structure code uses the library.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	ca3dmm "repro"
 )
@@ -62,12 +66,13 @@ func buildTrialDensity(n int, seed uint64) *ca3dmm.Matrix {
 	return ca3dmm.GemmRef(ql, q, false, true)
 }
 
-// idempotencyError returns max |X^2 - X|.
-func idempotencyError(x, x2 *ca3dmm.Matrix) float64 {
+// idempotencyErrorBlocks returns max |X^2 - X| over matching per-rank
+// blocks, without gathering either matrix.
+func idempotencyErrorBlocks(x, x2 []*ca3dmm.Matrix) float64 {
 	var e float64
-	for i := 0; i < x.Rows; i++ {
-		for j := 0; j < x.Cols; j++ {
-			if d := math.Abs(x2.At(i, j) - x.At(i, j)); d > e {
+	for r := range x {
+		for i, v := range x[r].Data {
+			if d := math.Abs(x2[r].Data[i] - v); d > e {
 				e = d
 			}
 		}
@@ -84,38 +89,73 @@ func main() {
 	x := buildTrialDensity(*n, 42)
 	cfg := ca3dmm.Config{DualBuffer: true}
 	fmt.Printf("McWeeny purification, n=%d, P=%d\n", *n, *p)
-	plan, err := ca3dmm.NewPlan(*n, *n, *n, *p, cfg)
+
+	// Plan once: the engine caches the plan, the split communicators,
+	// the redistribution routes, and the packed buffers for the square
+	// n x n x n shape both PGEMMs of every iteration share.
+	eng, err := ca3dmm.NewEngine(*n, *n, *n, *p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pm, pn, pk := plan.GridDims()
-	fmt.Printf("CA3DMM grid: %d x %d x %d (plan reused every iteration)\n\n", pm, pn, pk)
+	defer eng.Close()
+	pm, pn, pk := eng.GridDims()
+	fmt.Printf("CA3DMM grid: %d x %d x %d (engine reused every iteration)\n\n", pm, pn, pk)
 
+	// Scatter once: X lives as per-rank blocks for the whole run. The
+	// iteration updates the blocks in place, so no global matrix is
+	// rebuilt until the final verification.
+	xL := ca3dmm.ColBlocks(*n, *n, *p)
+	xBlocks := ca3dmm.ScatterBlocks(x, xL)
+	x2Blocks := make([]*ca3dmm.Matrix, *p)
+	x3Blocks := make([]*ca3dmm.Matrix, *p)
+	for r := 0; r < *p; r++ {
+		rows, cols := xL.LocalShape(r)
+		x2Blocks[r] = ca3dmm.NewMatrix(rows, cols)
+		x3Blocks[r] = ca3dmm.NewMatrix(rows, cols)
+	}
+
+	var coldCall, warmCalls time.Duration
+	warmCount := 0
 	for it := 1; it <= *iters; it++ {
-		// X2 = X*X and X3 = X2*X via two distributed multiplications.
-		x2, _, _, err := ca3dmm.Multiply(x, x, *p, cfg)
-		if err != nil {
+		// X2 = X*X and X3 = X2*X on resident blocks: zero planning,
+		// zero scatter, warm redistribution routes.
+		t0 := time.Now()
+		if _, _, err := eng.Multiply(xBlocks, xL, xBlocks, xL, x2Blocks, xL); err != nil {
 			log.Fatal(err)
 		}
-		x3, _, _, err := ca3dmm.Multiply(x2, x, *p, cfg)
-		if err != nil {
+		if it == 1 {
+			coldCall = time.Since(t0)
+			t0 = time.Now()
+		}
+		if _, _, err := eng.Multiply(x2Blocks, xL, xBlocks, xL, x3Blocks, xL); err != nil {
 			log.Fatal(err)
 		}
-		errBefore := idempotencyError(x, x2)
-		// X = 3X^2 - 2X^3.
-		for i := range x.Data {
-			x.Data[i] = 3*x2.Data[i] - 2*x3.Data[i]
+		warmCalls += time.Since(t0)
+		warmCount++
+		if it > 1 {
+			warmCount++ // both calls of this iteration were warm
+		}
+		errBefore := idempotencyErrorBlocks(xBlocks, x2Blocks)
+		// X = 3X^2 - 2X^3, blockwise in place.
+		for r := range xBlocks {
+			for i := range xBlocks[r].Data {
+				xBlocks[r].Data[i] = 3*x2Blocks[r].Data[i] - 2*x3Blocks[r].Data[i]
+			}
 		}
 		fmt.Printf("iter %2d: max|X^2 - X| = %.3e\n", it, errBefore)
 	}
 
-	// Converged density must be idempotent: verify with one more PGEMM.
-	x2, _, _, err := ca3dmm.Multiply(x, x, *p, cfg)
-	if err != nil {
+	// Converged density must be idempotent: verify with one more warm
+	// PGEMM on the final blocks.
+	if _, _, err := eng.Multiply(xBlocks, xL, xBlocks, xL, x2Blocks, xL); err != nil {
 		log.Fatal(err)
 	}
-	final := idempotencyError(x, x2)
+	final := idempotencyErrorBlocks(xBlocks, x2Blocks)
+	st := eng.Stats()
 	fmt.Printf("\nfinal idempotency error: %.3e\n", final)
+	fmt.Printf("engine: %d calls, cold %v, warm avg %v; routes %d hits / %d builds; buffers %d hits / %d allocs; setup amortized %.2fms\n",
+		st.Calls, coldCall, warmCalls/time.Duration(max(warmCount, 1)), st.RouteHits, st.RouteMisses,
+		st.ArenaHits, st.ArenaMisses, float64(st.SetupNs)/1e6)
 	if final < 1e-6 {
 		fmt.Println("purification converged: density matrix is idempotent")
 	} else {

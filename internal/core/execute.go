@@ -76,27 +76,7 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 
 	// Split communicators. Split is collective, so idle ranks
 	// participate with Undefined colors.
-	kanColor, kanKey := mpi.Undefined, 0
-	repColor, repKey := mpi.Undefined, 0
-	redColor, redKey := mpi.Undefined, 0
-	if role.active {
-		kanColor = role.g*p.Crep + role.q
-		repColor, repKey = mpi.Undefined, 0
-		if p.Opt.UseSUMMA {
-			lr := c.Rank() % (p.G.Pm * p.G.Pn)
-			i, j := lr%p.G.Pm, lr/p.G.Pm
-			kanKey = i*p.G.Pn + j // row-major grid order for SUMMA
-			redColor, redKey = lr, role.g
-		} else {
-			// Cannon's kernel addresses rank r as grid position
-			// (r/s, r%s), i.e. row-major; order the group that way.
-			kanKey = role.i*p.S + role.j
-			repColor = role.g*p.S*p.S + role.j*p.S + role.i
-			repKey = role.q
-			redColor = role.q*p.S*p.S + role.j*p.S + role.i
-			redKey = role.g
-		}
-	}
+	kanColor, kanKey, repColor, repKey, redColor, redKey := p.splitColors(c.Rank(), role)
 	kanComm := c.Split(kanColor, kanKey)
 	repComm := c.Split(repColor, repKey)
 	redComm := c.Split(redColor, redKey)
@@ -106,9 +86,9 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 		cr, cc := p.CLayout.LocalShape(c.Rank())
 		cFinal = mat.New(cr, cc)
 	} else if p.Opt.UseSUMMA {
-		cFinal = p.executeSUMMA(kanComm, redComm, aNat, bNat, role, tm, c)
+		cFinal = p.executeSUMMA(kanComm, redComm, aNat, bNat, role, tm, c, nil)
 	} else {
-		cFinal = p.executeCannon(kanComm, repComm, redComm, aNat, bNat, role, tm, c)
+		cFinal = p.executeCannon(kanComm, repComm, redComm, aNat, bNat, role, tm, c, nil)
 	}
 
 	// Step 8: redistribute C to the user layout.
@@ -123,12 +103,55 @@ func (p *Plan) Execute(c *mpi.Comm, aLocal *mat.Dense, aLayout dist.Layout,
 	return cUser, tm
 }
 
+// splitColors computes the three communicator split colors and keys of
+// one rank: the Cannon (or SUMMA) group, the replication group, and
+// the reduce-scatter group. Idle ranks get Undefined everywhere. A
+// persistent ExecState performs the three collective Splits once and
+// then reuses the communicators across calls.
+func (p *Plan) splitColors(rank int, role rankRole) (kanColor, kanKey, repColor, repKey, redColor, redKey int) {
+	kanColor, repColor, redColor = mpi.Undefined, mpi.Undefined, mpi.Undefined
+	if !role.active {
+		return
+	}
+	kanColor = role.g*p.Crep + role.q
+	if p.Opt.UseSUMMA {
+		lr := rank % (p.G.Pm * p.G.Pn)
+		i, j := lr%p.G.Pm, lr/p.G.Pm
+		kanKey = i*p.G.Pn + j // row-major grid order for SUMMA
+		redColor, redKey = lr, role.g
+		return
+	}
+	// Cannon's kernel addresses rank r as grid position (r/s, r%s),
+	// i.e. row-major; order the group that way.
+	kanKey = role.i*p.S + role.j
+	repColor = role.g*p.S*p.S + role.j*p.S + role.i
+	repKey = role.q
+	redColor = role.q*p.S*p.S + role.j*p.S + role.i
+	redKey = role.g
+	return
+}
+
+// padBlock is cannon.PadBlock drawing the padded copy from an arena.
+func padBlock(ar *mat.Arena, local *mat.Dense, padRows, padCols int) *mat.Dense {
+	if ar == nil {
+		return cannon.PadBlock(local, padRows, padCols)
+	}
+	out := ar.Get(padRows, padCols)
+	out.View(0, 0, local.Rows, local.Cols).CopyFrom(local)
+	return out
+}
+
 // executeCannon performs steps 5-7 for an active rank using the Cannon
 // kernel. Memory accounting follows eq. (11): after replication each
 // rank holds (c·mk + kn)/P elements of A and B, doubled by the
 // dual-buffer copies, plus the pk·mn/P partial C block.
+//
+// executeCannon takes ownership of aNat and bNat: when ar is non-nil
+// their slabs (and every intermediate built here) are returned to the
+// arena as they die, so a persistent caller's repeated executions are
+// allocation-flat.
 func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
-	aNat, bNat *mat.Dense, role rankRole, tm *Timings, world *mpi.Comm) *mat.Dense {
+	aNat, bNat *mat.Dense, role rankRole, tm *Timings, world *mpi.Comm, ar *mat.Arena) *mat.Dense {
 
 	k0, k1 := p.kRange(role.g)
 	kg := k1 - k0
@@ -159,15 +182,17 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 			sub, isA = aNat, true
 		}
 		rows, cols, counts := p.replLayout(isA, role, cfg)
+		// Iallgatherv snapshots its payload, so sub is dead as soon as
+		// the request is issued.
 		req := repComm.Iallgatherv(sub.Pack(), counts)
 		if p.RepA {
 			bBlock = bNat
-			bPad = cannon.PadBlock(bBlock, ak, bn)
+			bPad = padBlock(ar, bBlock, ak, bn)
 		} else {
 			aBlock = aNat
-			aPad = cannon.PadBlock(aBlock, am, ak)
+			aPad = padBlock(ar, aBlock, am, ak)
 		}
-		full := assembleFrom(req.Wait(), rows, cols, counts, isA)
+		full := assembleFrom(ar, req.Wait(), rows, cols, counts, isA)
 		if p.RepA {
 			aBlock = full
 			world.RecordAlloc(int64(8 * (len(aBlock.Data) - len(aNat.Data))))
@@ -175,14 +200,21 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 			bBlock = full
 			world.RecordAlloc(int64(8 * (len(bBlock.Data) - len(bNat.Data))))
 		}
+		ar.Put(sub)
 	} else if p.RepA {
-		aBlock = p.assembleReplicated(repComm, aNat, true, role, cfg)
+		aBlock = p.assembleReplicated(repComm, aNat, true, role, cfg, ar)
 		bBlock = bNat
 		world.RecordAlloc(int64(8 * (len(aBlock.Data) - len(aNat.Data))))
+		if aBlock != aNat {
+			ar.Put(aNat)
+		}
 	} else {
 		aBlock = aNat
-		bBlock = p.assembleReplicated(repComm, bNat, false, role, cfg)
+		bBlock = p.assembleReplicated(repComm, bNat, false, role, cfg, ar)
 		world.RecordAlloc(int64(8 * (len(bBlock.Data) - len(bNat.Data))))
+		if bBlock != bNat {
+			ar.Put(bNat)
+		}
 	}
 	endSpan()
 	tm.Allgather += time.Since(ta)
@@ -191,11 +223,14 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 	// in for the dual buffers of the reference implementation. One of
 	// the pads may already have been built under the allgather above.
 	if aPad == nil {
-		aPad = cannon.PadBlock(aBlock, am, ak)
+		aPad = padBlock(ar, aBlock, am, ak)
 	}
 	if bPad == nil {
-		bPad = cannon.PadBlock(bBlock, ak, bn)
+		bPad = padBlock(ar, bBlock, ak, bn)
 	}
+	// The unpadded blocks are dead once copied into the pads.
+	ar.Put(aBlock)
+	ar.Put(bBlock)
 	padBytes := int64(8 * (len(aPad.Data) + len(bPad.Data)))
 	world.RecordAlloc(padBytes)
 	// Each rank performs S local GEMMs of (am x ak)·(ak x bn) during
@@ -206,13 +241,18 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 	p.Opt.Trace.EndFlops(span, 2*int64(am)*int64(ak)*int64(bn)*int64(p.S))
 	tm.CannonComm += ktm.Comm
 	tm.CannonComp += ktm.Compute
+	ar.Put(aPad)
+	ar.Put(bPad)
 	partBytes := int64(8 * len(cPart.Data))
 	world.RecordAlloc(partBytes)
 
 	// Step 7: reduce-scatter the pk partial results of this C block.
 	endSpan = p.Opt.Trace.Begin(world.WorldRank(), "reduce-scatter")
-	out := p.reduceScatterC(redComm, cPart, role, tm)
+	out := p.reduceScatterC(redComm, cPart, role, tm, ar)
 	endSpan()
+	if out != cPart {
+		ar.Put(cPart)
+	}
 	world.ReleaseAlloc(padBytes)
 	world.ReleaseAlloc(partBytes)
 	return out
@@ -221,13 +261,13 @@ func (p *Plan) executeCannon(kanComm, repComm, redComm *mpi.Comm,
 // assembleReplicated allgathers the c sub-blocks of this rank's Cannon
 // block across the replication communicator and reassembles the full
 // block. For A the split is by columns; for B by rows.
-func (p *Plan) assembleReplicated(repComm *mpi.Comm, sub *mat.Dense, isA bool, role rankRole, cfg cannon.Config) *mat.Dense {
+func (p *Plan) assembleReplicated(repComm *mpi.Comm, sub *mat.Dense, isA bool, role rankRole, cfg cannon.Config, ar *mat.Arena) *mat.Dense {
 	if p.Crep == 1 {
 		return sub
 	}
 	rows, cols, counts := p.replLayout(isA, role, cfg)
 	all := repComm.Allgatherv(sub.Pack(), counts)
-	return assembleFrom(all, rows, cols, counts, isA)
+	return assembleFrom(ar, all, rows, cols, counts, isA)
 }
 
 // replLayout computes the assembled block shape and the per-replica
@@ -256,8 +296,8 @@ func (p *Plan) replLayout(isA bool, role rankRole, cfg cannon.Config) (rows, col
 // assembleFrom reassembles the full rows x cols block from the
 // concatenated allgather payload: replica q's slice is a column strip
 // (A) or row strip (B) of the block.
-func assembleFrom(all []float64, rows, cols int, counts []int, isA bool) *mat.Dense {
-	full := mat.New(rows, cols)
+func assembleFrom(ar *mat.Arena, all []float64, rows, cols int, counts []int, isA bool) *mat.Dense {
+	full := ar.Get(rows, cols)
 	crep := len(counts)
 	off := 0
 	for q := 0; q < crep; q++ {
@@ -279,7 +319,7 @@ func assembleFrom(all []float64, rows, cols int, counts []int, isA bool) *mat.De
 // reduceScatterC combines the pk partial results of this rank's C
 // block: the block is column-split into pk parts and k-task group g
 // keeps part g (the paper's step 7).
-func (p *Plan) reduceScatterC(redComm *mpi.Comm, cPart *mat.Dense, role rankRole, tm *Timings) *mat.Dense {
+func (p *Plan) reduceScatterC(redComm *mpi.Comm, cPart *mat.Dense, role rankRole, tm *Timings, ar *mat.Arena) *mat.Dense {
 	pk := p.G.Pk
 	if pk == 1 {
 		return cPart
@@ -291,7 +331,7 @@ func (p *Plan) reduceScatterC(redComm *mpi.Comm, cPart *mat.Dense, role rankRole
 		lo, hi := dist.BlockRange(cols, pk, g)
 		counts[g] = rows * (hi - lo)
 	}
-	buf := make([]float64, rows*cols)
+	buf := ar.GetSlice(rows * cols)
 	off := 0
 	for g := 0; g < pk; g++ {
 		if counts[g] == 0 {
@@ -301,9 +341,12 @@ func (p *Plan) reduceScatterC(redComm *mpi.Comm, cPart *mat.Dense, role rankRole
 		cPart.View(0, lo, rows, hi-lo).PackInto(buf[off : off+counts[g]])
 		off += counts[g]
 	}
+	// ReduceScatter snapshots its input before combining, so the
+	// staging buffer is recyclable as soon as the call returns.
 	mine := redComm.ReduceScatter(buf, counts)
+	ar.PutSlice(buf)
 	lo, hi := dist.BlockRange(cols, pk, role.g)
-	out := mat.New(boundRows(rows, hi-lo), hi-lo)
+	out := ar.Get(boundRows(rows, hi-lo), hi-lo)
 	out.Unpack(mine)
 	tm.ReduceScatter += time.Since(ts)
 	return out
@@ -312,7 +355,7 @@ func (p *Plan) reduceScatterC(redComm *mpi.Comm, cPart *mat.Dense, role rankRole
 // executeSUMMA is the CA3DMM-S variant: each k-task group runs SUMMA
 // on its pm x pn grid; the reduce-scatter step is identical.
 func (p *Plan) executeSUMMA(kanComm, redComm *mpi.Comm,
-	aNat, bNat *mat.Dense, role rankRole, tm *Timings, world *mpi.Comm) *mat.Dense {
+	aNat, bNat *mat.Dense, role rankRole, tm *Timings, world *mpi.Comm, ar *mat.Arena) *mat.Dense {
 
 	k0, k1 := p.kRange(role.g)
 	kg := k1 - k0
@@ -329,11 +372,16 @@ func (p *Plan) executeSUMMA(kanComm, redComm *mpi.Comm,
 	p.Opt.Trace.EndFlops(span, 2*int64(cPart.Rows)*int64(cPart.Cols)*int64(kg))
 	tm.CannonComm += stm.Comm
 	tm.CannonComp += stm.Compute
+	ar.Put(aNat)
+	ar.Put(bNat)
 	partBytes := int64(8 * len(cPart.Data))
 	world.RecordAlloc(partBytes)
 	endSpan := p.Opt.Trace.Begin(world.WorldRank(), "reduce-scatter")
-	out := p.reduceScatterC(redComm, cPart, role, tm)
+	out := p.reduceScatterC(redComm, cPart, role, tm, ar)
 	endSpan()
+	if out != cPart {
+		ar.Put(cPart)
+	}
 	world.ReleaseAlloc(partBytes)
 	return out
 }

@@ -185,6 +185,41 @@ type ladderState struct {
 	ckptTag      int       // epoch tag of the current panel checkpoints
 	needRestore  bool
 	lastErr      error
+	// plans caches the plan math per (size, grid) epoch shape. A
+	// replace rung keeps both, so its recovery invalidates only the
+	// communicator layer and reuses the plan; only a shrink replans.
+	plans map[planKey]*Plan
+}
+
+// planKey identifies one epoch shape's plan.
+type planKey struct {
+	p int
+	g grid.Grid
+}
+
+// getPlan returns the plan of the current epoch shape, building and
+// caching it on first use. The grid is pinned (a replace rung must not
+// replan), so the cache key is exactly the state a membership change
+// may or may not invalidate.
+func (st *ladderState) getPlan(p int) (*Plan, error) {
+	key := planKey{p: p, g: st.g}
+	detail := fmt.Sprintf("p=%d grid=%dx%dx%d", p, st.g.Pm, st.g.Pn, st.g.Pk)
+	if pl := st.plans[key]; pl != nil {
+		st.ro.Opt.Trace.Instant(st.comm.WorldRank(), "plan:cache-hit", detail)
+		return pl, nil
+	}
+	opt := st.ro.Opt
+	opt.Grid = st.g
+	pl, err := NewPlan(st.m, st.n, st.k, p, st.ro.TransA, st.ro.TransB, opt)
+	if err != nil {
+		return nil, err
+	}
+	st.ro.Opt.Trace.Instant(st.comm.WorldRank(), "plan:cache-miss", detail)
+	if st.plans == nil {
+		st.plans = make(map[planKey]*Plan)
+	}
+	st.plans[key] = pl
+	return pl, nil
 }
 
 // ResilientExecute multiplies C = op(A)·op(B) on the calling rank with
@@ -412,11 +447,8 @@ func (st *ladderState) restoreEpoch() (err error) {
 // Returns the rank's column block of C with its global anchor.
 func (st *ladderState) attemptOnce() (out *mat.Dense, row, col int, err error) {
 	defer mpi.RecoverComm(&err)
-	ro := st.ro
 	p := st.comm.Size()
-	opt := ro.Opt
-	opt.Grid = st.g // pinned: a replace rung must not replan
-	plan, perr := NewPlan(st.m, st.n, st.k, p, ro.TransA, ro.TransB, opt)
+	plan, perr := st.getPlan(p)
 	if perr != nil {
 		return nil, 0, 0, perr
 	}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// ExecState is the per-rank persistent execution state of one plan: the
+// three split communicators, the redistribution route cache, and the
+// buffer arena. Building it performs the collective Splits once;
+// Execute can then run any number of multiplications of the plan's
+// shape with zero planning, zero communicator construction, and (after
+// the first call) zero route building and allocation-flat buffers. It
+// is the engine-side counterpart of the reference implementation's
+// ca3dmm_engine: "plan once, multiply many".
+//
+// An ExecState is owned by a single rank goroutine and is not safe for
+// concurrent use. It holds no OS resources; dropping it releases
+// everything.
+type ExecState struct {
+	p     *Plan
+	world *mpi.Comm
+	role  rankRole
+
+	kanComm, repComm, redComm *mpi.Comm
+
+	routes *dist.RouteCache
+	arena  *mat.Arena
+
+	calls   int
+	setupNs int64
+}
+
+// NewState builds the persistent state of p on the calling rank. It is
+// collective over c (three communicator splits).
+func (p *Plan) NewState(c *mpi.Comm) *ExecState {
+	if c.Size() != p.P {
+		panic(fmt.Sprintf("core: communicator size %d != plan size %d", c.Size(), p.P))
+	}
+	t0 := time.Now()
+	role := p.role(c.Rank())
+	kanColor, kanKey, repColor, repKey, redColor, redKey := p.splitColors(c.Rank(), role)
+	st := &ExecState{
+		p:       p,
+		world:   c,
+		role:    role,
+		kanComm: c.Split(kanColor, kanKey),
+		repComm: c.Split(repColor, repKey),
+		redComm: c.Split(redColor, redKey),
+		routes:  dist.NewRouteCache(c.Rank()),
+		arena:   mat.NewArena(),
+	}
+	st.setupNs = time.Since(t0).Nanoseconds()
+	return st
+}
+
+// Plan returns the plan this state executes.
+func (st *ExecState) Plan() *Plan { return st.p }
+
+// Calls returns how many multiplications this state has run.
+func (st *ExecState) Calls() int { return st.calls }
+
+// SetupNs returns the cumulative nanoseconds spent on setup work this
+// state has amortized away: the communicator splits plus every
+// redistribution-route build.
+func (st *ExecState) SetupNs() int64 { return st.setupNs + st.routes.BuildNs() }
+
+// RouteStats reports the route cache's cumulative hits and misses.
+func (st *ExecState) RouteStats() (hits, misses int64) { return st.routes.Stats() }
+
+// ArenaStats reports the buffer arena's cumulative hits and misses.
+// Once a shape reaches steady state the miss count stops growing.
+func (st *ExecState) ArenaStats() (hits, misses int64) { return st.arena.Stats() }
+
+// redist moves a block between layouts through the route cache. A cold
+// route runs the blocking sparse alltoallv (the exact traffic of the
+// one-shot path); a warm route under the Overlap option switches to
+// prefetched point-to-point traffic so packing overlaps communication.
+// Both schedules move identical rectangles, so the result is
+// element-identical either way.
+func (st *ExecState) redist(src dist.Layout, local *mat.Dense, dst dist.Layout, trans bool, into *mat.Dense, what string) *mat.Dense {
+	rt, hit := st.routes.Get(src, dst, trans)
+	if hit {
+		st.p.Opt.Trace.Instant(st.world.WorldRank(), "redist:route-hit", what)
+	} else {
+		st.p.Opt.Trace.Instant(st.world.WorldRank(), "redist:route-miss", what)
+	}
+	overlap := hit && st.p.Opt.Overlap
+	if into != nil {
+		if overlap {
+			return rt.ApplyOverlapInto(st.world, local, into, st.arena)
+		}
+		return rt.ApplyInto(st.world, local, into, st.arena)
+	}
+	if overlap {
+		return rt.ApplyOverlap(st.world, local, st.arena)
+	}
+	return rt.Apply(st.world, local, st.arena)
+}
+
+// Execute runs one multiplication through the persistent state. It is
+// Plan.Execute with the per-call setup replaced by the cached state:
+// same steps, same span names, same kernels, bit-identical results.
+//
+// aLocal and bLocal are the caller's blocks of the stored A and B
+// under aLayout and bLayout; cDst, when non-nil, is the caller-owned
+// destination block under cLayout (it is fully overwritten and
+// returned). When cDst is nil a fresh block is allocated — the only
+// per-call allocation that is not arena-recycled, since the caller
+// retains it across calls.
+func (st *ExecState) Execute(aLocal *mat.Dense, aLayout dist.Layout,
+	bLocal *mat.Dense, bLayout dist.Layout, cDst *mat.Dense, cLayout dist.Layout) (*mat.Dense, *Timings) {
+
+	p, c := st.p, st.world
+	checkUserLayout("A", aLayout, p.M, p.K, p.TransA, p.P)
+	checkUserLayout("B", bLayout, p.K, p.N, p.TransB, p.P)
+	checkUserLayout("C", cLayout, p.M, p.N, false, p.P)
+
+	tm := &Timings{}
+	t0 := time.Now()
+
+	tr := time.Now()
+	endSpan := p.Opt.Trace.Begin(c.WorldRank(), "redistribute-in")
+	aNat := st.redist(aLayout, aLocal, p.ALayout, p.TransA, nil, "A")
+	bNat := st.redist(bLayout, bLocal, p.BLayout, p.TransB, nil, "B")
+	endSpan()
+	tm.Redistribute += time.Since(tr)
+	natBytes := int64(8 * (len(aNat.Data) + len(bNat.Data)))
+	c.RecordAlloc(natBytes)
+
+	var cFinal *mat.Dense
+	if !st.role.active {
+		cr, cc := p.CLayout.LocalShape(c.Rank())
+		cFinal = st.arena.Get(cr, cc)
+		st.arena.Put(aNat)
+		st.arena.Put(bNat)
+	} else if p.Opt.UseSUMMA {
+		cFinal = p.executeSUMMA(st.kanComm, st.redComm, aNat, bNat, st.role, tm, c, st.arena)
+	} else {
+		cFinal = p.executeCannon(st.kanComm, st.repComm, st.redComm, aNat, bNat, st.role, tm, c, st.arena)
+	}
+
+	tr = time.Now()
+	endSpan = p.Opt.Trace.Begin(c.WorldRank(), "redistribute-out")
+	cUser := st.redist(p.CLayout, cFinal, cLayout, false, cDst, "C")
+	endSpan()
+	tm.Redistribute += time.Since(tr)
+	st.arena.Put(cFinal)
+
+	c.ReleaseAlloc(natBytes)
+	tm.Total = time.Since(t0)
+	st.calls++
+	return cUser, tm
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -27,96 +28,15 @@ func Redistribute(c *mpi.Comm, src Layout, local *mat.Dense, dst Layout) *mat.De
 // is how CA3DMM "utilizes the redistribution steps of A and B for
 // computing C = op(A) x op(B)".
 func RedistributeOp(c *mpi.Comm, src Layout, local *mat.Dense, dst Layout, trans bool) *mat.Dense {
-	p := c.Size()
-	if src.Procs() != p || dst.Procs() != p {
+	if p := c.Size(); src.Procs() != p || dst.Procs() != p {
 		panic(fmt.Sprintf("dist: layout spans %d/%d ranks, communicator has %d", src.Procs(), dst.Procs(), p))
 	}
-	sr, sc := src.GlobalRows(), src.GlobalCols()
-	dr, dc := dst.GlobalRows(), dst.GlobalCols()
-	if trans {
-		sr, sc = sc, sr
-	}
-	if sr != dr || sc != dc {
-		panic(fmt.Sprintf("dist: global shape mismatch %dx%d (src, after op) vs %dx%d (dst)", sr, sc, dr, dc))
-	}
-	me := c.Rank()
-
-	wantR, wantC := src.LocalShape(me)
-	if local == nil && (wantR == 0 || wantC == 0) {
-		local = mat.New(max(wantR, 0), max(wantC, 0))
-	}
-	if local.Rows != wantR || local.Cols != wantC {
-		panic(fmt.Sprintf("dist: rank %d local buffer %dx%d, layout expects %dx%d", me, local.Rows, local.Cols, wantR, wantC))
-	}
-
-	// Build one send buffer per destination rank. Intersections are
-	// enumerated in the canonical order (source piece outer,
-	// destination piece inner) on both sides, so no headers are
-	// needed.
-	sendBufs := make([][]float64, p)
-	myPieces := src.Pieces(me)
-	for d := 0; d < p; d++ {
-		dstPieces := dst.Pieces(d)
-		var buf []float64
-		for _, sp := range myPieces {
-			spD := pieceInDstCoords(sp, trans)
-			for _, dp := range dstPieces {
-				r0, c0, rr, cc, ok := intersect(spD, dp)
-				if !ok {
-					continue
-				}
-				buf = appendBlock(buf, local, sp, trans, r0, c0, rr, cc)
-			}
-		}
-		sendBufs[d] = buf
-	}
-
-	// Both sides of the exchange can compute the transfer sizes from
-	// the layouts, so the sparse neighbor alltoallv (the reference
-	// implementation's MPI_Neighbor_alltoallv) moves only non-empty
-	// buffers.
-	myDstPieces := dst.Pieces(me)
-	recvLens := make([]int, p)
-	for s := 0; s < p; s++ {
-		n := 0
-		for _, sp := range src.Pieces(s) {
-			spD := pieceInDstCoords(sp, trans)
-			for _, dp := range myDstPieces {
-				if _, _, rr, cc, ok := intersect(spD, dp); ok {
-					n += rr * cc
-				}
-			}
-		}
-		recvLens[s] = n
-	}
-	recvBufs := c.NeighborAlltoallv(sendBufs, recvLens)
-
-	// Unpack: replay the same enumeration from the receiver's side.
-	outR, outC := dst.LocalShape(me)
-	out := mat.New(outR, outC)
-	for s := 0; s < p; s++ {
-		buf := recvBufs[s]
-		off := 0
-		for _, sp := range src.Pieces(s) {
-			spD := pieceInDstCoords(sp, trans)
-			for _, dp := range myDstPieces {
-				r0, c0, rr, cc, ok := intersect(spD, dp)
-				if !ok {
-					continue
-				}
-				for i := 0; i < rr; i++ {
-					lr := r0 - dp.R0 + dp.LR + i
-					lc := c0 - dp.C0 + dp.LC
-					copy(out.Data[lr*out.Stride+lc:lr*out.Stride+lc+cc], buf[off:off+cc])
-					off += cc
-				}
-			}
-		}
-		if off != len(buf) {
-			panic(fmt.Sprintf("dist: rank %d consumed %d of %d elements from rank %d (layout disagreement)", me, off, len(buf), s))
-		}
-	}
-	return out
+	// A transient route: the intersection enumeration (canonical order:
+	// source piece outer, destination piece inner, no headers needed)
+	// lives in BuildRoute so persistent callers can cache it; the
+	// sparse neighbor alltoallv (the reference implementation's
+	// MPI_Neighbor_alltoallv) moves only non-empty buffers.
+	return BuildRoute(src, dst, trans, c.Rank()).Apply(c, local, nil)
 }
 
 // pieceInDstCoords maps a source piece into destination coordinates
@@ -141,35 +61,20 @@ func intersect(a, b Piece) (r0, c0, rows, cols int, ok bool) {
 	return r0, c0, r1 - r0, c1 - c0, true
 }
 
-// appendBlock packs the destination-coordinate rectangle
-// (r0,c0,rows,cols) of source piece sp from the local buffer in
-// destination row-major order.
-func appendBlock(buf []float64, local *mat.Dense, sp Piece, trans bool, r0, c0, rows, cols int) []float64 {
-	if !trans {
-		lr := r0 - sp.R0 + sp.LR
-		lc := c0 - sp.C0 + sp.LC
-		for i := 0; i < rows; i++ {
-			row := local.Data[(lr+i)*local.Stride+lc : (lr+i)*local.Stride+lc+cols]
-			buf = append(buf, row...)
-		}
-		return buf
-	}
-	// Transposed read: destination element (r0+i, c0+j) is source
-	// element (c0+j, r0+i).
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			lr := (c0 + j) - sp.R0 + sp.LR
-			lc := (r0 + i) - sp.C0 + sp.LC
-			buf = append(buf, local.Data[lr*local.Stride+lc])
-		}
-	}
-	return buf
-}
+// scatterCalls counts Scatter invocations process-wide. The engine
+// tests use it to assert that warm Engine.Multiply calls perform zero
+// rank-0 scatters.
+var scatterCalls atomic.Int64
+
+// ScatterCalls reports the cumulative number of Scatter invocations in
+// this process.
+func ScatterCalls() int64 { return scatterCalls.Load() }
 
 // Scatter splits a global matrix into per-rank local buffers according
 // to a layout. Serial helper for tests, examples, and the benchmark
 // drivers.
 func Scatter(global *mat.Dense, l Layout) []*mat.Dense {
+	scatterCalls.Add(1)
 	if global.Rows != l.GlobalRows() || global.Cols != l.GlobalCols() {
 		panic(fmt.Sprintf("dist: Scatter shape %dx%d vs layout %dx%d", global.Rows, global.Cols, l.GlobalRows(), l.GlobalCols()))
 	}

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// routeCases are (src, dst, trans) triples covering block rows/cols,
+// 2D, block-cyclic, and in-flight transposition.
+func routeCases() []struct {
+	name     string
+	src, dst Layout
+	trans    bool
+} {
+	return []struct {
+		name     string
+		src, dst Layout
+		trans    bool
+	}{
+		{"row-to-col", Block1DRow{R: 13, C: 17, P: 4}, Block1DCol{R: 13, C: 17, P: 4}, false},
+		{"col-to-2d", Block1DCol{R: 13, C: 17, P: 6}, Block2D{R: 13, C: 17, Pr: 2, Pc: 3}, false},
+		{"2d-to-cyclic", Block2D{R: 13, C: 17, Pr: 2, Pc: 3}, BlockCyclic2D{R: 13, C: 17, Pr: 3, Pc: 2, Mb: 2, Nb: 3}, false},
+		{"cyclic-to-cyclic", BlockCyclic2D{R: 19, C: 11, Pr: 2, Pc: 2, Mb: 3, Nb: 2}, BlockCyclic2D{R: 19, C: 11, Pr: 2, Pc: 2, Mb: 2, Nb: 5}, false},
+		{"trans-row-to-col", Block1DRow{R: 13, C: 17, P: 4}, Block1DCol{R: 17, C: 13, P: 4}, true},
+		{"trans-cyclic", BlockCyclic2D{R: 13, C: 17, Pr: 2, Pc: 2, Mb: 3, Nb: 2}, Block2D{R: 17, C: 13, Pr: 2, Pc: 2}, true},
+	}
+}
+
+// applyRoutes runs one route application per rank through fn and
+// returns the assembled destination matrix.
+func applyRoutes(t *testing.T, g *mat.Dense, src, dst Layout, trans bool,
+	fn func(c *mpi.Comm, rt *Route, local *mat.Dense) *mat.Dense) *mat.Dense {
+	t.Helper()
+	p := src.Procs()
+	locals := Scatter(g, src)
+	outs := make([]*mat.Dense, p)
+	var mu sync.Mutex
+	_, err := mpi.Run(p, func(c *mpi.Comm) {
+		rt := BuildRoute(src, dst, trans, c.Rank())
+		out := fn(c, rt, locals[c.Rank()])
+		mu.Lock()
+		outs[c.Rank()] = out
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Assemble(outs, dst)
+}
+
+func wantDst(g *mat.Dense, trans bool) *mat.Dense {
+	if !trans {
+		return g
+	}
+	w := mat.New(g.Cols, g.Rows)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			w.Data[j*w.Stride+i] = g.Data[i*g.Stride+j]
+		}
+	}
+	return w
+}
+
+func TestRouteApplyMatchesLayouts(t *testing.T) {
+	for _, tc := range routeCases() {
+		g := mat.Random(tc.src.GlobalRows(), tc.src.GlobalCols(), 31)
+		got := applyRoutes(t, g, tc.src, tc.dst, tc.trans,
+			func(c *mpi.Comm, rt *Route, local *mat.Dense) *mat.Dense {
+				return rt.Apply(c, local, mat.NewArena())
+			})
+		if !mat.Equal(wantDst(g, tc.trans), got, 0) {
+			t.Fatalf("%s: Apply result differs from reference", tc.name)
+		}
+	}
+}
+
+func TestRouteApplyOverlapBitIdentical(t *testing.T) {
+	for _, tc := range routeCases() {
+		g := mat.Random(tc.src.GlobalRows(), tc.src.GlobalCols(), 47)
+		blocking := applyRoutes(t, g, tc.src, tc.dst, tc.trans,
+			func(c *mpi.Comm, rt *Route, local *mat.Dense) *mat.Dense {
+				return rt.Apply(c, local, nil)
+			})
+		overlapped := applyRoutes(t, g, tc.src, tc.dst, tc.trans,
+			func(c *mpi.Comm, rt *Route, local *mat.Dense) *mat.Dense {
+				return rt.ApplyOverlap(c, local, mat.NewArena())
+			})
+		if !mat.Equal(blocking, overlapped, 0) {
+			t.Fatalf("%s: overlapped route differs from blocking route", tc.name)
+		}
+	}
+}
+
+// TestRouteReuseBitIdentical applies one cached route repeatedly with a
+// shared arena: every application must reproduce the first bit for bit
+// even though buffers are recycled between calls.
+func TestRouteReuseBitIdentical(t *testing.T) {
+	src := BlockCyclic2D{R: 19, C: 11, Pr: 2, Pc: 2, Mb: 3, Nb: 2}
+	dst := Block2D{R: 19, C: 11, Pr: 2, Pc: 2}
+	g := mat.Random(19, 11, 5)
+	locals := Scatter(g, src)
+	p := src.Procs()
+	rounds := make([]*mat.Dense, p)
+	var mu sync.Mutex
+	_, err := mpi.Run(p, func(c *mpi.Comm) {
+		ar := mat.NewArena()
+		rc := NewRouteCache(c.Rank())
+		var first *mat.Dense
+		for iter := 0; iter < 4; iter++ {
+			rt, hit := rc.Get(src, dst, false)
+			if hit != (iter > 0) {
+				panic("unexpected route cache behavior")
+			}
+			var out *mat.Dense
+			if iter%2 == 0 {
+				out = rt.Apply(c, locals[c.Rank()], ar)
+			} else {
+				out = rt.ApplyOverlap(c, locals[c.Rank()], ar)
+			}
+			if first == nil {
+				first = out.Clone()
+			} else if !mat.Equal(first, out, 0) {
+				panic("repeated route application not bit-identical")
+			}
+			if iter < 3 {
+				ar.Put(out)
+			} else {
+				mu.Lock()
+				rounds[c.Rank()] = out
+				mu.Unlock()
+			}
+		}
+		if hits, misses := rc.Stats(); hits != 3 || misses != 1 {
+			panic("route cache stats off")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(g, Assemble(rounds, dst), 0) {
+		t.Fatal("cached-route result differs from source")
+	}
+}
+
+func TestRouteCacheUncomparableLayout(t *testing.T) {
+	// *Explicit compares by pointer, so the same pointer hits and a
+	// rebuilt layout misses — exactly the stability a cached plan has.
+	e := NewExplicit(4, 4, 2)
+	e.SetBlock(0, 0, 0, 4, 2)
+	e.SetBlock(1, 0, 2, 4, 2)
+	rc := NewRouteCache(0)
+	if _, hit := rc.Get(e, Block1DRow{R: 4, C: 4, P: 2}, false); hit {
+		t.Fatal("first lookup hit")
+	}
+	if _, hit := rc.Get(e, Block1DRow{R: 4, C: 4, P: 2}, false); !hit {
+		t.Fatal("same-pointer lookup missed")
+	}
+	e2 := NewExplicit(4, 4, 2)
+	e2.SetBlock(0, 0, 0, 4, 2)
+	e2.SetBlock(1, 0, 2, 4, 2)
+	if _, hit := rc.Get(e2, Block1DRow{R: 4, C: 4, P: 2}, false); hit {
+		t.Fatal("distinct pointer hit")
+	}
+}
+
+func TestScatterCallsCounter(t *testing.T) {
+	before := ScatterCalls()
+	Scatter(mat.Random(4, 4, 1), Block1DRow{R: 4, C: 4, P: 2})
+	if ScatterCalls() != before+1 {
+		t.Fatal("ScatterCalls did not advance")
+	}
+}
+
+func TestRouteTransferBytes(t *testing.T) {
+	src := Block1DRow{R: 8, C: 8, P: 4}
+	dst := Block1DCol{R: 8, C: 8, P: 4}
+	var total int64
+	for r := 0; r < 4; r++ {
+		total += BuildRoute(src, dst, false, r).TransferBytes()
+	}
+	// Each rank keeps its own 2x2 corner: 64 elements move in total,
+	// minus the 4 ranks' 2x2 self blocks.
+	if want := int64(8 * (64 - 16)); total != want {
+		t.Fatalf("TransferBytes sum %d, want %d", total, want)
+	}
+}

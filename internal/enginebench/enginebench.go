@@ -1,0 +1,333 @@
+package enginebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	ca3dmm "repro"
+)
+
+// The engine experiment quantifies what the persistent ca3dmm.Engine
+// amortizes on iterative workloads: each shape runs the same multi-call
+// loop twice, once through the one-shot facade (plan + world + scatter
+// + gather on every call) and once through an engine holding resident
+// blocks (all of that exactly once). The headline number is the
+// end-to-end loop speedup; the setup-fraction curve shows the one-time
+// cost vanishing into the call stream.
+
+// EngineShape is one iterative workload of the comparison.
+type EngineShape struct {
+	Name    string
+	M, N, K int
+	Iters   int
+	// Purify runs the McWeeny coupling (X2 = X·X, X3 = X2·X,
+	// X <- 3X2 - 2X3) instead of independent repeated products, so the
+	// loop carries a data dependency between calls like the real
+	// application.
+	Purify bool
+}
+
+// engineShapes are the three iterative example workloads: the square
+// purification loop and the two tall CholeskyQR products (large-K Gram
+// and large-M Q formation).
+func engineShapes() []EngineShape {
+	// Sizes sit in the strong-scaling regime the engine targets: small
+	// enough per-rank work that the facade's per-call plan + world +
+	// scatter overhead dominates its loop, as in a converged
+	// purification or a panel-sized CholeskyQR inside a bigger solver.
+	return []EngineShape{
+		{Name: "purify", M: 32, N: 32, K: 32, Iters: 30, Purify: true},
+		{Name: "gram", M: 24, N: 24, K: 1200, Iters: 16},
+		{Name: "qform", M: 1200, N: 24, K: 24, Iters: 16},
+	}
+}
+
+// EngineResult is one shape's facade-vs-engine comparison.
+type EngineResult struct {
+	Shape string `json:"shape"`
+	Dims  string `json:"dims"`
+	Procs int    `json:"procs"`
+	Calls int    `json:"calls"` // PGEMM calls in the loop
+
+	FacadeSecs float64 `json:"facade_seconds"` // whole loop, one-shot API
+	EngineSecs float64 `json:"engine_seconds"` // whole loop incl. NewEngine+scatter
+	Speedup    float64 `json:"speedup"`
+
+	ColdCallSecs float64 `json:"cold_call_seconds"` // first engine call
+	WarmCallSecs float64 `json:"warm_call_seconds"` // mean of the rest
+
+	// SetupColdNs is the setup work (communicator splits + route
+	// builds, summed over ranks) charged by the first call;
+	// SetupWarmNs is the additional setup charged by ALL warm calls
+	// together. The engine contract is SetupWarmNs ≈ 0.
+	SetupColdNs int64 `json:"setup_cold_ns"`
+	SetupWarmNs int64 `json:"setup_warm_ns"`
+
+	// SetupFrac[k] is the one-time setup wall time (NewEngine +
+	// scatter) as a fraction of total elapsed time after call k+1 —
+	// the amortization curve, falling toward zero.
+	SetupFrac []float64 `json:"setup_fraction_curve"`
+
+	RouteHits    int64 `json:"route_hits"`
+	RouteBuilds  int64 `json:"route_builds"`
+	BitIdentical bool  `json:"bit_identical"`
+}
+
+type engineRecord struct {
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Procs      int            `json:"procs"`
+	Reps       int            `json:"reps"`
+	Results    []EngineResult `json:"results"`
+}
+
+// facadeLoop runs the shape's loop through the one-shot API and
+// returns the final (or last) matrix and the loop wall time.
+func facadeLoop(sh EngineShape, a, b *ca3dmm.Matrix, p int) (*ca3dmm.Matrix, time.Duration, error) {
+	t0 := time.Now()
+	if sh.Purify {
+		x := a.Clone()
+		for it := 0; it < sh.Iters; it++ {
+			x2, _, _, err := ca3dmm.Multiply(x, x, p, ca3dmm.Config{})
+			if err != nil {
+				return nil, 0, err
+			}
+			x3, _, _, err := ca3dmm.Multiply(x2, x, p, ca3dmm.Config{})
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := range x.Data {
+				x.Data[i] = 3*x2.Data[i] - 2*x3.Data[i]
+			}
+		}
+		return x, time.Since(t0), nil
+	}
+	var last *ca3dmm.Matrix
+	for it := 0; it < sh.Iters; it++ {
+		c, _, _, err := ca3dmm.Multiply(a, b, p, ca3dmm.Config{})
+		if err != nil {
+			return nil, 0, err
+		}
+		last = c
+	}
+	return last, time.Since(t0), nil
+}
+
+// engineLoop runs the same loop through a persistent engine on
+// resident blocks, filling the result's engine-side fields. Blocks
+// live in the engine's native layouts — the steady state of an
+// iterative solver, which scatters once into library layout and keeps
+// its data there — so warm calls redistribute via cached
+// (mostly-identity) routes and move no data through rank 0.
+func engineLoop(sh EngineShape, a, b *ca3dmm.Matrix, p int, res *EngineResult) (*ca3dmm.Matrix, time.Duration, error) {
+	t0 := time.Now()
+	eng, err := ca3dmm.NewEngine(sh.M, sh.N, sh.K, p, ca3dmm.Config{})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer eng.Close()
+
+	aL, bL, cL := eng.NativeLayouts()
+	if sh.Purify {
+		// The coupled update needs X, X2, X3 in one layout: the square
+		// C layout, valid for the A and B operand slots too.
+		aL, bL = cL, cL
+	}
+	aLocs := ca3dmm.ScatterBlocks(a, aL)
+	var bLocs []*ca3dmm.Matrix
+	if !sh.Purify {
+		bLocs = ca3dmm.ScatterBlocks(b, bL)
+	}
+	cDsts := make([]*ca3dmm.Matrix, p)
+	dDsts := make([]*ca3dmm.Matrix, p)
+	for r := 0; r < p; r++ {
+		rows, cols := cL.LocalShape(r)
+		cDsts[r] = ca3dmm.NewMatrix(rows, cols)
+		dDsts[r] = ca3dmm.NewMatrix(rows, cols)
+	}
+	setupWall := time.Since(t0)
+
+	calls := 0
+	var callTime time.Duration
+	timedCall := func(xLocs []*ca3dmm.Matrix, xL ca3dmm.Layout, yLocs []*ca3dmm.Matrix, yL ca3dmm.Layout, dst []*ca3dmm.Matrix) error {
+		tc := time.Now()
+		_, _, err := eng.Multiply(xLocs, xL, yLocs, yL, dst, cL)
+		d := time.Since(tc)
+		callTime += d
+		calls++
+		if calls == 1 {
+			res.ColdCallSecs = d.Seconds()
+			res.SetupColdNs = eng.Stats().SetupNs
+		}
+		res.SetupFrac = append(res.SetupFrac, setupWall.Seconds()/(setupWall.Seconds()+callTime.Seconds()))
+		return err
+	}
+
+	var out *ca3dmm.Matrix
+	if sh.Purify {
+		xLocs := aLocs
+		for it := 0; it < sh.Iters; it++ {
+			if err := timedCall(xLocs, aL, xLocs, aL, cDsts); err != nil {
+				return nil, 0, err
+			}
+			if err := timedCall(cDsts, cL, xLocs, aL, dDsts); err != nil {
+				return nil, 0, err
+			}
+			for r := range xLocs {
+				for i := range xLocs[r].Data {
+					xLocs[r].Data[i] = 3*cDsts[r].Data[i] - 2*dDsts[r].Data[i]
+				}
+			}
+		}
+		out = ca3dmm.AssembleBlocks(xLocs, aL)
+	} else {
+		for it := 0; it < sh.Iters; it++ {
+			if err := timedCall(aLocs, aL, bLocs, bL, cDsts); err != nil {
+				return nil, 0, err
+			}
+		}
+		out = ca3dmm.AssembleBlocks(cDsts, cL)
+	}
+
+	st := eng.Stats()
+	res.Calls = calls
+	res.SetupWarmNs = st.SetupNs - res.SetupColdNs
+	res.RouteHits, res.RouteBuilds = st.RouteHits, st.RouteMisses
+	if calls > 1 {
+		res.WarmCallSecs = (callTime.Seconds() - res.ColdCallSecs) / float64(calls-1)
+	}
+	return out, time.Since(t0), nil
+}
+
+// runEngineShape measures one shape, best-of-reps on both loops.
+func runEngineShape(sh EngineShape, p, reps int) (EngineResult, error) {
+	res := EngineResult{
+		Shape: sh.Name,
+		Dims:  fmt.Sprintf("%dx%dx%d", sh.M, sh.N, sh.K),
+		Procs: p,
+	}
+	// Purification needs a contractive start (spectrum inside the
+	// McWeeny basin) so the iterates stay bounded; 1/n-scaled random
+	// entries keep ||X|| well under 1.
+	a := ca3dmm.Random(sh.M, sh.K, 1)
+	if sh.Purify {
+		for i := range a.Data {
+			a.Data[i] /= float64(sh.M)
+		}
+	}
+	b := ca3dmm.Random(sh.K, sh.N, 2)
+
+	var facadeOut, engineOut *ca3dmm.Matrix
+	bestFacade := time.Duration(1<<63 - 1)
+	bestEngine := bestFacade
+	for r := 0; r < reps; r++ {
+		fOut, fDur, err := facadeLoop(sh, a, b, p)
+		if err != nil {
+			return res, err
+		}
+		if fDur < bestFacade {
+			bestFacade = fDur
+		}
+		facadeOut = fOut
+
+		var tmp EngineResult
+		tmp.Shape = res.Shape
+		eOut, eDur, err := engineLoop(sh, a, b, p, &tmp)
+		if err != nil {
+			return res, err
+		}
+		if eDur < bestEngine {
+			bestEngine = eDur
+			res.Calls = tmp.Calls
+			res.ColdCallSecs = tmp.ColdCallSecs
+			res.WarmCallSecs = tmp.WarmCallSecs
+			res.SetupColdNs = tmp.SetupColdNs
+			res.SetupWarmNs = tmp.SetupWarmNs
+			res.SetupFrac = tmp.SetupFrac
+			res.RouteHits = tmp.RouteHits
+			res.RouteBuilds = tmp.RouteBuilds
+		}
+		engineOut = eOut
+	}
+	res.FacadeSecs = bestFacade.Seconds()
+	res.EngineSecs = bestEngine.Seconds()
+	res.Speedup = res.FacadeSecs / res.EngineSecs
+	res.BitIdentical = identical(facadeOut, engineOut)
+	if !res.BitIdentical {
+		return res, fmt.Errorf("%s: engine loop differs bitwise from facade loop", sh.Name)
+	}
+	return res, nil
+}
+
+// identical reports bitwise equality of two matrices.
+func identical(x, y *ca3dmm.Matrix) bool {
+	if x == nil || y == nil || x.Rows != y.Rows || x.Cols != y.Cols {
+		return false
+	}
+	for i, v := range x.Data {
+		if y.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RealEngine measures the persistent engine against the per-call
+// facade on the three iterative example shapes, printing a comparison
+// table and, when out is non-empty, writing BENCH_engine.json. When
+// assertFrac > 0 the run fails unless, on every shape, the setup work
+// charged by all warm calls together stays below assertFrac of the
+// cold call's setup — the CI smoke check that warm calls really do
+// zero planning and zero communicator construction.
+func RealEngine(w io.Writer, procs, reps int, assertFrac float64, out string) error {
+	if reps <= 0 {
+		reps = 3
+	}
+	rec := engineRecord{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Procs:      procs,
+		Reps:       reps,
+	}
+	fmt.Fprintf(w, "# Persistent engine vs per-call facade, P=%d goroutine ranks, best of %d reps\n", procs, reps)
+	fmt.Fprintf(w, "%-8s %16s %6s %11s %11s %9s %10s %10s %11s\n",
+		"shape", "dims", "calls", "facade", "engine", "speedup", "cold call", "warm call", "warm setup")
+	for _, sh := range engineShapes() {
+		r, err := runEngineShape(sh, procs, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sh.Name, err)
+		}
+		rec.Results = append(rec.Results, r)
+		fmt.Fprintf(w, "%-8s %16s %6d %10.1fms %10.1fms %8.2fx %9.2fms %9.2fms %10.3fms\n",
+			r.Shape, r.Dims, r.Calls, 1e3*r.FacadeSecs, 1e3*r.EngineSecs, r.Speedup,
+			1e3*r.ColdCallSecs, 1e3*r.WarmCallSecs, float64(r.SetupWarmNs)/1e6)
+		if assertFrac > 0 && float64(r.SetupWarmNs) >= assertFrac*float64(r.SetupColdNs) {
+			return fmt.Errorf("%s: warm calls charged %dns of setup, want < %.0f%% of the cold call's %dns",
+				sh.Name, r.SetupWarmNs, 100*assertFrac, r.SetupColdNs)
+		}
+	}
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", out)
+	return nil
+}

@@ -63,6 +63,17 @@ func gemmPacked(transA, transB Op, alpha float64, a, b *Dense, c *Dense, threads
 	tilesM := (m + gemmMC - 1) / gemmMC
 	tilesN := (n + gemmNC - 1) / gemmNC
 	nTiles := tilesM * tilesN
+	if threads <= 1 || nTiles <= 1 {
+		// Serial path without the tile closure: the closure escapes
+		// into the worker pool and would cost one heap allocation per
+		// call, which steady-state engine multiplies must not pay.
+		for t := 0; t < nTiles; t++ {
+			ic := (t % tilesM) * gemmMC
+			jc := (t / tilesM) * gemmNC
+			gemmTile(transA, transB, alpha, a, b, c, ic, jc, min(gemmMC, m-ic), min(gemmNC, n-jc), k)
+		}
+		return
+	}
 	runTiles(threads, nTiles, func(t int) {
 		ic := (t % tilesM) * gemmMC
 		jc := (t / tilesM) * gemmNC

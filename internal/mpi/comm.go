@@ -188,13 +188,26 @@ func (c *Comm) enqueue(op string, dst int, key boxKey, env envelope) {
 		}
 		return
 	}
+	box := c.w.box(key)
+	// Fast path: an uncontended mailbox accepts without arming a
+	// timeout. A `case <-time.After(...)` arm would allocate a
+	// run-timeout timer on EVERY send — abandoned timers that pile up
+	// in the runtime timer heap for the rest of the run and throttle
+	// tight iterative loops with GC pressure.
 	select {
-	case c.w.box(key) <- env:
+	case box <- env:
+		return
+	default:
+	}
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case box <- env:
 	case <-c.w.deadChan(key.dst):
 		c.abort(c.opError(op, "send", dst, c.w.peerSentinel(key.dst)))
 	case <-c.rv.ch:
 		c.abort(c.opError(op, "send", dst, ErrRevoked))
-	case <-time.After(c.timeout):
+	case <-t.C:
 		c.abort(c.opError(op, "send", dst, ErrTimeout))
 	}
 }
@@ -223,24 +236,42 @@ func (c *Comm) receive(op string, src, tag int) []float64 {
 			return accept(e)
 		}
 		var env envelope
+		// Fast path: a message already in the mailbox is taken without
+		// arming a timeout (see enqueue for why the timer matters).
 		select {
 		case env = <-ch:
-		case <-c.w.deadChan(key.src):
-			// The sender may have enqueued this message before dying.
-			select {
-			case env = <-ch:
-			default:
-				c.abort(c.opError(op, "recv", src, c.w.peerSentinel(key.src)))
-			}
-		case <-c.rv.ch:
-			c.abort(c.opError(op, "recv", src, ErrRevoked))
-		case <-time.After(c.timeout):
-			c.abort(c.opError(op, "recv", src, ErrTimeout))
+		default:
+			env = c.recvSlow(op, src, key, ch)
 		}
 		if e, ok := c.w.admitSeq(key, env, op); ok {
 			return accept(e)
 		}
 	}
+}
+
+// recvSlow blocks for the next envelope from key's mailbox with a
+// stoppable timeout timer, so that only genuinely blocking receives pay
+// for (and then release) a timer.
+func (c *Comm) recvSlow(op string, src int, key boxKey, ch chan envelope) envelope {
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case env := <-ch:
+		return env
+	case <-c.w.deadChan(key.src):
+		// The sender may have enqueued this message before dying.
+		select {
+		case env := <-ch:
+			return env
+		default:
+			c.abort(c.opError(op, "recv", src, c.w.peerSentinel(key.src)))
+		}
+	case <-c.rv.ch:
+		c.abort(c.opError(op, "recv", src, ErrRevoked))
+	case <-t.C:
+		c.abort(c.opError(op, "recv", src, ErrTimeout))
+	}
+	panic("unreachable: abort always panics")
 }
 
 // Send sends a copy of data to dst with the given tag. It normally

@@ -268,6 +268,31 @@ func RecoverComm(errp *error) {
 	panic(rec)
 }
 
+// PanicCause translates a recovered rank-unwinding panic value into
+// the error it carries, without consuming it: a long-lived host (e.g.
+// a persistent engine's rank loop) can observe why a rank is dying,
+// mark its own state poisoned, and then re-panic the original value so
+// the runtime's accounting is untouched. Returns nil for a nil recover
+// value.
+func PanicCause(rec any) error {
+	switch ab := rec.(type) {
+	case nil:
+		return nil
+	case commAbort:
+		return ab.err
+	case runAbort:
+		return ab.err
+	case rankCrash:
+		return ab.failure
+	case rankFenced:
+		return fmt.Errorf("mpi: rank fenced by the failure detector: %w", ErrUnreachable)
+	case error:
+		return ab
+	default:
+		return fmt.Errorf("mpi: rank panicked: %v", rec)
+	}
+}
+
 // Report holds the outcome of a Run: per-rank communication
 // statistics indexed by world rank.
 type Report struct {

@@ -89,22 +89,34 @@ func (c *Comm) Irecv(src, tag int) *Request {
 				return
 			}
 			var env envelope
+			// Fast path first: a buffered arrival must not arm a
+			// run-timeout timer (abandoned timers accumulate in the
+			// runtime timer heap across an iterative run).
 			select {
 			case env = <-box:
-			case <-deadCh:
-				// The sender may have enqueued the message before dying.
+			default:
+				t := time.NewTimer(timeout)
 				select {
 				case env = <-box:
-				default:
-					r.payload <- irecvResult{sentinel: w.peerSentinel(key.src)}
+				case <-deadCh:
+					// The sender may have enqueued the message before
+					// dying.
+					select {
+					case env = <-box:
+					default:
+						t.Stop()
+						r.payload <- irecvResult{sentinel: w.peerSentinel(key.src)}
+						return
+					}
+				case <-rvCh:
+					t.Stop()
+					r.payload <- irecvResult{sentinel: ErrRevoked}
+					return
+				case <-t.C:
+					r.payload <- irecvResult{sentinel: ErrTimeout}
 					return
 				}
-			case <-rvCh:
-				r.payload <- irecvResult{sentinel: ErrRevoked}
-				return
-			case <-time.After(timeout):
-				r.payload <- irecvResult{sentinel: ErrTimeout}
-				return
+				t.Stop()
 			}
 			if acc, ok := w.admitSeq(key, env, "p2p"); ok {
 				r.payload <- irecvResult{data: acc.data, env: acc, arrival: arrive()}

@@ -580,3 +580,86 @@ func TestResilientDropPlusStraggle(t *testing.T) {
 		}
 	})
 }
+
+// TestEngineChaosBetweenCalls extends the chaos contract to the
+// persistent engine: faults landing inside — or between — two engine
+// calls of the same shape must yield a verified-correct result or a
+// typed error on every call, and never a stale-communicator hang. A
+// crash poisons the engine (later calls fail fast with
+// ErrEngineFailed); recoverable fabric faults (drops, healing
+// partitions) must be absorbed by the reliable transport with every
+// call still bit-correct.
+func TestEngineChaosBetweenCalls(t *testing.T) {
+	const m, n, k = chaosM, chaosN, chaosK
+	a := Random(m, k, 1)
+	b := Random(k, n, 2)
+	want := GemmRef(a, b, false, false)
+
+	cells := []struct {
+		name     string
+		p        int
+		fault    *FaultPlan
+		net      *ReliableOptions
+		mustHeal bool // every call must succeed and be correct
+	}{
+		{"crash-early", chaosP, &FaultPlan{Seed: 3, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 2, Call: 2},
+		}}, nil, false},
+		{"crash-late", chaosP, &FaultPlan{Seed: 4, Specs: []FaultSpec{
+			{Kind: FaultCrash, Rank: 1, Call: 40},
+		}}, nil, false},
+		{"drop", chaosP, &FaultPlan{Seed: 5, Specs: []FaultSpec{
+			{Kind: FaultDrop, Rank: -1, Prob: 0.05},
+		}}, &ReliableOptions{RTO: 2 * time.Millisecond}, true},
+		{"partition-heals", 8, &FaultPlan{Seed: 6, Specs: []FaultSpec{
+			{Kind: FaultPartition, Rank: 0, Call: 1, Delay: 100 * time.Millisecond, Group: []int{6, 7}},
+		}}, &ReliableOptions{RTO: 5 * time.Millisecond}, true},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			runGuarded(t, cell.name, func() {
+				eng, err := NewEngine(m, n, k, cell.p, Config{
+					Timeout: chaosOpTimeout,
+					Fault:   cell.fault,
+					Net:     cell.net,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				failed := false
+				for call := 1; call <= 3; call++ {
+					got, _, err := eng.MultiplyGlobal(a, b)
+					if err != nil {
+						if cell.mustHeal {
+							t.Fatalf("call %d: recoverable fault escaped: %v", call, err)
+						}
+						if !errors.Is(err, ErrEngineFailed) {
+							t.Fatalf("call %d: untyped failure: %v", call, err)
+						}
+						if errors.Is(err, mpi.ErrTimeout) {
+							t.Fatalf("call %d: failure surfaced as a timeout: %v", call, err)
+						}
+						failed = true
+						continue
+					}
+					if failed {
+						t.Fatalf("call %d succeeded on a poisoned engine", call)
+					}
+					if d := MaxAbsDiff(got, want); d > chaosAccuracy {
+						t.Fatalf("call %d: silently wrong result, max diff %g", call, d)
+					}
+				}
+				_, cerr := eng.Close()
+				if failed && cerr == nil {
+					t.Fatal("engine died but Close reports a clean run")
+				}
+				if cell.name == "crash-early" || cell.name == "crash-late" {
+					if !failed {
+						t.Fatal("crash plan never fired across three calls")
+					}
+				}
+			})
+		})
+	}
+}
